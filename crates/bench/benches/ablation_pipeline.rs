@@ -1,0 +1,76 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//!
+//! * **seed-trace budget** — how the number of seed simulations Φs affects
+//!   the cost of one verification run (too few seeds push work into the
+//!   counterexample loop, too many inflate the LP),
+//! * **δ precision** — the cost of the decrease check as the δ-SAT precision
+//!   is tightened,
+//! * **trace downsampling** — the LP grows with the number of samples kept
+//!   per trace; this sweep quantifies the LP-size/accuracy trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nncps_barrier::{VerificationConfig, Verifier};
+use nncps_bench::{fast_config, paper_system};
+
+fn seed_trace_ablation(c: &mut Criterion) {
+    let system = paper_system(10);
+    let mut group = c.benchmark_group("ablation/seed_traces");
+    group.sample_size(10);
+    for seeds in [2usize, 5, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(seeds), &seeds, |b, &seeds| {
+            let config = VerificationConfig {
+                num_seed_traces: seeds,
+                max_candidate_iterations: 15,
+                ..fast_config()
+            };
+            b.iter(|| {
+                let outcome = Verifier::new(config.clone()).verify(&system);
+                (outcome.is_certified(), outcome.stats().generator_iterations)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn delta_ablation(c: &mut Criterion) {
+    let system = paper_system(10);
+    let mut group = c.benchmark_group("ablation/delta");
+    group.sample_size(10);
+    for (label, delta) in [("1e-3", 1e-3), ("1e-4", 1e-4), ("1e-5", 1e-5)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &delta, |b, &delta| {
+            let config = VerificationConfig {
+                delta,
+                ..fast_config()
+            };
+            b.iter(|| Verifier::new(config.clone()).verify(&system).is_certified());
+        });
+    }
+    group.finish();
+}
+
+fn downsampling_ablation(c: &mut Criterion) {
+    let system = paper_system(10);
+    let mut group = c.benchmark_group("ablation/samples_per_trace");
+    group.sample_size(10);
+    for samples in [5usize, 15, 40] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(samples),
+            &samples,
+            |b, &samples| {
+                let config = VerificationConfig {
+                    max_samples_per_trace: samples,
+                    ..fast_config()
+                };
+                b.iter(|| Verifier::new(config.clone()).verify(&system).is_certified());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(10));
+    targets = seed_trace_ablation, delta_ablation, downsampling_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Figure 4: evolution of the NN controller during CMA-ES policy search.
+//!
+//! The paper trains a 2 → 10 → 1 `tansig` controller with CMA-ES on a
+//! piecewise-linear reference path and shows four snapshots of the resulting
+//! closed-loop trajectory.  The bench harness prints the per-generation cost
+//! series (the quantitative content behind the figure) and measures the cost
+//! of a single CMA-ES generation (one `ask`/rollout/`tell` cycle) as well as
+//! a short multi-generation search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nncps_bench::{fig4_path, fig4_training_options};
+use nncps_cmaes::{seeded_rng, CmaEs, CmaesParams};
+use nncps_dubins::{train_controller, TrainingEnv};
+
+fn print_training_series() {
+    let options = fig4_training_options(15);
+    let outcome = train_controller(fig4_path(), &options);
+    eprintln!();
+    eprintln!("Figure 4 — CMA-ES policy-search cost per generation");
+    eprintln!("generation,best_cost,mean_cost,sigma");
+    for generation in &outcome.history {
+        eprintln!(
+            "{},{:.3},{:.3},{:.5}",
+            generation.index, generation.best_fitness, generation.mean_fitness, generation.sigma
+        );
+    }
+    let env = TrainingEnv::new(fig4_path(), &options);
+    let (trace, cost) = env.rollout(&outcome.controller);
+    let end = fig4_path().end();
+    let last = trace.final_state();
+    let terminal = ((last[0] - end.0).powi(2) + (last[1] - end.1).powi(2)).sqrt();
+    eprintln!("final rollout cost J = {cost:.3}, terminal position error = {terminal:.3} m");
+    eprintln!();
+}
+
+fn fig4(c: &mut Criterion) {
+    print_training_series();
+
+    let options = fig4_training_options(3);
+    let env = TrainingEnv::new(fig4_path(), &options);
+
+    // One ask/evaluate/tell cycle of the policy search.
+    c.bench_function("fig4/cmaes_generation", |b| {
+        let params = CmaesParams::new(env.num_params()).with_population_size(options.population);
+        b.iter(|| {
+            let mut rng = seeded_rng(7);
+            let mut cmaes = CmaEs::new(vec![0.0; env.num_params()], 0.5, params.clone());
+            let candidates = cmaes.ask(&mut rng);
+            let fitnesses: Vec<f64> = candidates
+                .iter()
+                .map(|params| env.cost_of_params(params))
+                .collect();
+            cmaes.tell(&candidates, &fitnesses);
+            cmaes.best().map(|(_, f)| f)
+        });
+    });
+
+    // One full rollout of the closed loop along the Figure 4 path.
+    c.bench_function("fig4/rollout", |b| {
+        let controller = env.controller_from_params(&vec![0.1; env.num_params()]);
+        b.iter(|| env.rollout(&controller).1);
+    });
+
+    // A short end-to-end policy search (3 generations).
+    let mut group = c.benchmark_group("fig4/policy_search");
+    group.sample_size(10);
+    group.bench_function("3_generations", |b| {
+        b.iter(|| train_controller(fig4_path(), &options).best_cost);
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(10));
+    targets = fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Figure 5: the phase portrait of the verified closed loop.
+//!
+//! The figure shows the initial set `X0`, the unsafe set `U`, sample
+//! trajectories Φs in the `(d_err, θ_err)` plane, and the ellipsoidal barrier
+//! level set found by the procedure.  The harness prints the level and the
+//! bounding description of the certified ellipse, and measures the two
+//! ingredients of the figure: generating the batch of sample trajectories and
+//! synthesizing the certified barrier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nncps_barrier::Verifier;
+use nncps_bench::{fast_config, paper_spec, paper_system};
+use nncps_sim::{Integrator, Simulator};
+
+fn print_figure5_summary() {
+    let spec = paper_spec();
+    let system = paper_system(10);
+    let outcome = Verifier::new(fast_config()).verify(&system);
+    eprintln!();
+    eprintln!("Figure 5 — phase portrait ingredients");
+    let x0 = spec.initial_set();
+    eprintln!(
+        "X0: d_err in [{}, {}], theta_err in [{:.4}, {:.4}]",
+        x0[0].lo(),
+        x0[0].hi(),
+        x0[1].lo(),
+        x0[1].hi()
+    );
+    let domain = spec.domain();
+    eprintln!(
+        "U : complement of d_err in [{}, {}], theta_err in [{:.4}, {:.4}]",
+        domain[0].lo(),
+        domain[0].hi(),
+        domain[1].lo(),
+        domain[1].hi()
+    );
+    match outcome.certificate() {
+        Some(certificate) => {
+            eprintln!(
+                "barrier: W(x) <= {:.6} with W = {}",
+                certificate.level(),
+                certificate.generator()
+            );
+        }
+        None => eprintln!("verification inconclusive: {outcome}"),
+    }
+    eprintln!("(run `cargo run --release --example phase_portrait` for the full CSV)");
+    eprintln!();
+}
+
+fn fig5(c: &mut Criterion) {
+    print_figure5_summary();
+
+    let spec = paper_spec();
+    let system = paper_system(10);
+    let dynamics = system.dynamics();
+    let domain = spec.domain().clone();
+    let starts: Vec<Vec<f64>> = vec![
+        vec![4.0, 1.0],
+        vec![-4.0, -1.0],
+        vec![3.0, -1.2],
+        vec![-3.0, 1.2],
+        vec![2.0, 0.8],
+        vec![-2.0, -0.8],
+        vec![4.5, -0.5],
+        vec![-4.5, 0.5],
+    ];
+
+    // The Φs trajectory batch shown in the figure.
+    c.bench_function("fig5/sample_trajectories", |b| {
+        let simulator = Simulator::new(Integrator::RungeKutta4, 0.05, 10.0);
+        b.iter(|| {
+            starts
+                .iter()
+                .map(|start| {
+                    simulator
+                        .simulate_until(&dynamics, start, |_, s| !domain.contains_point(s))
+                        .len()
+                })
+                .sum::<usize>()
+        });
+    });
+
+    // Synthesizing the barrier ellipse of the figure.
+    let mut group = c.benchmark_group("fig5/barrier_synthesis");
+    group.sample_size(10);
+    group.bench_function("10_neurons", |b| {
+        b.iter(|| {
+            let outcome = Verifier::new(fast_config()).verify(&system);
+            assert!(outcome.is_certified());
+            outcome.certificate().map(|c| c.level())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(10));
+    targets = fig5
+}
+criterion_main!(benches);

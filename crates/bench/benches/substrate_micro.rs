@@ -1,0 +1,133 @@
+//! Microbenchmarks of the substrates the verification pipeline is built on:
+//! the LP solver, the δ-SAT solver, the symbolic expression layer, the neural
+//! network forward pass, and the ODE integrators.  These locate where the
+//! Table 1 time goes as the controller grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nncps_deltasat::{Constraint, DeltaSolver, Formula};
+use nncps_dubins::{reference_controller, ErrorDynamics};
+use nncps_expr::Expr;
+use nncps_interval::IntervalBox;
+use nncps_lp::{Comparison, LpProblem};
+use nncps_sim::{Integrator, Simulator};
+
+fn lp_bench(c: &mut Criterion) {
+    // A generator-function-shaped LP: 7 variables (quadratic template in 2D
+    // plus the margin), `rows` trace constraints.
+    let mut group = c.benchmark_group("substrate/lp_solve");
+    group.sample_size(10);
+    for rows in [100usize, 400, 800] {
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
+            let mut lp = LpProblem::new(7);
+            lp.set_objective(&[0.0, 0.0, 0.0, 0.0, 0.0, 0.0, -1.0]);
+            for k in 0..rows {
+                let t = k as f64 / rows as f64;
+                let x = 4.0 * (1.0 - t) * (2.0 * std::f64::consts::PI * t).cos();
+                let y = 1.4 * (1.0 - t) * (2.0 * std::f64::consts::PI * t).sin();
+                // Positivity at (x, y).
+                lp.add_constraint(&[x * x, x * y, y * y, x, y, 1.0, 0.0], Comparison::Ge, 1e-6);
+                // Decrease toward a slightly contracted point.
+                let (nx, ny) = (0.98 * x, 0.97 * y);
+                lp.add_constraint(
+                    &[
+                        nx * nx - x * x,
+                        nx * ny - x * y,
+                        ny * ny - y * y,
+                        nx - x,
+                        ny - y,
+                        0.0,
+                        0.05,
+                    ],
+                    Comparison::Le,
+                    -1e-6,
+                );
+            }
+            lp.add_constraint(&[25.0, 7.8, 2.4, 5.0, 1.56, 1.0, 0.0], Comparison::Eq, 1.0);
+            b.iter(|| lp.solve().map(|s| s.objective()));
+        });
+    }
+    group.finish();
+}
+
+fn deltasat_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/deltasat");
+    group.sample_size(20);
+    let x = Expr::var(0);
+    let y = Expr::var(1);
+    let domain = IntervalBox::from_bounds(&[(-5.0, 5.0), (-1.6, 1.6)]);
+
+    // An UNSAT polynomial/trigonometric query (full branch-and-prune pass).
+    let unsat = Formula::atom(Constraint::ge(
+        (x.clone().sin() * 2.0 + y.clone().powi(2)).simplified(),
+        5.0,
+    ));
+    group.bench_function("unsat_poly_trig", |b| {
+        let solver = DeltaSolver::new(1e-4);
+        b.iter(|| solver.solve(&unsat, &domain));
+    });
+
+    // The paper-style decrease query for controllers of increasing width.
+    for width in [10usize, 50] {
+        let dynamics = ErrorDynamics::new(reference_controller(width), 1.0);
+        let field = dynamics.symbolic_vector_field();
+        let w = (x.clone().powi(2) * 0.02
+            + (x.clone() * y.clone()) * 0.01
+            + y.clone().powi(2) * 0.13)
+            .simplified();
+        let lie = (w.differentiate(0) * field[0].clone() + w.differentiate(1) * field[1].clone())
+            .simplified();
+        let query = Formula::atom(Constraint::ge(lie, -1e-6));
+        group.bench_with_input(
+            BenchmarkId::new("decrease_query", width),
+            &query,
+            |b, query| {
+                let solver = DeltaSolver::new(1e-4);
+                b.iter(|| solver.solve(query, &domain));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn nn_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/nn");
+    for width in [10usize, 100, 1000] {
+        let network = reference_controller(width);
+        group.bench_with_input(
+            BenchmarkId::new("forward", width),
+            &network,
+            |b, network| b.iter(|| network.forward(&[1.2, -0.4])[0]),
+        );
+    }
+    let network = reference_controller(100);
+    group.bench_function("symbolic_export_100", |b| {
+        b.iter(|| network.forward_symbolic(&[Expr::var(0), Expr::var(1)]).len());
+    });
+    group.finish();
+}
+
+fn sim_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/sim");
+    let dynamics = ErrorDynamics::new(reference_controller(10), 1.0);
+    for (label, integrator) in [
+        ("euler", Integrator::Euler),
+        ("rk4", Integrator::RungeKutta4),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("closed_loop_10s", label),
+            &integrator,
+            |b, &integrator| {
+                let simulator = Simulator::new(integrator, 0.05, 10.0);
+                b.iter(|| simulator.simulate(&dynamics, &[0.9, 0.15]).len());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(8));
+    targets = lp_bench, deltasat_bench, nn_bench, sim_bench
+}
+criterion_main!(benches);

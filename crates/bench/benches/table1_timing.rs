@@ -1,0 +1,56 @@
+//! Table 1: timing of the safety-verification procedure versus the number of
+//! neurons in the controller's hidden layer.
+//!
+//! Each Criterion benchmark measures one full run of the Figure 1 procedure
+//! (seed simulation, LP synthesis, δ-SAT decrease check, level-set selection)
+//! for one controller width.  Before the measurements, the harness prints one
+//! Table-1-style row per width so the reproduced table can be read directly
+//! off the bench output.
+//!
+//! By default only a subset of the paper's widths is run; set
+//! `NNCPS_FULL_TABLE1=1` to sweep all twelve widths (10 … 1000 neurons).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nncps_barrier::Verifier;
+use nncps_bench::{fast_config, format_table1_row, paper_system, run_table1_row, table1_widths};
+
+fn table1(c: &mut Criterion) {
+    let widths = table1_widths();
+
+    // Print the reproduced table once (the paper's Table 1 columns).
+    eprintln!();
+    eprintln!("Table 1 — safety-verification timing per controller width");
+    eprintln!(
+        "{:>7} | {:>10} | {:>9} | {:>11} | {:>9} | {:>9} | result",
+        "neurons", "iterations", "LP (s)", "SMT (5) (s)", "other (s)", "total (s)"
+    );
+    eprintln!("{}", "-".repeat(80));
+    for &width in &widths {
+        let (certified, stats) = run_table1_row(width);
+        eprintln!("{}", format_table1_row(width, certified, &stats));
+    }
+    eprintln!();
+
+    let mut group = c.benchmark_group("table1/verify");
+    group.sample_size(10);
+    for &width in &widths {
+        // Building the symbolic closed loop is part of the setup, not the
+        // measured procedure (the paper's timings start from the flowchart).
+        let system = paper_system(width);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &system, |b, system| {
+            b.iter(|| {
+                let outcome = Verifier::new(fast_config()).verify(system);
+                assert!(outcome.is_certified(), "width {width} failed: {outcome}");
+                outcome.stats().timings.total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(8));
+    targets = table1
+}
+criterion_main!(benches);

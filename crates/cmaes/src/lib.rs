@@ -1,0 +1,41 @@
+//! Covariance Matrix Adaptation Evolution Strategy (CMA-ES).
+//!
+//! The paper trains its neural-network controller with a *direct policy
+//! search* variant of reinforcement learning driven by CMA-ES
+//! (Hansen & Ostermeier 2001; Igel 2003): the flattened network parameters
+//! are the search variables and the simulation cost `J` of a closed-loop
+//! rollout is the fitness.  This crate provides a from-scratch implementation
+//! of the standard `(μ/μ_w, λ)`-CMA-ES:
+//!
+//! * weighted recombination of the best `μ` of `λ` sampled candidates,
+//! * cumulative step-size adaptation (CSA) of the global step size `σ`,
+//! * rank-1 and rank-μ covariance matrix updates, and
+//! * eigendecomposition-based sampling (`x = m + σ · B D z`).
+//!
+//! The optimizer exposes the conventional *ask/tell* interface
+//! ([`CmaEs::ask`] / [`CmaEs::tell`]) plus a convenience driver
+//! ([`CmaEs::optimize`]) used by the training environment in the Dubins-car
+//! case study.
+//!
+//! # Examples
+//!
+//! ```
+//! use nncps_cmaes::{CmaEs, CmaesParams};
+//! use rand::SeedableRng;
+//!
+//! // Minimize the sphere function in 4 dimensions.
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+//! let params = CmaesParams::new(4).with_population_size(12);
+//! let mut cma = CmaEs::new(vec![2.0; 4], 1.0, params);
+//! let result = cma.optimize(|x| x.iter().map(|v| v * v).sum(), 200, 1e-10, &mut rng);
+//! assert!(result.best_fitness < 1e-8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod optimizer;
+mod params;
+
+pub use optimizer::{seeded_rng, CmaEs, Generation, OptimizationResult};
+pub use params::CmaesParams;

@@ -1,0 +1,457 @@
+//! The CMA-ES state and update equations.
+
+use nncps_linalg::{Matrix, SymmetricEigen, Vector};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::CmaesParams;
+
+/// Summary of one generation, recorded by [`CmaEs::optimize`] so callers can
+/// plot training curves (Figure 4 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Generation {
+    /// Generation index (0-based).
+    pub index: usize,
+    /// Best fitness in the generation.
+    pub best_fitness: f64,
+    /// Mean fitness of the generation.
+    pub mean_fitness: f64,
+    /// Step size σ after the update.
+    pub sigma: f64,
+}
+
+/// Result of a full [`CmaEs::optimize`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizationResult {
+    /// Best candidate found across all generations.
+    pub best_candidate: Vec<f64>,
+    /// Fitness of the best candidate.
+    pub best_fitness: f64,
+    /// Number of generations executed.
+    pub generations: usize,
+    /// Total number of fitness evaluations.
+    pub evaluations: usize,
+    /// Per-generation history (best/mean fitness and step size).
+    pub history: Vec<Generation>,
+}
+
+/// The `(μ/μ_w, λ)`-CMA-ES optimizer state.
+///
+/// See the [crate-level documentation](crate) for background and an example.
+#[derive(Debug, Clone)]
+pub struct CmaEs {
+    params: CmaesParams,
+    mean: Vector,
+    sigma: f64,
+    covariance: Matrix,
+    path_sigma: Vector,
+    path_c: Vector,
+    /// Eigendecomposition of the covariance (refreshed lazily).
+    eigen_basis: Matrix,
+    eigen_scale: Vector,
+    generation: usize,
+    best_candidate: Option<(Vec<f64>, f64)>,
+}
+
+impl CmaEs {
+    /// Creates an optimizer centred at `initial_mean` with step size `sigma0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mean length does not match the parameter dimension or if
+    /// `sigma0` is not strictly positive.
+    pub fn new(initial_mean: Vec<f64>, sigma0: f64, params: CmaesParams) -> Self {
+        assert_eq!(
+            initial_mean.len(),
+            params.dim(),
+            "initial mean length must equal the search dimension"
+        );
+        assert!(sigma0 > 0.0, "initial step size must be positive");
+        let n = params.dim();
+        CmaEs {
+            params,
+            mean: Vector::from_vec(initial_mean),
+            sigma: sigma0,
+            covariance: Matrix::identity(n),
+            path_sigma: Vector::zeros(n),
+            path_c: Vector::zeros(n),
+            eigen_basis: Matrix::identity(n),
+            eigen_scale: Vector::filled(n, 1.0),
+            generation: 0,
+            best_candidate: None,
+        }
+    }
+
+    /// The strategy parameters in use.
+    pub fn params(&self) -> &CmaesParams {
+        &self.params
+    }
+
+    /// Current distribution mean.
+    pub fn mean(&self) -> &[f64] {
+        self.mean.as_slice()
+    }
+
+    /// Current global step size σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Number of completed generations.
+    pub fn generation(&self) -> usize {
+        self.generation
+    }
+
+    /// Best candidate and fitness seen so far, if any generation completed.
+    pub fn best(&self) -> Option<(&[f64], f64)> {
+        self.best_candidate.as_ref().map(|(x, f)| (x.as_slice(), *f))
+    }
+
+    /// Samples a population of `λ` candidate solutions.
+    pub fn ask<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<Vec<f64>> {
+        self.refresh_eigen();
+        let n = self.params.dim();
+        (0..self.params.population_size())
+            .map(|_| {
+                // x = m + sigma * B * (D .* z)
+                let z = Vector::from_fn(n, |_| standard_normal(rng));
+                let scaled = Vector::from_fn(n, |i| self.eigen_scale[i] * z[i]);
+                let step = self.eigen_basis.mat_vec(&scaled);
+                (0..n).map(|i| self.mean[i] + self.sigma * step[i]).collect()
+            })
+            .collect()
+    }
+
+    /// Updates the search distribution from the evaluated population.
+    ///
+    /// `fitnesses[i]` must be the fitness (lower is better) of
+    /// `candidates[i]` as returned by the preceding [`CmaEs::ask`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the numbers of candidates and fitnesses differ from the
+    /// population size, or if any candidate has the wrong dimension.
+    pub fn tell(&mut self, candidates: &[Vec<f64>], fitnesses: &[f64]) {
+        let lambda = self.params.population_size();
+        let n = self.params.dim();
+        assert_eq!(candidates.len(), lambda, "candidate count mismatch");
+        assert_eq!(fitnesses.len(), lambda, "fitness count mismatch");
+        for c in candidates {
+            assert_eq!(c.len(), n, "candidate dimension mismatch");
+        }
+
+        // Rank candidates by fitness (ascending: minimization).
+        let mut order: Vec<usize> = (0..lambda).collect();
+        order.sort_by(|&a, &b| {
+            fitnesses[a]
+                .partial_cmp(&fitnesses[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        // Track the best-ever candidate.
+        let best_idx = order[0];
+        let improved = self
+            .best_candidate
+            .as_ref()
+            .map_or(true, |(_, f)| fitnesses[best_idx] < *f);
+        if improved {
+            self.best_candidate = Some((candidates[best_idx].clone(), fitnesses[best_idx]));
+        }
+
+        let mu = self.params.parent_count();
+        let weights = self.params.weights().to_vec();
+        let mu_eff = self.params.mu_eff();
+        let old_mean = self.mean.clone();
+
+        // Weighted recombination of the best mu candidates.
+        let mut new_mean = Vector::zeros(n);
+        for (k, &idx) in order.iter().take(mu).enumerate() {
+            for i in 0..n {
+                new_mean[i] += weights[k] * candidates[idx][i];
+            }
+        }
+
+        // Mean displacement in "sigma units".
+        let y_w = Vector::from_fn(n, |i| (new_mean[i] - old_mean[i]) / self.sigma);
+
+        // --- Step-size path (CSA) -------------------------------------------------
+        // p_sigma <- (1 - c_sigma) p_sigma + sqrt(c_sigma (2 - c_sigma) mu_eff) C^{-1/2} y_w
+        self.refresh_eigen();
+        let c_inv_sqrt_y = self.apply_inverse_sqrt(&y_w);
+        let c_sigma = self.params.c_sigma();
+        let coef = (c_sigma * (2.0 - c_sigma) * mu_eff).sqrt();
+        for i in 0..n {
+            self.path_sigma[i] = (1.0 - c_sigma) * self.path_sigma[i] + coef * c_inv_sqrt_y[i];
+        }
+
+        // Heaviside function used to stall the rank-1 update during fast
+        // step-size increases.
+        let expected_norm = self.params.chi_n();
+        let path_norm = self.path_sigma.norm();
+        let hsig_threshold = (1.4 + 2.0 / (n as f64 + 1.0))
+            * expected_norm
+            * (1.0 - (1.0 - c_sigma).powi(2 * (self.generation as i32 + 1))).sqrt();
+        let hsig = if path_norm < hsig_threshold { 1.0 } else { 0.0 };
+
+        // --- Covariance path ------------------------------------------------------
+        let c_c = self.params.c_c();
+        let coef_c = (c_c * (2.0 - c_c) * mu_eff).sqrt();
+        for i in 0..n {
+            self.path_c[i] = (1.0 - c_c) * self.path_c[i] + hsig * coef_c * y_w[i];
+        }
+
+        // --- Covariance matrix update (rank-1 + rank-mu) ---------------------------
+        let c_1 = self.params.c_1();
+        let c_mu = self.params.c_mu();
+        let delta_hsig = (1.0 - hsig) * c_c * (2.0 - c_c);
+        let mut new_cov = Matrix::from_fn(n, n, |i, j| {
+            (1.0 - c_1 - c_mu) * self.covariance[(i, j)]
+                + c_1 * (self.path_c[i] * self.path_c[j] + delta_hsig * self.covariance[(i, j)])
+        });
+        for (k, &idx) in order.iter().take(mu).enumerate() {
+            let y_k = Vector::from_fn(n, |i| (candidates[idx][i] - old_mean[i]) / self.sigma);
+            for i in 0..n {
+                for j in 0..n {
+                    new_cov[(i, j)] += c_mu * weights[k] * y_k[i] * y_k[j];
+                }
+            }
+        }
+        new_cov.symmetrize();
+        self.covariance = new_cov;
+
+        // --- Step-size update -------------------------------------------------------
+        let d_sigma = self.params.d_sigma();
+        self.sigma *= ((c_sigma / d_sigma) * (path_norm / expected_norm - 1.0)).exp();
+        // Guard against numerical blow-up on pathological fitness landscapes.
+        self.sigma = self.sigma.clamp(1e-12, 1e12);
+
+        self.mean = new_mean;
+        self.generation += 1;
+        // Force an eigendecomposition refresh at the next ask().
+        self.eigen_scale = Vector::zeros(0);
+    }
+
+    /// Runs ask/tell generations until the fitness target or the generation
+    /// limit is reached, recording per-generation statistics.
+    pub fn optimize<F, R>(
+        &mut self,
+        mut fitness: F,
+        max_generations: usize,
+        target_fitness: f64,
+        rng: &mut R,
+    ) -> OptimizationResult
+    where
+        F: FnMut(&[f64]) -> f64,
+        R: Rng + ?Sized,
+    {
+        let mut history = Vec::new();
+        let mut evaluations = 0usize;
+        for g in 0..max_generations {
+            let candidates = self.ask(rng);
+            let fitnesses: Vec<f64> = candidates.iter().map(|c| fitness(c)).collect();
+            evaluations += fitnesses.len();
+            self.tell(&candidates, &fitnesses);
+            let best = fitnesses.iter().copied().fold(f64::INFINITY, f64::min);
+            let mean = fitnesses.iter().sum::<f64>() / fitnesses.len() as f64;
+            history.push(Generation {
+                index: g,
+                best_fitness: best,
+                mean_fitness: mean,
+                sigma: self.sigma,
+            });
+            if best <= target_fitness {
+                break;
+            }
+        }
+        let (best_candidate, best_fitness) = self
+            .best_candidate
+            .clone()
+            .unwrap_or((self.mean.as_slice().to_vec(), f64::INFINITY));
+        OptimizationResult {
+            best_candidate,
+            best_fitness,
+            generations: history.len(),
+            evaluations,
+            history,
+        }
+    }
+
+    /// Refreshes the cached eigendecomposition of the covariance matrix.
+    fn refresh_eigen(&mut self) {
+        if self.eigen_scale.len() == self.params.dim() {
+            return;
+        }
+        let eig = SymmetricEigen::new(&self.covariance)
+            .expect("covariance matrix eigendecomposition failed");
+        let n = self.params.dim();
+        self.eigen_basis = eig.eigenvectors().clone();
+        self.eigen_scale = Vector::from_fn(n, |i| eig.eigenvalues()[i].max(1e-20).sqrt());
+    }
+
+    /// Applies `C^{-1/2}` to a vector using the cached eigendecomposition.
+    fn apply_inverse_sqrt(&self, v: &Vector) -> Vector {
+        let n = self.params.dim();
+        // C^{-1/2} v = B D^{-1} B^T v
+        let bt_v = self.eigen_basis.vec_mat(v);
+        let scaled = Vector::from_fn(n, |i| bt_v[i] / self.eigen_scale[i]);
+        self.eigen_basis.mat_vec(&scaled)
+    }
+}
+
+/// Creates a deterministic RNG for reproducible experiments.
+///
+/// This is a small convenience re-export so downstream crates (training
+/// environments, benchmarks) do not need to depend on `rand_chacha` directly.
+pub fn seeded_rng(seed: u64) -> ChaCha8Rng {
+    use rand::SeedableRng;
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Samples a standard normal variate via the Box–Muller transform.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|v| v * v).sum()
+    }
+
+    fn rosenbrock(x: &[f64]) -> f64 {
+        x.windows(2)
+            .map(|w| 100.0 * (w[1] - w[0] * w[0]).powi(2) + (1.0 - w[0]).powi(2))
+            .sum()
+    }
+
+    #[test]
+    fn ask_produces_population_of_right_shape() {
+        let mut rng = seeded_rng(1);
+        let params = CmaesParams::new(3);
+        let mut cma = CmaEs::new(vec![0.0; 3], 0.5, params.clone());
+        let pop = cma.ask(&mut rng);
+        assert_eq!(pop.len(), params.population_size());
+        assert!(pop.iter().all(|c| c.len() == 3));
+        assert_eq!(cma.generation(), 0);
+        assert!(cma.best().is_none());
+        assert_eq!(cma.params().dim(), 3);
+    }
+
+    #[test]
+    fn sphere_function_converges() {
+        let mut rng = seeded_rng(7);
+        let params = CmaesParams::new(5);
+        let mut cma = CmaEs::new(vec![3.0; 5], 1.0, params);
+        let result = cma.optimize(sphere, 300, 1e-12, &mut rng);
+        assert!(
+            result.best_fitness < 1e-9,
+            "did not converge: {}",
+            result.best_fitness
+        );
+        assert!(result.best_candidate.iter().all(|x| x.abs() < 1e-3));
+        assert!(result.evaluations > 0);
+        assert_eq!(result.history.len(), result.generations);
+    }
+
+    #[test]
+    fn rosenbrock_in_low_dimension_converges() {
+        let mut rng = seeded_rng(11);
+        let params = CmaesParams::new(4).with_population_size(20);
+        let mut cma = CmaEs::new(vec![0.0; 4], 0.5, params);
+        let result = cma.optimize(rosenbrock, 600, 1e-10, &mut rng);
+        assert!(
+            result.best_fitness < 1e-6,
+            "rosenbrock fitness {}",
+            result.best_fitness
+        );
+        for x in &result.best_candidate {
+            assert!((x - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn shifted_ellipsoid_converges_to_shift() {
+        let target = [1.5, -2.0, 0.5];
+        let f = |x: &[f64]| {
+            x.iter()
+                .zip(target.iter())
+                .enumerate()
+                .map(|(i, (xi, ti))| 10f64.powi(i as i32) * (xi - ti).powi(2))
+                .sum::<f64>()
+        };
+        let mut rng = seeded_rng(23);
+        let mut cma = CmaEs::new(vec![0.0; 3], 1.0, CmaesParams::new(3));
+        let result = cma.optimize(f, 400, 1e-14, &mut rng);
+        for (x, t) in result.best_candidate.iter().zip(target.iter()) {
+            assert!((x - t).abs() < 1e-3, "{x} vs {t}");
+        }
+    }
+
+    #[test]
+    fn fitness_history_is_overall_decreasing() {
+        let mut rng = seeded_rng(3);
+        let mut cma = CmaEs::new(vec![5.0; 4], 1.0, CmaesParams::new(4));
+        let result = cma.optimize(sphere, 100, 0.0, &mut rng);
+        let first = result.history.first().unwrap().best_fitness;
+        let last = result.history.last().unwrap().best_fitness;
+        assert!(last < first);
+        // Sigma adapts and stays positive.
+        assert!(result.history.iter().all(|g| g.sigma > 0.0));
+        assert!(result
+            .history
+            .iter()
+            .all(|g| g.mean_fitness >= g.best_fitness));
+    }
+
+    #[test]
+    fn ask_tell_roundtrip_updates_state() {
+        let mut rng = seeded_rng(5);
+        let mut cma = CmaEs::new(vec![1.0, 1.0], 0.3, CmaesParams::new(2));
+        let before_mean = cma.mean().to_vec();
+        let pop = cma.ask(&mut rng);
+        let fit: Vec<f64> = pop.iter().map(|c| sphere(c)).collect();
+        cma.tell(&pop, &fit);
+        assert_eq!(cma.generation(), 1);
+        assert!(cma.best().is_some());
+        assert_ne!(cma.mean().to_vec(), before_mean);
+        assert!(cma.sigma() > 0.0);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let run = |seed: u64| {
+            let mut rng = seeded_rng(seed);
+            let mut cma = CmaEs::new(vec![2.0; 3], 0.7, CmaesParams::new(3));
+            cma.optimize(sphere, 50, 0.0, &mut rng).best_fitness
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "initial mean length")]
+    fn wrong_mean_length_panics() {
+        let _ = CmaEs::new(vec![0.0; 2], 1.0, CmaesParams::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "step size must be positive")]
+    fn non_positive_sigma_panics() {
+        let _ = CmaEs::new(vec![0.0; 2], 0.0, CmaesParams::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate count mismatch")]
+    fn tell_with_wrong_population_panics() {
+        let mut cma = CmaEs::new(vec![0.0; 2], 1.0, CmaesParams::new(2));
+        cma.tell(&[vec![0.0, 0.0]], &[1.0]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Strategy parameters for CMA-ES.
+
+/// Strategy parameters of the `(μ/μ_w, λ)`-CMA-ES.
+///
+/// The defaults follow Hansen's standard recommendations and depend only on
+/// the search-space dimension `n`:
+///
+/// * population size `λ = 4 + ⌊3 ln n⌋`,
+/// * parent number `μ = ⌊λ/2⌋` with logarithmically decreasing weights,
+/// * standard learning rates for step-size and covariance adaptation.
+///
+/// The paper's policy search uses a much larger population (152 individuals);
+/// use [`CmaesParams::with_population_size`] to reproduce that setting.
+///
+/// # Examples
+///
+/// ```
+/// use nncps_cmaes::CmaesParams;
+///
+/// let params = CmaesParams::new(41).with_population_size(152);
+/// assert_eq!(params.population_size(), 152);
+/// assert_eq!(params.parent_count(), 76);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmaesParams {
+    dim: usize,
+    lambda: usize,
+    mu: usize,
+    weights: Vec<f64>,
+    mu_eff: f64,
+    c_sigma: f64,
+    d_sigma: f64,
+    c_c: f64,
+    c_1: f64,
+    c_mu: f64,
+    chi_n: f64,
+}
+
+impl CmaesParams {
+    /// Creates the default strategy parameters for an `dim`-dimensional search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "search dimension must be positive");
+        let lambda = 4 + (3.0 * (dim as f64).ln()).floor() as usize;
+        Self::with_dim_and_lambda(dim, lambda)
+    }
+
+    /// Overrides the population size `λ` (and recomputes the dependent
+    /// quantities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda < 2`.
+    pub fn with_population_size(self, lambda: usize) -> Self {
+        Self::with_dim_and_lambda(self.dim, lambda)
+    }
+
+    fn with_dim_and_lambda(dim: usize, lambda: usize) -> Self {
+        assert!(lambda >= 2, "population size must be at least 2");
+        let n = dim as f64;
+        let mu = lambda / 2;
+        // Logarithmic recombination weights for the best mu individuals.
+        let raw: Vec<f64> = (0..mu)
+            .map(|i| ((lambda as f64 + 1.0) / 2.0).ln() - ((i + 1) as f64).ln())
+            .collect();
+        let sum: f64 = raw.iter().sum();
+        let weights: Vec<f64> = raw.iter().map(|w| w / sum).collect();
+        let mu_eff = 1.0 / weights.iter().map(|w| w * w).sum::<f64>();
+
+        let c_sigma = (mu_eff + 2.0) / (n + mu_eff + 5.0);
+        let d_sigma = 1.0
+            + 2.0 * (0.0_f64).max(((mu_eff - 1.0) / (n + 1.0)).sqrt() - 1.0)
+            + c_sigma;
+        let c_c = (4.0 + mu_eff / n) / (n + 4.0 + 2.0 * mu_eff / n);
+        let c_1 = 2.0 / ((n + 1.3).powi(2) + mu_eff);
+        let c_mu = (1.0 - c_1).min(
+            2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((n + 2.0).powi(2) + mu_eff),
+        );
+        let chi_n = n.sqrt() * (1.0 - 1.0 / (4.0 * n) + 1.0 / (21.0 * n * n));
+
+        CmaesParams {
+            dim,
+            lambda,
+            mu,
+            weights,
+            mu_eff,
+            c_sigma,
+            d_sigma,
+            c_c,
+            c_1,
+            c_mu,
+            chi_n,
+        }
+    }
+
+    /// Search-space dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Population size `λ`.
+    pub fn population_size(&self) -> usize {
+        self.lambda
+    }
+
+    /// Number of parents `μ` used for recombination.
+    pub fn parent_count(&self) -> usize {
+        self.mu
+    }
+
+    /// Recombination weights (length `μ`, sum 1, decreasing).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Variance-effective selection mass `μ_eff`.
+    pub fn mu_eff(&self) -> f64 {
+        self.mu_eff
+    }
+
+    /// Learning rate for the step-size evolution path.
+    pub fn c_sigma(&self) -> f64 {
+        self.c_sigma
+    }
+
+    /// Damping for the step-size update.
+    pub fn d_sigma(&self) -> f64 {
+        self.d_sigma
+    }
+
+    /// Learning rate for the covariance evolution path.
+    pub fn c_c(&self) -> f64 {
+        self.c_c
+    }
+
+    /// Rank-1 covariance learning rate.
+    pub fn c_1(&self) -> f64 {
+        self.c_1
+    }
+
+    /// Rank-μ covariance learning rate.
+    pub fn c_mu(&self) -> f64 {
+        self.c_mu
+    }
+
+    /// Expected norm of an `n`-dimensional standard normal vector.
+    pub fn chi_n(&self) -> f64 {
+        self.chi_n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_population_size_follows_hansen_formula() {
+        assert_eq!(CmaesParams::new(2).population_size(), 4 + 2);
+        assert_eq!(CmaesParams::new(10).population_size(), 4 + 6);
+        assert_eq!(CmaesParams::new(100).population_size(), 4 + 13);
+    }
+
+    #[test]
+    fn weights_are_normalized_and_decreasing() {
+        let p = CmaesParams::new(20);
+        let w = p.weights();
+        assert_eq!(w.len(), p.parent_count());
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        for pair in w.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        assert!(p.mu_eff() > 1.0 && p.mu_eff() <= p.parent_count() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn learning_rates_are_in_unit_interval() {
+        for dim in [2usize, 10, 41, 401] {
+            let p = CmaesParams::new(dim);
+            assert!(p.c_sigma() > 0.0 && p.c_sigma() < 1.0);
+            assert!(p.c_c() > 0.0 && p.c_c() < 1.0);
+            assert!(p.c_1() > 0.0 && p.c_1() < 1.0);
+            assert!(p.c_mu() >= 0.0 && p.c_mu() < 1.0);
+            assert!(p.c_1() + p.c_mu() <= 1.0 + 1e-12);
+            assert!(p.d_sigma() >= 1.0);
+            assert!(p.chi_n() > 0.0);
+        }
+    }
+
+    #[test]
+    fn population_override_recomputes_parents() {
+        let p = CmaesParams::new(41).with_population_size(152);
+        assert_eq!(p.population_size(), 152);
+        assert_eq!(p.parent_count(), 76);
+        assert_eq!(p.dim(), 41);
+        assert_eq!(p.weights().len(), 76);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dimension_panics() {
+        let _ = CmaesParams::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_population_panics() {
+        let _ = CmaesParams::new(3).with_population_size(1);
+    }
+}

@@ -1,0 +1,199 @@
+//! The barrier certificate produced by a successful verification run.
+
+use std::fmt;
+
+use nncps_expr::Expr;
+
+use crate::{GeneratorFunction, SafetySpec};
+
+/// A strict barrier certificate `B(x) = W(x) − ℓ`.
+///
+/// Per Definition 2.1 of the paper, the existence of such a function with
+///
+/// 1. `B(x) ≤ 0` on the initial set `X0`,
+/// 2. `B(x) > 0` on the unsafe set `U`, and
+/// 3. `(∇B)ᵀ·f(x) < 0` wherever `B(x) = 0`,
+///
+/// proves that no trajectory starting in `X0` ever reaches `U`, in finite or
+/// infinite time.  Instances of this type are produced by the verification
+/// pipeline only after all three conditions have been discharged by the δ-SAT
+/// solver, but the type also offers numeric spot checks that are convenient in
+/// tests and examples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarrierCertificate {
+    generator: GeneratorFunction,
+    level: f64,
+}
+
+impl BarrierCertificate {
+    /// Creates a certificate from a generator function and a level `ℓ`.
+    pub fn new(generator: GeneratorFunction, level: f64) -> Self {
+        BarrierCertificate { generator, level }
+    }
+
+    /// The generator function `W`.
+    pub fn generator(&self) -> &GeneratorFunction {
+        &self.generator
+    }
+
+    /// The level `ℓ` defining the certified invariant `L = {W ≤ ℓ}`.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Evaluates `B(x) = W(x) − ℓ`.
+    pub fn value(&self, point: &[f64]) -> f64 {
+        self.generator.evaluate(point) - self.level
+    }
+
+    /// Returns `true` if the point lies in the certified invariant set
+    /// `L = {x : B(x) ≤ 0}`.
+    pub fn contains(&self, point: &[f64]) -> bool {
+        self.value(point) <= 0.0
+    }
+
+    /// The barrier as a symbolic expression `W(x) − ℓ`.
+    pub fn to_expr(&self) -> Expr {
+        (self.generator.to_expr() - Expr::constant(self.level)).simplified()
+    }
+
+    /// Numerically spot-checks the three barrier conditions on a grid of
+    /// sample points, returning the number of violations found.  A return of
+    /// `0` does not prove anything (that is the SMT solver's job) but a
+    /// nonzero return definitely indicates a broken certificate; the check is
+    /// used as a cheap sanity layer in tests and examples.
+    ///
+    /// `vector_field` evaluates `f(x)`; `samples_per_dim` controls the grid
+    /// resolution over the specification's domain.
+    pub fn count_violations<F>(
+        &self,
+        spec: &SafetySpec,
+        vector_field: F,
+        samples_per_dim: usize,
+    ) -> usize
+    where
+        F: Fn(&[f64]) -> Vec<f64>,
+    {
+        let dim = spec.dim();
+        let domain = spec.domain();
+        let steps = samples_per_dim.max(2);
+        let mut violations = 0;
+        // The corners of X0 are the extreme points of condition (1); check
+        // them explicitly since a coarse grid can miss them entirely.
+        for corner in spec.initial_set().corners() {
+            if self.value(&corner) > 1e-9 {
+                violations += 1;
+            }
+        }
+        let mut index = vec![0usize; dim];
+        loop {
+            let point: Vec<f64> = (0..dim)
+                .map(|d| {
+                    let t = index[d] as f64 / (steps - 1) as f64;
+                    domain[d].lo() + t * domain[d].width()
+                })
+                .collect();
+            // Condition (1): B <= 0 on X0.
+            if spec.is_initial(&point) && self.value(&point) > 1e-9 {
+                violations += 1;
+            }
+            // Condition (2): B > 0 on U.
+            if spec.is_unsafe(&point) && self.value(&point) <= 0.0 {
+                violations += 1;
+            }
+            // Condition (3) near the boundary: ∇B·f < 0 where |B| is small.
+            if self.value(&point).abs() < 1e-2 {
+                let grad = self.generator.gradient(&point);
+                let f = vector_field(&point);
+                let lie: f64 = grad.iter().zip(f.iter()).map(|(g, v)| g * v).sum();
+                if lie >= 0.0 {
+                    violations += 1;
+                }
+            }
+            // Advance the grid index.
+            let mut d = 0;
+            loop {
+                if d == dim {
+                    return violations;
+                }
+                index[d] += 1;
+                if index[d] < steps {
+                    break;
+                }
+                index[d] = 0;
+                d += 1;
+            }
+        }
+    }
+}
+
+impl fmt::Display for BarrierCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "B(x) = {} - {:.6} <= 0",
+            self.generator.to_expr(),
+            self.level
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nncps_interval::IntervalBox;
+    use nncps_linalg::{Matrix, Vector};
+
+    fn spec() -> SafetySpec {
+        SafetySpec::rectangular(
+            IntervalBox::from_bounds(&[(-0.5, 0.5), (-0.5, 0.5)]),
+            IntervalBox::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]),
+        )
+    }
+
+    fn circle_certificate(level: f64) -> BarrierCertificate {
+        BarrierCertificate::new(
+            GeneratorFunction::new(Matrix::identity(2), Vector::zeros(2), 0.0),
+            level,
+        )
+    }
+
+    #[test]
+    fn value_and_membership() {
+        let cert = circle_certificate(1.0);
+        assert!(cert.contains(&[0.5, 0.5]));
+        assert!(!cert.contains(&[1.5, 0.0]));
+        assert!((cert.value(&[1.0, 0.0])).abs() < 1e-12);
+        assert_eq!(cert.level(), 1.0);
+        assert_eq!(cert.generator().dim(), 2);
+        let expr = cert.to_expr();
+        assert!((expr.eval(&[0.0, 0.0]) + 1.0).abs() < 1e-12);
+        assert!(format!("{cert}").contains("<= 0"));
+    }
+
+    #[test]
+    fn valid_certificate_has_no_violations_on_grid() {
+        // W = x^2 + y^2, level 4: contains X0 (max 0.5), avoids U (starts at 9),
+        // and strictly decreases along the stable flow.
+        let cert = circle_certificate(4.0);
+        let violations = cert.count_violations(
+            &spec(),
+            |p| vec![-p[0], -p[1]],
+            21,
+        );
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn broken_certificates_are_caught_by_spot_checks() {
+        // Level too small: X0 corners stick out of L.
+        let too_small = circle_certificate(0.3);
+        assert!(too_small.count_violations(&spec(), |p| vec![-p[0], -p[1]], 21) > 0);
+        // Level too large: L reaches the unsafe set.
+        let too_large = circle_certificate(25.0);
+        assert!(too_large.count_violations(&spec(), |p| vec![-p[0], -p[1]], 21) > 0);
+        // Wrong flow direction: the boundary condition fails.
+        let wrong_flow = circle_certificate(4.0);
+        assert!(wrong_flow.count_violations(&spec(), |p| vec![p[0], p[1]], 41) > 0);
+    }
+}

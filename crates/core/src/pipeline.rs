@@ -1,0 +1,474 @@
+//! The end-to-end verification procedure of Figure 1.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use nncps_deltasat::{DeltaSolver, SatResult};
+use nncps_sim::{Integrator, Simulator};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::synthesis::SynthesisOptions;
+use crate::{
+    BarrierCertificate, CandidateSynthesizer, ClosedLoopSystem, LevelSetResult, LevelSetSelector,
+    QueryBuilder,
+};
+
+/// Configuration of the verification pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerificationConfig {
+    /// Number of random initial states simulated to seed the LP (Φs).
+    pub num_seed_traces: usize,
+    /// Simulation step size.
+    pub sim_dt: f64,
+    /// Simulation horizon per trace.
+    pub sim_duration: f64,
+    /// The slack `γ` of the decrease condition (the paper uses `10⁻⁶`).
+    pub gamma: f64,
+    /// Precision `δ` of the δ-SAT solver.
+    pub delta: f64,
+    /// Box budget per δ-SAT query.
+    pub max_smt_boxes: usize,
+    /// Maximum number of candidate-generator iterations (LP + SMT loop).
+    pub max_candidate_iterations: usize,
+    /// Maximum number of level-set bisection iterations.
+    pub max_level_iterations: usize,
+    /// Maximum number of samples kept per trace when generating LP
+    /// constraints (traces are downsampled to keep the dense simplex tableau
+    /// small).
+    pub max_samples_per_trace: usize,
+    /// Seed for the deterministic RNG that samples initial states.
+    pub seed: u64,
+    /// LP constraint-generation options.
+    pub synthesis: SynthesisOptions,
+}
+
+impl Default for VerificationConfig {
+    fn default() -> Self {
+        VerificationConfig {
+            num_seed_traces: 20,
+            sim_dt: 0.05,
+            sim_duration: 10.0,
+            gamma: 1e-6,
+            delta: 1e-4,
+            max_smt_boxes: 2_000_000,
+            max_candidate_iterations: 10,
+            max_level_iterations: 30,
+            max_samples_per_trace: 25,
+            seed: 2018,
+            synthesis: SynthesisOptions::default(),
+        }
+    }
+}
+
+/// Wall-clock time spent in each stage of the procedure, mirroring the
+/// columns of Table 1 in the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Time spent simulating traces (seed traces and counterexample traces).
+    pub simulation: Duration,
+    /// Total time spent solving LPs.
+    pub lp: Duration,
+    /// Total time spent in the decrease-condition SMT checks (query (5)).
+    pub smt_decrease: Duration,
+    /// Time spent selecting and confirming the level set (queries (6), (7)).
+    pub level_set: Duration,
+    /// Total wall-clock time of the verification run.
+    pub total: Duration,
+}
+
+impl StageTimings {
+    /// Time not accounted for by the other columns ("Time Spent in Other
+    /// Steps" in Table 1).
+    pub fn other(&self) -> Duration {
+        self.total
+            .saturating_sub(self.lp)
+            .saturating_sub(self.smt_decrease)
+            .saturating_sub(self.level_set)
+    }
+}
+
+/// Statistics of a verification run (the quantities reported in Table 1).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerificationStats {
+    /// Number of generator-candidate iterations (each is one LP solve plus one
+    /// decrease check).
+    pub generator_iterations: usize,
+    /// Number of LP solves.
+    pub lp_solves: usize,
+    /// Number of decrease-condition SMT checks.
+    pub smt_decrease_checks: usize,
+    /// Number of counterexamples returned by the decrease check.
+    pub counterexamples: usize,
+    /// Number of level-set bisection iterations.
+    pub level_iterations: usize,
+    /// Stage timings.
+    pub timings: StageTimings,
+}
+
+impl VerificationStats {
+    /// Average time of a single LP solve.
+    pub fn avg_lp_time(&self) -> Duration {
+        average(self.timings.lp, self.lp_solves)
+    }
+
+    /// Average time of a single decrease-condition SMT check.
+    pub fn avg_smt_time(&self) -> Duration {
+        average(self.timings.smt_decrease, self.smt_decrease_checks)
+    }
+}
+
+fn average(total: Duration, count: usize) -> Duration {
+    if count == 0 {
+        Duration::ZERO
+    } else {
+        total / count as u32
+    }
+}
+
+/// Outcome of a verification run.
+#[derive(Debug, Clone)]
+pub enum VerificationOutcome {
+    /// A barrier certificate was found; the system is proven safe.
+    Certified {
+        /// The certificate `B(x) = W(x) − ℓ`.
+        certificate: BarrierCertificate,
+        /// Run statistics (Table 1 quantities).
+        stats: VerificationStats,
+    },
+    /// The procedure terminated without a conclusion (the paper's termination
+    /// cases (1)–(3): infeasible LP, iteration budget exhausted, or no level
+    /// set found).  This does **not** mean the system is unsafe.
+    Inconclusive {
+        /// Human-readable explanation of why the procedure stopped.
+        reason: String,
+        /// Run statistics.
+        stats: VerificationStats,
+    },
+}
+
+impl VerificationOutcome {
+    /// Returns `true` if a certificate was produced.
+    pub fn is_certified(&self) -> bool {
+        matches!(self, VerificationOutcome::Certified { .. })
+    }
+
+    /// The certificate, if the run succeeded.
+    pub fn certificate(&self) -> Option<&BarrierCertificate> {
+        match self {
+            VerificationOutcome::Certified { certificate, .. } => Some(certificate),
+            VerificationOutcome::Inconclusive { .. } => None,
+        }
+    }
+
+    /// The run statistics.
+    pub fn stats(&self) -> &VerificationStats {
+        match self {
+            VerificationOutcome::Certified { stats, .. }
+            | VerificationOutcome::Inconclusive { stats, .. } => stats,
+        }
+    }
+}
+
+impl fmt::Display for VerificationOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerificationOutcome::Certified { certificate, stats } => write!(
+                f,
+                "certified: {certificate} ({} iterations, {:.2?} total)",
+                stats.generator_iterations, stats.timings.total
+            ),
+            VerificationOutcome::Inconclusive { reason, stats } => write!(
+                f,
+                "inconclusive after {} iterations: {reason}",
+                stats.generator_iterations
+            ),
+        }
+    }
+}
+
+/// The simulation-guided barrier-certificate verifier (Figure 1 of the paper).
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    config: VerificationConfig,
+}
+
+impl Verifier {
+    /// Creates a verifier with the given configuration.
+    pub fn new(config: VerificationConfig) -> Self {
+        Verifier { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &VerificationConfig {
+        &self.config
+    }
+
+    /// Runs the full procedure on a closed-loop system.
+    pub fn verify(&self, system: &ClosedLoopSystem) -> VerificationOutcome {
+        let start = Instant::now();
+        let mut stats = VerificationStats::default();
+        let cfg = &self.config;
+
+        let spec = system.spec().clone();
+        let dynamics = system.dynamics();
+        let simulator = Simulator::new(Integrator::RungeKutta4, cfg.sim_dt, cfg.sim_duration);
+        let solver = DeltaSolver::new(cfg.delta).with_max_boxes(cfg.max_smt_boxes);
+        let queries = QueryBuilder::new(system, cfg.gamma);
+        let mut synthesizer =
+            CandidateSynthesizer::with_options(spec.clone(), cfg.synthesis);
+
+        // --- Seed traces Φs -------------------------------------------------
+        let sim_start = Instant::now();
+        let mut rng = seeded_rng(cfg.seed);
+        let domain = spec.domain().clone();
+        for _ in 0..cfg.num_seed_traces {
+            let unit: Vec<f64> = (0..domain.dim()).map(|_| rng.gen::<f64>()).collect();
+            let x0 = domain.lerp_point(&unit);
+            let trace = simulator.simulate_until(&dynamics, &x0, |_, s| {
+                !domain.contains_point(s)
+            });
+            synthesizer.add_trace(&trace.downsampled(cfg.max_samples_per_trace));
+        }
+        stats.timings.simulation += sim_start.elapsed();
+
+        // --- Candidate loop: LP + decrease check (5) ------------------------
+        let mut certified_generator = None;
+        for iteration in 1..=cfg.max_candidate_iterations {
+            stats.generator_iterations = iteration;
+
+            let lp_start = Instant::now();
+            let candidate = synthesizer.synthesize();
+            stats.timings.lp += lp_start.elapsed();
+            stats.lp_solves += 1;
+            let candidate = match candidate {
+                Ok(candidate) => candidate,
+                Err(err) => {
+                    stats.timings.total = start.elapsed();
+                    return VerificationOutcome::Inconclusive {
+                        reason: format!("candidate synthesis failed: {err}"),
+                        stats,
+                    };
+                }
+            };
+
+            let (formula, query_domain) = queries.decrease_query(&candidate);
+            let smt_start = Instant::now();
+            let result = solver.solve(&formula, &query_domain);
+            stats.timings.smt_decrease += smt_start.elapsed();
+            stats.smt_decrease_checks += 1;
+
+            match result {
+                SatResult::Unsat => {
+                    certified_generator = Some(candidate);
+                    break;
+                }
+                SatResult::DeltaSat(witness_box) => {
+                    stats.counterexamples += 1;
+                    let witness = witness_box.midpoint();
+                    // Cut the failing candidate out of the LP feasible set by
+                    // requiring the Lie derivative to decrease at the witness
+                    // (the row is linear in the template coefficients).
+                    let derivative = system.derivative(&witness);
+                    synthesizer.add_counterexample(&witness, &derivative, cfg.gamma.max(1e-9));
+                    // Simulate from the counterexample (Φf) and refine the LP
+                    // with the downstream behaviour as well.
+                    let sim_start = Instant::now();
+                    let trace = simulator.simulate_until(&dynamics, &witness, |_, s| {
+                        !domain.contains_point(s)
+                    });
+                    stats.timings.simulation += sim_start.elapsed();
+                    synthesizer.add_trace(&trace.downsampled(cfg.max_samples_per_trace));
+                }
+                SatResult::Unknown(reason) => {
+                    stats.timings.total = start.elapsed();
+                    return VerificationOutcome::Inconclusive {
+                        reason: format!("decrease check inconclusive: {reason}"),
+                        stats,
+                    };
+                }
+            }
+        }
+
+        let Some(generator) = certified_generator else {
+            stats.timings.total = start.elapsed();
+            return VerificationOutcome::Inconclusive {
+                reason: format!(
+                    "no generator function passed the decrease check within {} iterations",
+                    cfg.max_candidate_iterations
+                ),
+                stats,
+            };
+        };
+
+        // --- Level-set selection: queries (6) and (7) ------------------------
+        let level_start = Instant::now();
+        let selector = LevelSetSelector::new(cfg.max_level_iterations);
+        let level_result = selector.select(&generator, &spec, &queries, &solver);
+        stats.timings.level_set = level_start.elapsed();
+
+        stats.timings.total = start.elapsed();
+        match level_result {
+            LevelSetResult::Found { level, iterations } => {
+                stats.level_iterations = iterations;
+                VerificationOutcome::Certified {
+                    certificate: BarrierCertificate::new(generator, level),
+                    stats,
+                }
+            }
+            LevelSetResult::NotFound { reason, iterations } => {
+                stats.level_iterations = iterations;
+                VerificationOutcome::Inconclusive {
+                    reason: format!("level-set selection failed: {reason}"),
+                    stats,
+                }
+            }
+        }
+    }
+}
+
+impl Default for Verifier {
+    fn default() -> Self {
+        Verifier::new(VerificationConfig::default())
+    }
+}
+
+/// Deterministic RNG used for initial-state sampling.
+fn seeded_rng(seed: u64) -> ChaCha8Rng {
+    use rand::SeedableRng;
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SafetySpec;
+    use nncps_expr::Expr;
+    use nncps_interval::IntervalBox;
+
+    fn paper_style_spec() -> SafetySpec {
+        SafetySpec::rectangular(
+            IntervalBox::from_bounds(&[(-0.5, 0.5), (-0.5, 0.5)]),
+            IntervalBox::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]),
+        )
+    }
+
+    fn stable_linear_system() -> ClosedLoopSystem {
+        ClosedLoopSystem::new(
+            vec![
+                -Expr::var(0) + Expr::var(1) * 0.2,
+                -Expr::var(1) - Expr::var(0) * 0.2,
+            ],
+            paper_style_spec(),
+        )
+    }
+
+    fn unstable_system() -> ClosedLoopSystem {
+        ClosedLoopSystem::new(vec![Expr::var(0), Expr::var(1)], paper_style_spec())
+    }
+
+    #[test]
+    fn stable_system_is_certified() {
+        let verifier = Verifier::default();
+        let outcome = verifier.verify(&stable_linear_system());
+        assert!(outcome.is_certified(), "outcome: {outcome}");
+        let certificate = outcome.certificate().unwrap();
+        // The certified invariant contains X0 and avoids U.
+        let spec = paper_style_spec();
+        for corner in spec.initial_set().corners() {
+            assert!(certificate.contains(&corner));
+        }
+        assert!(!certificate.contains(&[3.0, 3.0]));
+        assert_eq!(
+            certificate.count_violations(&spec, |p| vec![
+                -p[0] + 0.2 * p[1],
+                -p[1] - 0.2 * p[0]
+            ], 25),
+            0
+        );
+        let stats = outcome.stats();
+        assert!(stats.generator_iterations >= 1);
+        assert!(stats.lp_solves >= 1);
+        assert!(stats.smt_decrease_checks >= 1);
+        assert!(stats.timings.total >= stats.timings.lp);
+        assert!(stats.avg_lp_time() <= stats.timings.lp);
+        assert!(format!("{outcome}").contains("certified"));
+    }
+
+    #[test]
+    fn unstable_system_is_not_certified() {
+        let config = VerificationConfig {
+            max_candidate_iterations: 3,
+            num_seed_traces: 8,
+            sim_duration: 3.0,
+            ..VerificationConfig::default()
+        };
+        let verifier = Verifier::new(config);
+        let outcome = verifier.verify(&unstable_system());
+        assert!(!outcome.is_certified());
+        assert!(outcome.certificate().is_none());
+        match outcome {
+            VerificationOutcome::Inconclusive { reason, .. } => {
+                assert!(!reason.is_empty());
+            }
+            VerificationOutcome::Certified { .. } => panic!("must not certify"),
+        }
+    }
+
+    #[test]
+    fn counterexample_refinement_recovers_from_sparse_seeding() {
+        // With a single seed trace the first candidate is often wrong; the
+        // CEX loop must still converge for the stable system.
+        let config = VerificationConfig {
+            num_seed_traces: 1,
+            max_candidate_iterations: 12,
+            ..VerificationConfig::default()
+        };
+        let verifier = Verifier::new(config);
+        let outcome = verifier.verify(&stable_linear_system());
+        assert!(outcome.is_certified(), "outcome: {outcome}");
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_a_fixed_seed() {
+        let verifier = Verifier::default();
+        let a = verifier.verify(&stable_linear_system());
+        let b = verifier.verify(&stable_linear_system());
+        assert_eq!(a.is_certified(), b.is_certified());
+        let (Some(ca), Some(cb)) = (a.certificate(), b.certificate()) else {
+            panic!("both runs should certify");
+        };
+        assert_eq!(ca.generator(), cb.generator());
+        assert_eq!(ca.level(), cb.level());
+    }
+
+    #[test]
+    fn stage_timings_are_consistent() {
+        let timings = StageTimings {
+            simulation: Duration::from_millis(5),
+            lp: Duration::from_millis(10),
+            smt_decrease: Duration::from_millis(20),
+            level_set: Duration::from_millis(5),
+            total: Duration::from_millis(50),
+        };
+        assert_eq!(timings.other(), Duration::from_millis(15));
+        let stats = VerificationStats {
+            lp_solves: 2,
+            smt_decrease_checks: 4,
+            timings,
+            ..VerificationStats::default()
+        };
+        assert_eq!(stats.avg_lp_time(), Duration::from_millis(5));
+        assert_eq!(stats.avg_smt_time(), Duration::from_millis(5));
+        assert_eq!(VerificationStats::default().avg_lp_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn config_accessors() {
+        let verifier = Verifier::default();
+        assert_eq!(verifier.config().gamma, 1e-6);
+        assert_eq!(verifier.config().num_seed_traces, 20);
+    }
+}

@@ -1,0 +1,317 @@
+//! Descriptions of the initial set `X0`, unsafe set `U`, and domain `D`.
+
+use nncps_deltasat::{Constraint, Formula};
+use nncps_expr::Expr;
+use nncps_interval::IntervalBox;
+
+/// A closed halfspace `normal · x ≥ offset`.
+///
+/// The paper's unsafe set is "the complement (outside) of a rectangle", which
+/// is exactly a union of four such halfspaces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Halfspace {
+    normal: Vec<f64>,
+    offset: f64,
+}
+
+impl Halfspace {
+    /// Creates the halfspace `normal · x ≥ offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the normal vector is all zeros.
+    pub fn new(normal: Vec<f64>, offset: f64) -> Self {
+        assert!(
+            normal.iter().any(|&v| v != 0.0),
+            "halfspace normal must be nonzero"
+        );
+        Halfspace { normal, offset }
+    }
+
+    /// The normal vector.
+    pub fn normal(&self) -> &[f64] {
+        &self.normal
+    }
+
+    /// The offset `b` in `a·x ≥ b`.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// State dimension.
+    pub fn dim(&self) -> usize {
+        self.normal.len()
+    }
+
+    /// Returns `true` if the point belongs to the halfspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point dimension differs from the halfspace dimension.
+    pub fn contains(&self, point: &[f64]) -> bool {
+        assert_eq!(point.len(), self.dim(), "point dimension mismatch");
+        self.linear_value(point) >= self.offset
+    }
+
+    /// Evaluates `normal · x`.
+    pub fn linear_value(&self, point: &[f64]) -> f64 {
+        self.normal
+            .iter()
+            .zip(point.iter())
+            .map(|(a, x)| a * x)
+            .sum()
+    }
+
+    /// The membership condition as a δ-SAT constraint `a·x ≥ b`.
+    pub fn membership_constraint(&self) -> Constraint {
+        let mut expr = Expr::constant(0.0);
+        for (i, &a) in self.normal.iter().enumerate() {
+            if a != 0.0 {
+                expr = expr + Expr::constant(a) * Expr::var(i);
+            }
+        }
+        Constraint::ge(expr.simplified(), self.offset)
+    }
+}
+
+/// The safety specification of a verification problem: initial set `X0`,
+/// unsafe set `U` (a union of halfspaces), and the domain of interest `D`
+/// over which the decrease condition is checked.
+///
+/// For the paper's case study `X0` and the safe region are axis-aligned
+/// rectangles; use [`SafetySpec::rectangular`] to construct that layout
+/// directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SafetySpec {
+    initial_set: IntervalBox,
+    unsafe_halfspaces: Vec<Halfspace>,
+    domain: IntervalBox,
+}
+
+impl SafetySpec {
+    /// Creates a specification from explicit components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are inconsistent or the unsafe set is empty.
+    pub fn new(
+        initial_set: IntervalBox,
+        unsafe_halfspaces: Vec<Halfspace>,
+        domain: IntervalBox,
+    ) -> Self {
+        let dim = initial_set.dim();
+        assert_eq!(domain.dim(), dim, "domain dimension mismatch");
+        assert!(
+            !unsafe_halfspaces.is_empty(),
+            "the unsafe set needs at least one halfspace"
+        );
+        for h in &unsafe_halfspaces {
+            assert_eq!(h.dim(), dim, "halfspace dimension mismatch");
+        }
+        SafetySpec {
+            initial_set,
+            unsafe_halfspaces,
+            domain,
+        }
+    }
+
+    /// The paper's layout: `X0` is a rectangle and `U` is the complement of
+    /// the rectangle `safe_region`; the domain of interest is `safe_region`
+    /// itself (the region between `X0` and `U`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangles have different dimensions or `X0` is not
+    /// contained in the safe region.
+    pub fn rectangular(initial_set: IntervalBox, safe_region: IntervalBox) -> Self {
+        let dim = initial_set.dim();
+        assert_eq!(safe_region.dim(), dim, "rectangle dimension mismatch");
+        assert!(
+            safe_region.contains_box(&initial_set),
+            "X0 must be contained in the safe region"
+        );
+        let mut halfspaces = Vec::with_capacity(2 * dim);
+        for i in 0..dim {
+            // x_i >= hi  (beyond the upper face)
+            let mut normal = vec![0.0; dim];
+            normal[i] = 1.0;
+            halfspaces.push(Halfspace::new(normal, safe_region[i].hi()));
+            // x_i <= lo  encoded as  -x_i >= -lo
+            let mut normal = vec![0.0; dim];
+            normal[i] = -1.0;
+            halfspaces.push(Halfspace::new(normal, -safe_region[i].lo()));
+        }
+        SafetySpec::new(initial_set, halfspaces, safe_region)
+    }
+
+    /// State dimension.
+    pub fn dim(&self) -> usize {
+        self.initial_set.dim()
+    }
+
+    /// The initial set `X0`.
+    pub fn initial_set(&self) -> &IntervalBox {
+        &self.initial_set
+    }
+
+    /// The halfspaces whose union is the unsafe set `U`.
+    pub fn unsafe_halfspaces(&self) -> &[Halfspace] {
+        &self.unsafe_halfspaces
+    }
+
+    /// The domain of interest `D` used for the decrease check.
+    pub fn domain(&self) -> &IntervalBox {
+        &self.domain
+    }
+
+    /// Returns `true` if a point lies in the unsafe set.
+    pub fn is_unsafe(&self, point: &[f64]) -> bool {
+        self.unsafe_halfspaces.iter().any(|h| h.contains(point))
+    }
+
+    /// Returns `true` if a point lies in the initial set.
+    pub fn is_initial(&self, point: &[f64]) -> bool {
+        self.initial_set.contains_point(point)
+    }
+
+    /// Formula asserting `x ∉ X0` (a disjunction over the faces of `X0`).
+    ///
+    /// This is the `x ∉ X0` conjunct of the paper's query (5); strict
+    /// inequalities are used so points on the boundary of `X0` are treated as
+    /// members of `X0` (the weakest, hence sound, choice for the decrease
+    /// check).
+    pub fn outside_initial_set(&self) -> Formula {
+        let mut branches = Vec::with_capacity(2 * self.dim());
+        for i in 0..self.dim() {
+            branches.push(Formula::atom(Constraint::lt(
+                Expr::var(i),
+                self.initial_set[i].lo(),
+            )));
+            branches.push(Formula::atom(Constraint::gt(
+                Expr::var(i),
+                self.initial_set[i].hi(),
+            )));
+        }
+        Formula::or(branches)
+    }
+
+    /// Formula asserting `x ∈ U` (a disjunction over the unsafe halfspaces).
+    pub fn inside_unsafe_set(&self) -> Formula {
+        Formula::or(
+            self.unsafe_halfspaces
+                .iter()
+                .map(|h| Formula::atom(h.membership_constraint()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_spec() -> SafetySpec {
+        let eps = 0.01;
+        SafetySpec::rectangular(
+            IntervalBox::from_bounds(&[
+                (-1.0, 1.0),
+                (-std::f64::consts::PI / 16.0, std::f64::consts::PI / 16.0),
+            ]),
+            IntervalBox::from_bounds(&[
+                (-5.0, 5.0),
+                (
+                    -(std::f64::consts::FRAC_PI_2 - eps),
+                    std::f64::consts::FRAC_PI_2 - eps,
+                ),
+            ]),
+        )
+    }
+
+    #[test]
+    fn halfspace_membership_and_constraint() {
+        let h = Halfspace::new(vec![1.0, 0.0], 5.0);
+        assert!(h.contains(&[6.0, 0.0]));
+        assert!(!h.contains(&[4.0, 100.0]));
+        assert_eq!(h.dim(), 2);
+        assert_eq!(h.normal(), &[1.0, 0.0]);
+        assert_eq!(h.offset(), 5.0);
+        assert_eq!(h.linear_value(&[3.0, 9.0]), 3.0);
+        let c = h.membership_constraint();
+        assert!(c.satisfied_within(&[5.5, 0.0], 0.0));
+        assert!(!c.satisfied_within(&[4.0, 0.0], 0.0));
+    }
+
+    #[test]
+    fn rectangular_spec_builds_four_halfspaces_in_2d() {
+        let spec = paper_spec();
+        assert_eq!(spec.dim(), 2);
+        assert_eq!(spec.unsafe_halfspaces().len(), 4);
+        // Inside the safe region and outside X0: not unsafe, not initial.
+        assert!(!spec.is_unsafe(&[3.0, 0.5]));
+        assert!(!spec.is_initial(&[3.0, 0.5]));
+        // Inside X0.
+        assert!(spec.is_initial(&[0.5, 0.1]));
+        // Beyond the distance bound: unsafe.
+        assert!(spec.is_unsafe(&[5.5, 0.0]));
+        assert!(spec.is_unsafe(&[-6.0, 0.0]));
+        // Beyond the angle bound: unsafe.
+        assert!(spec.is_unsafe(&[0.0, 1.6]));
+        assert!(spec.is_unsafe(&[0.0, -1.6]));
+        assert_eq!(spec.domain()[0].hi(), 5.0);
+        assert_eq!(spec.initial_set()[0].hi(), 1.0);
+    }
+
+    #[test]
+    fn outside_initial_set_formula_semantics() {
+        let spec = paper_spec();
+        let outside = spec.outside_initial_set();
+        assert!(outside.satisfied_within(&[2.0, 0.0], 0.0));
+        assert!(outside.satisfied_within(&[0.0, 0.5], 0.0));
+        assert!(!outside.satisfied_within(&[0.5, 0.1], 0.0));
+    }
+
+    #[test]
+    fn inside_unsafe_set_formula_semantics() {
+        let spec = paper_spec();
+        let unsafe_formula = spec.inside_unsafe_set();
+        assert!(unsafe_formula.satisfied_within(&[5.5, 0.0], 0.0));
+        assert!(unsafe_formula.satisfied_within(&[0.0, -1.7], 0.0));
+        assert!(!unsafe_formula.satisfied_within(&[2.0, 0.3], 0.0));
+    }
+
+    #[test]
+    fn custom_halfspace_specification() {
+        let spec = SafetySpec::new(
+            IntervalBox::from_bounds(&[(-0.1, 0.1)]),
+            vec![Halfspace::new(vec![1.0], 2.0)],
+            IntervalBox::from_bounds(&[(-2.0, 2.0)]),
+        );
+        assert!(spec.is_unsafe(&[2.5]));
+        assert!(!spec.is_unsafe(&[1.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "contained in the safe region")]
+    fn initial_set_outside_safe_region_panics() {
+        let _ = SafetySpec::rectangular(
+            IntervalBox::from_bounds(&[(-10.0, 10.0)]),
+            IntervalBox::from_bounds(&[(-5.0, 5.0)]),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_normal_panics() {
+        let _ = Halfspace::new(vec![0.0, 0.0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one halfspace")]
+    fn empty_unsafe_set_panics() {
+        let _ = SafetySpec::new(
+            IntervalBox::from_bounds(&[(0.0, 1.0)]),
+            vec![],
+            IntervalBox::from_bounds(&[(0.0, 1.0)]),
+        );
+    }
+}

@@ -1,0 +1,330 @@
+//! Atomic nonlinear constraints of the form `expr ⋈ bound`.
+
+use std::fmt;
+
+use nncps_expr::Expr;
+use nncps_interval::{Interval, IntervalBox};
+
+/// Comparison relation of an atomic constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `expr <= bound`
+    Le,
+    /// `expr < bound`
+    Lt,
+    /// `expr >= bound`
+    Ge,
+    /// `expr > bound`
+    Gt,
+    /// `expr = bound`
+    Eq,
+}
+
+impl Relation {
+    /// Returns the symbol used for display.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Relation::Le => "<=",
+            Relation::Lt => "<",
+            Relation::Ge => ">=",
+            Relation::Gt => ">",
+            Relation::Eq => "=",
+        }
+    }
+}
+
+/// Three-valued feasibility verdict of a constraint over a box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feasibility {
+    /// The constraint holds at every point of the box.
+    CertainlySatisfied,
+    /// The constraint holds at no point of the box.
+    CertainlyViolated,
+    /// Interval reasoning cannot decide the box.
+    Unknown,
+}
+
+/// An atomic constraint `expr ⋈ bound` over real-valued variables.
+///
+/// # Examples
+///
+/// ```
+/// use nncps_deltasat::{Constraint, Feasibility};
+/// use nncps_expr::Expr;
+/// use nncps_interval::IntervalBox;
+///
+/// let c = Constraint::le(Expr::var(0).powi(2), 4.0); // x^2 <= 4
+/// let inside = IntervalBox::from_bounds(&[(-1.0, 1.0)]);
+/// let outside = IntervalBox::from_bounds(&[(3.0, 5.0)]);
+/// assert_eq!(c.feasibility(&inside), Feasibility::CertainlySatisfied);
+/// assert_eq!(c.feasibility(&outside), Feasibility::CertainlyViolated);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    expr: Expr,
+    relation: Relation,
+    bound: f64,
+}
+
+impl Constraint {
+    /// Creates the constraint `expr ⋈ bound`.
+    pub fn new(expr: Expr, relation: Relation, bound: f64) -> Self {
+        Constraint {
+            expr,
+            relation,
+            bound,
+        }
+    }
+
+    /// Creates `expr <= bound`.
+    pub fn le(expr: Expr, bound: f64) -> Self {
+        Constraint::new(expr, Relation::Le, bound)
+    }
+
+    /// Creates `expr < bound`.
+    pub fn lt(expr: Expr, bound: f64) -> Self {
+        Constraint::new(expr, Relation::Lt, bound)
+    }
+
+    /// Creates `expr >= bound`.
+    pub fn ge(expr: Expr, bound: f64) -> Self {
+        Constraint::new(expr, Relation::Ge, bound)
+    }
+
+    /// Creates `expr > bound`.
+    pub fn gt(expr: Expr, bound: f64) -> Self {
+        Constraint::new(expr, Relation::Gt, bound)
+    }
+
+    /// Creates `expr = bound`.
+    pub fn eq(expr: Expr, bound: f64) -> Self {
+        Constraint::new(expr, Relation::Eq, bound)
+    }
+
+    /// The left-hand-side expression.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// The comparison relation.
+    pub fn relation(&self) -> Relation {
+        self.relation
+    }
+
+    /// The right-hand-side bound.
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// The interval of values the expression must take for the constraint to
+    /// hold (used by the HC4 contractor).
+    ///
+    /// Strict relations use the same closed interval as their non-strict
+    /// counterparts; this only makes contraction slightly weaker, never
+    /// unsound.
+    pub fn admissible_interval(&self) -> Interval {
+        match self.relation {
+            Relation::Le | Relation::Lt => Interval::new(f64::NEG_INFINITY, self.bound),
+            Relation::Ge | Relation::Gt => Interval::new(self.bound, f64::INFINITY),
+            Relation::Eq => Interval::singleton(self.bound),
+        }
+    }
+
+    /// Checks whether the constraint can be decided on the given box by
+    /// interval evaluation alone.
+    pub fn feasibility(&self, region: &IntervalBox) -> Feasibility {
+        let value = self.expr.eval_box(region);
+        if value.is_empty() {
+            // The expression is undefined everywhere on the box (for example
+            // `ln` of a negative range); no point of the box satisfies it.
+            return Feasibility::CertainlyViolated;
+        }
+        match self.relation {
+            Relation::Le => {
+                if value.hi() <= self.bound {
+                    Feasibility::CertainlySatisfied
+                } else if value.lo() > self.bound {
+                    Feasibility::CertainlyViolated
+                } else {
+                    Feasibility::Unknown
+                }
+            }
+            Relation::Lt => {
+                if value.hi() < self.bound {
+                    Feasibility::CertainlySatisfied
+                } else if value.lo() >= self.bound {
+                    Feasibility::CertainlyViolated
+                } else {
+                    Feasibility::Unknown
+                }
+            }
+            Relation::Ge => {
+                if value.lo() >= self.bound {
+                    Feasibility::CertainlySatisfied
+                } else if value.hi() < self.bound {
+                    Feasibility::CertainlyViolated
+                } else {
+                    Feasibility::Unknown
+                }
+            }
+            Relation::Gt => {
+                if value.lo() > self.bound {
+                    Feasibility::CertainlySatisfied
+                } else if value.hi() <= self.bound {
+                    Feasibility::CertainlyViolated
+                } else {
+                    Feasibility::Unknown
+                }
+            }
+            Relation::Eq => {
+                if value.is_singleton() && value.lo() == self.bound {
+                    Feasibility::CertainlySatisfied
+                } else if !value.contains(self.bound) {
+                    Feasibility::CertainlyViolated
+                } else {
+                    Feasibility::Unknown
+                }
+            }
+        }
+    }
+
+    /// Checks whether a concrete point satisfies the δ-weakening of the
+    /// constraint: the comparison is allowed to miss by at most `delta`.
+    pub fn satisfied_within(&self, point: &[f64], delta: f64) -> bool {
+        let v = self.expr.eval(point);
+        if v.is_nan() {
+            return false;
+        }
+        match self.relation {
+            Relation::Le | Relation::Lt => v <= self.bound + delta,
+            Relation::Ge | Relation::Gt => v >= self.bound - delta,
+            Relation::Eq => (v - self.bound).abs() <= delta,
+        }
+    }
+
+    /// Evaluates the signed violation of the constraint at a point: `0` when
+    /// satisfied, positive and growing with the distance to satisfaction
+    /// otherwise.
+    pub fn violation(&self, point: &[f64]) -> f64 {
+        let v = self.expr.eval(point);
+        match self.relation {
+            Relation::Le | Relation::Lt => (v - self.bound).max(0.0),
+            Relation::Ge | Relation::Gt => (self.bound - v).max(0.0),
+            Relation::Eq => (v - self.bound).abs(),
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.expr, self.relation.symbol(), self.bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Expr {
+        Expr::var(0)
+    }
+
+    #[test]
+    fn constructors_record_parts() {
+        let c = Constraint::gt(x() + 1.0, 2.0);
+        assert_eq!(c.relation(), Relation::Gt);
+        assert_eq!(c.bound(), 2.0);
+        assert_eq!(c.expr().num_vars(), 1);
+        assert_eq!(format!("{c}"), "(x0 + 1) > 2");
+        assert_eq!(Relation::Eq.symbol(), "=");
+    }
+
+    #[test]
+    fn admissible_intervals() {
+        assert_eq!(Constraint::le(x(), 2.0).admissible_interval().hi(), 2.0);
+        assert_eq!(Constraint::ge(x(), 2.0).admissible_interval().lo(), 2.0);
+        assert!(Constraint::eq(x(), 2.0).admissible_interval().is_singleton());
+        assert_eq!(Constraint::lt(x(), 2.0).admissible_interval().hi(), 2.0);
+        assert_eq!(Constraint::gt(x(), 2.0).admissible_interval().lo(), 2.0);
+    }
+
+    #[test]
+    fn feasibility_le_ge() {
+        let le = Constraint::le(x(), 1.0);
+        assert_eq!(
+            le.feasibility(&IntervalBox::from_bounds(&[(-2.0, 0.5)])),
+            Feasibility::CertainlySatisfied
+        );
+        assert_eq!(
+            le.feasibility(&IntervalBox::from_bounds(&[(2.0, 3.0)])),
+            Feasibility::CertainlyViolated
+        );
+        assert_eq!(
+            le.feasibility(&IntervalBox::from_bounds(&[(0.0, 2.0)])),
+            Feasibility::Unknown
+        );
+        let ge = Constraint::ge(x(), 1.0);
+        assert_eq!(
+            ge.feasibility(&IntervalBox::from_bounds(&[(2.0, 3.0)])),
+            Feasibility::CertainlySatisfied
+        );
+        assert_eq!(
+            ge.feasibility(&IntervalBox::from_bounds(&[(-1.0, 0.0)])),
+            Feasibility::CertainlyViolated
+        );
+    }
+
+    #[test]
+    fn feasibility_strict_and_eq() {
+        let lt = Constraint::lt(x(), 1.0);
+        assert_eq!(
+            lt.feasibility(&IntervalBox::from_bounds(&[(1.0, 2.0)])),
+            Feasibility::CertainlyViolated
+        );
+        let gt = Constraint::gt(x(), 1.0);
+        assert_eq!(
+            gt.feasibility(&IntervalBox::from_bounds(&[(0.0, 1.0)])),
+            Feasibility::CertainlyViolated
+        );
+        let eq = Constraint::eq(x().powi(2), 4.0);
+        assert_eq!(
+            eq.feasibility(&IntervalBox::from_bounds(&[(1.9, 2.1)])),
+            Feasibility::Unknown
+        );
+        assert_eq!(
+            eq.feasibility(&IntervalBox::from_bounds(&[(3.0, 4.0)])),
+            Feasibility::CertainlyViolated
+        );
+        assert_eq!(
+            Constraint::eq(x(), 2.0).feasibility(&IntervalBox::from_point(&[2.0])),
+            Feasibility::CertainlySatisfied
+        );
+    }
+
+    #[test]
+    fn undefined_expression_is_violated() {
+        let c = Constraint::ge(x().ln(), 0.0);
+        assert_eq!(
+            c.feasibility(&IntervalBox::from_bounds(&[(-3.0, -1.0)])),
+            Feasibility::CertainlyViolated
+        );
+    }
+
+    #[test]
+    fn delta_weakening_and_violation() {
+        let c = Constraint::le(x(), 1.0);
+        assert!(c.satisfied_within(&[1.0005], 1e-3));
+        assert!(!c.satisfied_within(&[1.1], 1e-3));
+        assert_eq!(c.violation(&[0.5]), 0.0);
+        assert!((c.violation(&[1.5]) - 0.5).abs() < 1e-12);
+        let eq = Constraint::eq(x(), 2.0);
+        assert!(eq.satisfied_within(&[2.0004], 1e-3));
+        assert!((eq.violation(&[2.5]) - 0.5).abs() < 1e-12);
+        let ge = Constraint::ge(x(), 1.0);
+        assert!(ge.satisfied_within(&[0.9995], 1e-3));
+        assert!((ge.violation(&[0.0]) - 1.0).abs() < 1e-12);
+        // NaN never satisfies.
+        let nan = Constraint::le(x().ln(), 0.0);
+        assert!(!nan.satisfied_within(&[-1.0], 1.0));
+    }
+}

@@ -1,0 +1,490 @@
+//! HC4-revise interval contraction.
+//!
+//! Given a constraint `expr ⋈ bound` and a box of variable domains, the HC4
+//! algorithm performs a forward interval evaluation of the expression followed
+//! by a backward pass that propagates the admissible output range down to the
+//! leaves, narrowing variable domains on the way.  Narrowing is *sound*: no
+//! point of the box that satisfies the constraint is ever removed.
+
+use nncps_expr::{BinaryOp, Expr, ExprView, UnaryOp};
+use nncps_interval::{Interval, IntervalBox};
+
+use crate::Constraint;
+
+/// Applies one HC4-revise pass of `constraint` to `region`, narrowing the
+/// variable domains in place.
+///
+/// Returns `false` if the constraint is proven infeasible on the box (some
+/// domain became empty), `true` otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use nncps_deltasat::{hc4_revise, Constraint};
+/// use nncps_expr::Expr;
+/// use nncps_interval::IntervalBox;
+///
+/// // x + y <= 1 with x, y in [0, 10]: y's domain shrinks to [0, 1].
+/// let c = Constraint::le(Expr::var(0) + Expr::var(1), 1.0);
+/// let mut region = IntervalBox::from_bounds(&[(0.0, 10.0), (0.0, 10.0)]);
+/// assert!(hc4_revise(&c, &mut region));
+/// assert!(region[0].hi() <= 1.0 + 1e-9);
+/// assert!(region[1].hi() <= 1.0 + 1e-9);
+/// ```
+pub fn hc4_revise(constraint: &Constraint, region: &mut IntervalBox) -> bool {
+    backward(constraint.expr(), region, constraint.admissible_interval())
+}
+
+/// Applies HC4-revise for every constraint in `clause` repeatedly, up to
+/// `rounds` sweeps or until a fixpoint is (approximately) reached.
+///
+/// Returns `false` as soon as any constraint is proven infeasible.
+pub fn contract_clause(clause: &[Constraint], region: &mut IntervalBox, rounds: usize) -> bool {
+    for _ in 0..rounds {
+        let before = total_width(region);
+        for constraint in clause {
+            if !hc4_revise(constraint, region) {
+                return false;
+            }
+        }
+        let after = total_width(region);
+        // Stop iterating once a sweep no longer makes meaningful progress.
+        if before - after <= 1e-12 * before.max(1.0) {
+            break;
+        }
+    }
+    true
+}
+
+fn total_width(region: &IntervalBox) -> f64 {
+    region.iter().map(Interval::width).sum()
+}
+
+/// Recursive backward propagation: narrows `region` so that `expr` can still
+/// take a value in `required`.  Returns `false` if that is impossible.
+fn backward(expr: &Expr, region: &mut IntervalBox, required: Interval) -> bool {
+    let value = expr.eval_box(region);
+    let narrowed = value.intersect(&required);
+    if narrowed.is_empty() {
+        return false;
+    }
+    match expr.view() {
+        ExprView::Const(_) => true,
+        ExprView::Var(i) => {
+            let dom = region[i].intersect(&narrowed);
+            if dom.is_empty() {
+                return false;
+            }
+            region[i] = dom;
+            true
+        }
+        ExprView::Unary(op, a) => {
+            let a_val = a.eval_box(region);
+            let a_req = invert_unary(op, narrowed, a_val);
+            backward(a, region, a_req)
+        }
+        ExprView::Binary(op, a, b) => {
+            let a_val = a.eval_box(region);
+            let b_val = b.eval_box(region);
+            let (a_req, b_req) = invert_binary(op, narrowed, a_val, b_val);
+            backward(a, region, a_req) && backward(b, region, b_req)
+        }
+        ExprView::Powi(a, n) => {
+            let a_val = a.eval_box(region);
+            let a_req = invert_powi(n, narrowed, a_val);
+            backward(a, region, a_req)
+        }
+    }
+}
+
+/// Computes a sound requirement on the operand of a unary operator, given the
+/// requirement `out` on the operator's result and the operand's current
+/// enclosure `operand`.
+fn invert_unary(op: UnaryOp, out: Interval, operand: Interval) -> Interval {
+    match op {
+        UnaryOp::Neg => -out,
+        UnaryOp::Exp => out.ln(),
+        UnaryOp::Ln => out.exp(),
+        UnaryOp::Sqrt => {
+            let non_negative = out.intersect(&Interval::new(0.0, f64::INFINITY));
+            non_negative.square()
+        }
+        UnaryOp::Tanh => atanh_interval(out),
+        UnaryOp::Sigmoid => logit_interval(out),
+        UnaryOp::Atan => invert_atan(out),
+        UnaryOp::Abs => {
+            let positive = out.intersect(&Interval::new(0.0, f64::INFINITY));
+            if positive.is_empty() {
+                Interval::EMPTY
+            } else {
+                // a ∈ [-hi, -lo] ∪ [lo, hi]; the hull is sound, and we tighten
+                // using the sign of the current operand enclosure.
+                if operand.lo() >= 0.0 {
+                    positive
+                } else if operand.hi() <= 0.0 {
+                    -positive
+                } else {
+                    Interval::new(-positive.hi(), positive.hi())
+                }
+            }
+        }
+        // sin, cos, tan are periodic/multivalued; narrowing them soundly
+        // requires branch bookkeeping that rarely pays off for our queries, so
+        // we simply keep the operand's current domain.
+        UnaryOp::Sin | UnaryOp::Cos | UnaryOp::Tan => operand,
+    }
+}
+
+/// Computes sound requirements on both operands of a binary operator.
+fn invert_binary(
+    op: BinaryOp,
+    out: Interval,
+    a_val: Interval,
+    b_val: Interval,
+) -> (Interval, Interval) {
+    match op {
+        BinaryOp::Add => (out - b_val, out - a_val),
+        BinaryOp::Sub => (out + b_val, a_val - out),
+        BinaryOp::Mul => {
+            let a_req = if b_val.contains(0.0) {
+                Interval::ENTIRE
+            } else {
+                out / b_val
+            };
+            let b_req = if a_val.contains(0.0) {
+                Interval::ENTIRE
+            } else {
+                out / a_val
+            };
+            (a_req, b_req)
+        }
+        BinaryOp::Div => {
+            // a / b = out  =>  a = out * b,  b = a / out.
+            let a_req = out * b_val;
+            let b_req = if out.contains(0.0) {
+                Interval::ENTIRE
+            } else {
+                a_val / out
+            };
+            (a_req, b_req)
+        }
+        BinaryOp::Min => {
+            // min(a, b) ∈ out implies a >= out.lo and b >= out.lo.
+            (
+                Interval::new(out.lo(), f64::INFINITY),
+                Interval::new(out.lo(), f64::INFINITY),
+            )
+        }
+        BinaryOp::Max => (
+            Interval::new(f64::NEG_INFINITY, out.hi()),
+            Interval::new(f64::NEG_INFINITY, out.hi()),
+        ),
+    }
+}
+
+/// Inverse of an integer power: a requirement on `a` given `a^n ∈ out`.
+fn invert_powi(n: i32, out: Interval, a_val: Interval) -> Interval {
+    if n == 0 || n < 0 {
+        // a^0 carries no information; negative powers are rare in our models
+        // and skipping the narrowing is always sound.
+        return a_val;
+    }
+    if n % 2 == 1 {
+        // Odd power: strictly monotone, invert endpoint-wise.
+        let root = |x: f64| x.signum() * x.abs().powf(1.0 / f64::from(n));
+        let lo = if out.lo().is_finite() {
+            root(out.lo()) - 1e-12
+        } else {
+            f64::NEG_INFINITY
+        };
+        let hi = if out.hi().is_finite() {
+            root(out.hi()) + 1e-12
+        } else {
+            f64::INFINITY
+        };
+        Interval::new(lo, hi)
+    } else {
+        // Even power: |a| ∈ nth-root of (out ∩ [0, ∞)).
+        let non_negative = out.intersect(&Interval::new(0.0, f64::INFINITY));
+        if non_negative.is_empty() {
+            return Interval::EMPTY;
+        }
+        let root_hi = if non_negative.hi().is_finite() {
+            non_negative.hi().powf(1.0 / f64::from(n)) + 1e-12
+        } else {
+            f64::INFINITY
+        };
+        let root_lo = (non_negative.lo().max(0.0)).powf(1.0 / f64::from(n)) - 1e-12;
+        if a_val.lo() >= 0.0 {
+            Interval::new(root_lo.max(0.0), root_hi)
+        } else if a_val.hi() <= 0.0 {
+            Interval::new(-root_hi, (-root_lo).min(0.0))
+        } else {
+            Interval::new(-root_hi, root_hi)
+        }
+    }
+}
+
+/// Sound interval inverse of `tanh` (clips the output range to `(-1, 1)`).
+fn atanh_interval(out: Interval) -> Interval {
+    let clipped = out.intersect(&Interval::new(-1.0, 1.0));
+    if clipped.is_empty() {
+        return Interval::EMPTY;
+    }
+    let lo = if clipped.lo() <= -1.0 {
+        f64::NEG_INFINITY
+    } else {
+        clipped.lo().atanh() - 1e-12
+    };
+    let hi = if clipped.hi() >= 1.0 {
+        f64::INFINITY
+    } else {
+        clipped.hi().atanh() + 1e-12
+    };
+    Interval::new(lo, hi)
+}
+
+/// Sound interval inverse of the logistic sigmoid (clips to `(0, 1)`).
+fn logit_interval(out: Interval) -> Interval {
+    let clipped = out.intersect(&Interval::new(0.0, 1.0));
+    if clipped.is_empty() {
+        return Interval::EMPTY;
+    }
+    let logit = |p: f64| (p / (1.0 - p)).ln();
+    let lo = if clipped.lo() <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        logit(clipped.lo()) - 1e-12
+    };
+    let hi = if clipped.hi() >= 1.0 {
+        f64::INFINITY
+    } else {
+        logit(clipped.hi()) + 1e-12
+    };
+    Interval::new(lo, hi)
+}
+
+/// Sound interval inverse of `atan` (clips to `(-π/2, π/2)`).
+fn invert_atan(out: Interval) -> Interval {
+    let half_pi = std::f64::consts::FRAC_PI_2;
+    let clipped = out.intersect(&Interval::new(-half_pi, half_pi));
+    if clipped.is_empty() {
+        return Interval::EMPTY;
+    }
+    let lo = if clipped.lo() <= -half_pi + 1e-12 {
+        f64::NEG_INFINITY
+    } else {
+        clipped.lo().tan() - 1e-12
+    };
+    let hi = if clipped.hi() >= half_pi - 1e-12 {
+        f64::INFINITY
+    } else {
+        clipped.hi().tan() + 1e-12
+    };
+    Interval::new(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nncps_expr::Expr;
+    use proptest::prelude::*;
+
+    fn x() -> Expr {
+        Expr::var(0)
+    }
+
+    fn y() -> Expr {
+        Expr::var(1)
+    }
+
+    #[test]
+    fn linear_constraint_narrows_both_variables() {
+        let c = Constraint::le(x() + y(), 1.0);
+        let mut region = IntervalBox::from_bounds(&[(0.0, 10.0), (0.0, 10.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert!(region[0].hi() <= 1.0 + 1e-9);
+        assert!(region[1].hi() <= 1.0 + 1e-9);
+        assert!(region[0].lo() >= -1e-9);
+    }
+
+    #[test]
+    fn equality_pins_variable() {
+        // 2 * x = 6 on x in [0, 10] narrows x to ~3.
+        let c = Constraint::eq(Expr::constant(2.0) * x(), 6.0);
+        let mut region = IntervalBox::from_bounds(&[(0.0, 10.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert!((region[0].lo() - 3.0).abs() < 1e-6);
+        assert!((region[0].hi() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_constraint_is_detected() {
+        let c = Constraint::ge(x().powi(2), 100.0);
+        let mut region = IntervalBox::from_bounds(&[(-2.0, 2.0)]);
+        assert!(!hc4_revise(&c, &mut region));
+    }
+
+    #[test]
+    fn exp_and_ln_inverses_narrow() {
+        // exp(x) <= 1 on x in [-5, 5] forces x <= 0.
+        let c = Constraint::le(x().exp(), 1.0);
+        let mut region = IntervalBox::from_bounds(&[(-5.0, 5.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert!(region[0].hi() <= 1e-9);
+        // ln(x) >= 0 on x in (0, 10] forces x >= 1.
+        let c = Constraint::ge(x().ln(), 0.0);
+        let mut region = IntervalBox::from_bounds(&[(0.001, 10.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert!(region[0].lo() >= 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn tanh_inverse_narrows() {
+        // tanh(x) >= 0.5 forces x >= atanh(0.5) ≈ 0.549.
+        let c = Constraint::ge(x().tanh(), 0.5);
+        let mut region = IntervalBox::from_bounds(&[(-3.0, 3.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert!(region[0].lo() >= 0.5_f64.atanh() - 1e-6);
+        // tanh(x) >= 2 is impossible.
+        let c = Constraint::ge(x().tanh(), 2.0);
+        let mut region = IntervalBox::from_bounds(&[(-3.0, 3.0)]);
+        assert!(!hc4_revise(&c, &mut region));
+    }
+
+    #[test]
+    fn sigmoid_and_atan_inverses_narrow() {
+        let c = Constraint::le(x().sigmoid(), 0.5);
+        let mut region = IntervalBox::from_bounds(&[(-10.0, 10.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert!(region[0].hi() <= 1e-6);
+
+        let c = Constraint::ge(x().atan(), 0.0);
+        let mut region = IntervalBox::from_bounds(&[(-10.0, 10.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert!(region[0].lo() >= -1e-6);
+    }
+
+    #[test]
+    fn abs_and_even_power_inverses() {
+        // |x| <= 2 narrows x to [-2, 2].
+        let c = Constraint::le(x().abs(), 2.0);
+        let mut region = IntervalBox::from_bounds(&[(-10.0, 10.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert!(region[0].lo() >= -2.0 - 1e-9 && region[0].hi() <= 2.0 + 1e-9);
+        // x^2 <= 4 narrows x to [-2, 2].
+        let c = Constraint::le(x().powi(2), 4.0);
+        let mut region = IntervalBox::from_bounds(&[(-10.0, 10.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert!(region[0].lo() >= -2.0 - 1e-6 && region[0].hi() <= 2.0 + 1e-6);
+        // With a sign-definite starting domain the positive branch is kept.
+        let c = Constraint::le(x().powi(2), 4.0);
+        let mut region = IntervalBox::from_bounds(&[(0.5, 10.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert!(region[0].hi() <= 2.0 + 1e-6);
+        assert!(region[0].lo() >= 0.5 - 1e-9);
+        // Odd powers are monotone: x^3 >= 8 forces x >= 2.
+        let c = Constraint::ge(x().powi(3), 8.0);
+        let mut region = IntervalBox::from_bounds(&[(-10.0, 10.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert!(region[0].lo() >= 2.0 - 1e-6);
+    }
+
+    #[test]
+    fn division_and_sqrt_inverses() {
+        // x / 2 >= 3 forces x >= 6.
+        let c = Constraint::ge(x() / 2.0, 3.0);
+        let mut region = IntervalBox::from_bounds(&[(-10.0, 20.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert!(region[0].lo() >= 6.0 - 1e-6);
+        // sqrt(x) <= 2 forces x <= 4.
+        let c = Constraint::le(x().sqrt(), 2.0);
+        let mut region = IntervalBox::from_bounds(&[(0.0, 100.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert!(region[0].hi() <= 4.0 + 1e-6);
+    }
+
+    #[test]
+    fn min_max_partial_narrowing() {
+        // min(x, y) >= 1 forces both x >= 1 and y >= 1.
+        let c = Constraint::ge(x().min(y()), 1.0);
+        let mut region = IntervalBox::from_bounds(&[(-5.0, 5.0), (-5.0, 5.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert!(region[0].lo() >= 1.0 - 1e-9);
+        assert!(region[1].lo() >= 1.0 - 1e-9);
+        // max(x, y) <= 1 forces both x <= 1 and y <= 1.
+        let c = Constraint::le(x().max(y()), 1.0);
+        let mut region = IntervalBox::from_bounds(&[(-5.0, 5.0), (-5.0, 5.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert!(region[0].hi() <= 1.0 + 1e-9);
+        assert!(region[1].hi() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn trigonometric_operands_are_left_unchanged() {
+        let c = Constraint::le(x().sin(), 0.5);
+        let mut region = IntervalBox::from_bounds(&[(-10.0, 10.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert_eq!(region[0], Interval::new(-10.0, 10.0));
+    }
+
+    #[test]
+    fn clause_contraction_reaches_tighter_fixpoint() {
+        // y = 1 pins y in the first sweep; the second sweep then propagates
+        // through x + y = 4 and pins x near 3, demonstrating that repeated
+        // sweeps reach a tighter fixpoint than a single pass.
+        let clause = vec![
+            Constraint::eq(x() + y(), 4.0),
+            Constraint::eq(y(), 1.0),
+        ];
+        let mut region = IntervalBox::from_bounds(&[(-100.0, 100.0), (-100.0, 100.0)]);
+        assert!(contract_clause(&clause, &mut region, 10));
+        assert!(region[0].width() < 1e-6, "x width {}", region[0].width());
+        assert!(region[1].width() < 1e-6, "y width {}", region[1].width());
+        assert!(region[0].contains(3.0));
+        assert!(region[1].contains(1.0));
+    }
+
+    #[test]
+    fn clause_contraction_is_sound_on_coupled_equalities() {
+        // x + y = 4 and x - y = 0: HC4 alone cannot isolate the solution
+        // (that is what branch-and-prune is for), but it must never drop it.
+        let clause = vec![
+            Constraint::eq(x() + y(), 4.0),
+            Constraint::eq(x() - y(), 0.0),
+        ];
+        let mut region = IntervalBox::from_bounds(&[(-100.0, 100.0), (-100.0, 100.0)]);
+        assert!(contract_clause(&clause, &mut region, 10));
+        assert!(region.contains_point(&[2.0, 2.0]));
+    }
+
+    #[test]
+    fn clause_contraction_detects_conflict() {
+        let clause = vec![
+            Constraint::ge(x(), 5.0),
+            Constraint::le(x(), 1.0),
+        ];
+        let mut region = IntervalBox::from_bounds(&[(-100.0, 100.0)]);
+        assert!(!contract_clause(&clause, &mut region, 10));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_contraction_never_drops_solutions(
+            a in -2.0f64..2.0, b in -2.0f64..2.0, bound in -2.0f64..2.0,
+            px in -3.0f64..3.0, py in -3.0f64..3.0,
+        ) {
+            // Constraint: a*x + b*tanh(y) + x*y <= bound.
+            let e = Expr::constant(a) * x() + Expr::constant(b) * y().tanh() + x() * y();
+            let c = Constraint::le(e.clone(), bound);
+            let satisfied = e.eval(&[px, py]) <= bound;
+            let mut region = IntervalBox::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]);
+            let feasible = hc4_revise(&c, &mut region);
+            if satisfied {
+                // A real solution must survive contraction.
+                prop_assert!(feasible);
+                prop_assert!(region.contains_point(&[px, py]));
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Boolean combinations of atomic constraints.
+
+use std::fmt;
+
+use crate::Constraint;
+
+/// A quantifier-free formula over nonlinear real constraints.
+///
+/// The solver decides existential satisfiability of a formula on a box. The
+/// formula language is negation-free: the barrier-certificate queries are
+/// already phrased as conjunctions/disjunctions of inequalities (negation can
+/// always be pushed into the atoms by flipping the relation).
+///
+/// # Examples
+///
+/// ```
+/// use nncps_deltasat::{Constraint, Formula};
+/// use nncps_expr::Expr;
+///
+/// // "x is outside [-1, 1]" as a disjunction of two halfline constraints.
+/// let x = Expr::var(0);
+/// let outside = Formula::or(vec![
+///     Formula::atom(Constraint::lt(x.clone(), -1.0)),
+///     Formula::atom(Constraint::gt(x, 1.0)),
+/// ]);
+/// assert_eq!(outside.to_dnf().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub enum Formula {
+    /// An atomic constraint.
+    Atom(Constraint),
+    /// Conjunction of sub-formulas. The empty conjunction is `true`.
+    And(Vec<Formula>),
+    /// Disjunction of sub-formulas. The empty disjunction is `false`.
+    Or(Vec<Formula>),
+}
+
+impl Formula {
+    /// Wraps a single constraint.
+    pub fn atom(constraint: Constraint) -> Self {
+        Formula::Atom(constraint)
+    }
+
+    /// Conjunction of sub-formulas.
+    pub fn and(formulas: Vec<Formula>) -> Self {
+        Formula::And(formulas)
+    }
+
+    /// Disjunction of sub-formulas.
+    pub fn or(formulas: Vec<Formula>) -> Self {
+        Formula::Or(formulas)
+    }
+
+    /// Conjunction built directly from constraints.
+    pub fn all_of<I: IntoIterator<Item = Constraint>>(constraints: I) -> Self {
+        Formula::And(constraints.into_iter().map(Formula::Atom).collect())
+    }
+
+    /// Disjunction built directly from constraints.
+    pub fn any_of<I: IntoIterator<Item = Constraint>>(constraints: I) -> Self {
+        Formula::Or(constraints.into_iter().map(Formula::Atom).collect())
+    }
+
+    /// The formula `true` (empty conjunction).
+    pub fn verum() -> Self {
+        Formula::And(Vec::new())
+    }
+
+    /// The formula `false` (empty disjunction).
+    pub fn falsum() -> Self {
+        Formula::Or(Vec::new())
+    }
+
+    /// Number of atomic constraints in the formula.
+    pub fn atom_count(&self) -> usize {
+        match self {
+            Formula::Atom(_) => 1,
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().map(Formula::atom_count).sum(),
+        }
+    }
+
+    /// Converts the formula to disjunctive normal form: a list of
+    /// conjunctions (clauses) of constraints.  The formula is satisfiable iff
+    /// at least one clause is satisfiable.
+    ///
+    /// The barrier queries have tiny Boolean structure (a handful of
+    /// halfplanes describing the unsafe set), so the potential exponential
+    /// blow-up of DNF conversion is not a concern here.
+    pub fn to_dnf(&self) -> Vec<Vec<Constraint>> {
+        match self {
+            Formula::Atom(c) => vec![vec![c.clone()]],
+            Formula::Or(fs) => {
+                let mut clauses = Vec::new();
+                for f in fs {
+                    clauses.extend(f.to_dnf());
+                }
+                clauses
+            }
+            Formula::And(fs) => {
+                // Start with the single empty clause (true) and distribute.
+                let mut clauses: Vec<Vec<Constraint>> = vec![Vec::new()];
+                for f in fs {
+                    let sub = f.to_dnf();
+                    if sub.is_empty() {
+                        // Conjunction with `false` is `false`.
+                        return Vec::new();
+                    }
+                    let mut next = Vec::with_capacity(clauses.len() * sub.len());
+                    for clause in &clauses {
+                        for sub_clause in &sub {
+                            let mut merged = clause.clone();
+                            merged.extend(sub_clause.iter().cloned());
+                            next.push(merged);
+                        }
+                    }
+                    clauses = next;
+                }
+                clauses
+            }
+        }
+    }
+
+    /// Checks whether a concrete point satisfies the δ-weakening of the formula.
+    pub fn satisfied_within(&self, point: &[f64], delta: f64) -> bool {
+        match self {
+            Formula::Atom(c) => c.satisfied_within(point, delta),
+            Formula::And(fs) => fs.iter().all(|f| f.satisfied_within(point, delta)),
+            Formula::Or(fs) => fs.iter().any(|f| f.satisfied_within(point, delta)),
+        }
+    }
+}
+
+impl From<Constraint> for Formula {
+    fn from(constraint: Constraint) -> Self {
+        Formula::Atom(constraint)
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Atom(c) => write!(f, "{c}"),
+            Formula::And(fs) => {
+                if fs.is_empty() {
+                    return write!(f, "true");
+                }
+                write!(f, "(")?;
+                for (i, sub) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{sub}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                if fs.is_empty() {
+                    return write!(f, "false");
+                }
+                write!(f, "(")?;
+                for (i, sub) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{sub}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nncps_expr::Expr;
+
+    fn x() -> Expr {
+        Expr::var(0)
+    }
+
+    fn y() -> Expr {
+        Expr::var(1)
+    }
+
+    #[test]
+    fn atom_counting_and_constructors() {
+        let f = Formula::and(vec![
+            Formula::atom(Constraint::le(x(), 1.0)),
+            Formula::or(vec![
+                Formula::atom(Constraint::ge(y(), 0.0)),
+                Formula::atom(Constraint::le(y(), -1.0)),
+            ]),
+        ]);
+        assert_eq!(f.atom_count(), 3);
+        assert_eq!(Formula::verum().atom_count(), 0);
+        assert_eq!(Formula::falsum().atom_count(), 0);
+        let g: Formula = Constraint::le(x(), 0.0).into();
+        assert_eq!(g.atom_count(), 1);
+        assert_eq!(Formula::all_of([Constraint::le(x(), 0.0)]).atom_count(), 1);
+        assert_eq!(Formula::any_of([Constraint::le(x(), 0.0)]).atom_count(), 1);
+    }
+
+    #[test]
+    fn dnf_of_atom_and_flat_structures() {
+        let atom = Formula::atom(Constraint::le(x(), 1.0));
+        assert_eq!(atom.to_dnf().len(), 1);
+        assert_eq!(atom.to_dnf()[0].len(), 1);
+
+        let conj = Formula::all_of([Constraint::le(x(), 1.0), Constraint::ge(y(), 0.0)]);
+        let dnf = conj.to_dnf();
+        assert_eq!(dnf.len(), 1);
+        assert_eq!(dnf[0].len(), 2);
+
+        let disj = Formula::any_of([Constraint::le(x(), 1.0), Constraint::ge(y(), 0.0)]);
+        let dnf = disj.to_dnf();
+        assert_eq!(dnf.len(), 2);
+        assert_eq!(dnf[0].len(), 1);
+    }
+
+    #[test]
+    fn dnf_distributes_and_over_or() {
+        // (a) ∧ (b ∨ c)  →  (a ∧ b) ∨ (a ∧ c)
+        let f = Formula::and(vec![
+            Formula::atom(Constraint::le(x(), 1.0)),
+            Formula::or(vec![
+                Formula::atom(Constraint::ge(y(), 2.0)),
+                Formula::atom(Constraint::le(y(), -2.0)),
+            ]),
+        ]);
+        let dnf = f.to_dnf();
+        assert_eq!(dnf.len(), 2);
+        assert!(dnf.iter().all(|clause| clause.len() == 2));
+    }
+
+    #[test]
+    fn dnf_edge_cases() {
+        let verum_dnf = Formula::verum().to_dnf();
+        assert_eq!(verum_dnf.len(), 1);
+        assert!(verum_dnf[0].is_empty());
+        assert!(Formula::falsum().to_dnf().is_empty());
+        // Conjunction containing `false` collapses to `false`.
+        let f = Formula::and(vec![
+            Formula::atom(Constraint::le(x(), 1.0)),
+            Formula::falsum(),
+        ]);
+        assert!(f.to_dnf().is_empty());
+    }
+
+    #[test]
+    fn point_satisfaction() {
+        let f = Formula::and(vec![
+            Formula::atom(Constraint::le(x(), 1.0)),
+            Formula::or(vec![
+                Formula::atom(Constraint::ge(y(), 2.0)),
+                Formula::atom(Constraint::le(y(), -2.0)),
+            ]),
+        ]);
+        assert!(f.satisfied_within(&[0.5, 3.0], 0.0));
+        assert!(f.satisfied_within(&[0.5, -3.0], 0.0));
+        assert!(!f.satisfied_within(&[0.5, 0.0], 0.0));
+        assert!(!f.satisfied_within(&[2.0, 3.0], 0.0));
+        assert!(Formula::verum().satisfied_within(&[], 0.0));
+        assert!(!Formula::falsum().satisfied_within(&[], 0.0));
+    }
+
+    #[test]
+    fn display_renders_structure() {
+        let f = Formula::and(vec![
+            Formula::atom(Constraint::le(x(), 1.0)),
+            Formula::atom(Constraint::ge(y(), 0.0)),
+        ]);
+        let s = format!("{f}");
+        assert!(s.contains('∧'));
+        assert_eq!(format!("{}", Formula::verum()), "true");
+        assert_eq!(format!("{}", Formula::falsum()), "false");
+        let g = Formula::any_of([Constraint::le(x(), 1.0), Constraint::ge(x(), 3.0)]);
+        assert!(format!("{g}").contains('∨'));
+    }
+}

@@ -1,0 +1,410 @@
+//! Branch-and-prune δ-SAT search.
+
+use std::fmt;
+
+use nncps_interval::IntervalBox;
+
+use crate::contractor::contract_clause;
+use crate::{Constraint, Feasibility, Formula};
+
+/// Outcome of a δ-SAT query.
+#[derive(Debug, Clone)]
+pub enum SatResult {
+    /// The δ-weakening of the formula is satisfiable; the returned box has
+    /// width at most the solver precision and its midpoint is a witness.
+    DeltaSat(IntervalBox),
+    /// The formula is unsatisfiable (exact result — no real solution exists).
+    Unsat,
+    /// The solver exhausted its box budget before reaching a verdict.
+    Unknown(String),
+}
+
+impl SatResult {
+    /// Returns `true` for [`SatResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat)
+    }
+
+    /// Returns `true` for [`SatResult::DeltaSat`].
+    pub fn is_delta_sat(&self) -> bool {
+        matches!(self, SatResult::DeltaSat(_))
+    }
+
+    /// Returns the witness midpoint for a δ-SAT result, if any.
+    pub fn witness(&self) -> Option<Vec<f64>> {
+        match self {
+            SatResult::DeltaSat(region) => Some(region.midpoint()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SatResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SatResult::DeltaSat(region) => write!(f, "delta-sat {region}"),
+            SatResult::Unsat => write!(f, "unsat"),
+            SatResult::Unknown(reason) => write!(f, "unknown ({reason})"),
+        }
+    }
+}
+
+/// Statistics gathered during a solve call.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolverStats {
+    /// Number of boxes popped from the work stack across all clauses.
+    pub boxes_explored: usize,
+    /// Number of boxes discarded by contraction or feasibility checks.
+    pub boxes_pruned: usize,
+    /// Number of bisections performed.
+    pub bisections: usize,
+    /// Number of DNF clauses examined.
+    pub clauses_examined: usize,
+}
+
+/// A δ-complete decision procedure for existential nonlinear queries,
+/// implemented with interval constraint propagation and branch & prune.
+///
+/// See the [crate-level documentation](crate) for the semantics of the
+/// returned verdicts and a usage example.
+#[derive(Debug, Clone)]
+pub struct DeltaSolver {
+    precision: f64,
+    max_boxes: usize,
+    contraction_rounds: usize,
+}
+
+impl DeltaSolver {
+    /// Default limit on the number of boxes explored per query.
+    pub const DEFAULT_MAX_BOXES: usize = 2_000_000;
+
+    /// Default number of HC4 sweeps applied to each box.
+    pub const DEFAULT_CONTRACTION_ROUNDS: usize = 4;
+
+    /// Creates a solver with the given precision `δ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `precision` is not strictly positive.
+    pub fn new(precision: f64) -> Self {
+        assert!(precision > 0.0, "precision must be positive");
+        DeltaSolver {
+            precision,
+            max_boxes: Self::DEFAULT_MAX_BOXES,
+            contraction_rounds: Self::DEFAULT_CONTRACTION_ROUNDS,
+        }
+    }
+
+    /// Sets the maximum number of boxes explored before giving up.
+    pub fn with_max_boxes(mut self, max_boxes: usize) -> Self {
+        self.max_boxes = max_boxes;
+        self
+    }
+
+    /// Sets the number of HC4 contraction sweeps per box.
+    pub fn with_contraction_rounds(mut self, rounds: usize) -> Self {
+        self.contraction_rounds = rounds;
+        self
+    }
+
+    /// The configured precision `δ`.
+    pub fn precision(&self) -> f64 {
+        self.precision
+    }
+
+    /// Decides `∃ x ∈ domain : formula(x)`.
+    pub fn solve(&self, formula: &Formula, domain: &IntervalBox) -> SatResult {
+        self.solve_with_stats(formula, domain).0
+    }
+
+    /// Decides the query and also returns search statistics.
+    pub fn solve_with_stats(
+        &self,
+        formula: &Formula,
+        domain: &IntervalBox,
+    ) -> (SatResult, SolverStats) {
+        let mut stats = SolverStats::default();
+        let clauses = formula.to_dnf();
+        if clauses.is_empty() {
+            return (SatResult::Unsat, stats);
+        }
+        let mut any_unknown = None;
+        for clause in &clauses {
+            stats.clauses_examined += 1;
+            match self.solve_clause(clause, domain, &mut stats) {
+                SatResult::DeltaSat(region) => return (SatResult::DeltaSat(region), stats),
+                SatResult::Unsat => {}
+                SatResult::Unknown(reason) => any_unknown = Some(reason),
+            }
+        }
+        match any_unknown {
+            Some(reason) => (SatResult::Unknown(reason), stats),
+            None => (SatResult::Unsat, stats),
+        }
+    }
+
+    /// Decides satisfiability of a single conjunction of constraints.
+    pub fn solve_conjunction(
+        &self,
+        constraints: &[Constraint],
+        domain: &IntervalBox,
+    ) -> (SatResult, SolverStats) {
+        let mut stats = SolverStats::default();
+        stats.clauses_examined = 1;
+        let result = self.solve_clause(constraints, domain, &mut stats);
+        (result, stats)
+    }
+
+    fn solve_clause(
+        &self,
+        clause: &[Constraint],
+        domain: &IntervalBox,
+        stats: &mut SolverStats,
+    ) -> SatResult {
+        // An empty conjunction is trivially satisfied by any point of a
+        // non-empty domain.
+        if clause.is_empty() {
+            return if domain.is_empty() {
+                SatResult::Unsat
+            } else {
+                SatResult::DeltaSat(IntervalBox::from_point(&domain.midpoint()))
+            };
+        }
+        if domain.is_empty() {
+            return SatResult::Unsat;
+        }
+
+        let mut stack = vec![domain.clone()];
+        while let Some(mut region) = stack.pop() {
+            stats.boxes_explored += 1;
+            if stats.boxes_explored > self.max_boxes {
+                return SatResult::Unknown(format!(
+                    "box budget of {} exhausted",
+                    self.max_boxes
+                ));
+            }
+
+            // Prune with the contractor.
+            if !contract_clause(clause, &mut region, self.contraction_rounds) {
+                stats.boxes_pruned += 1;
+                continue;
+            }
+            if region.is_empty() {
+                stats.boxes_pruned += 1;
+                continue;
+            }
+
+            // Classify the contracted box.
+            let mut all_satisfied = true;
+            let mut violated = false;
+            for constraint in clause {
+                match constraint.feasibility(&region) {
+                    Feasibility::CertainlySatisfied => {}
+                    Feasibility::CertainlyViolated => {
+                        violated = true;
+                        break;
+                    }
+                    Feasibility::Unknown => all_satisfied = false,
+                }
+            }
+            if violated {
+                stats.boxes_pruned += 1;
+                continue;
+            }
+            if all_satisfied {
+                return SatResult::DeltaSat(region);
+            }
+
+            // δ-termination: the box can no longer be refuted by splitting at
+            // the configured precision, so report the δ-weakened SAT verdict.
+            if region.max_width() <= self.precision {
+                return SatResult::DeltaSat(region);
+            }
+
+            let (left, right) = region.bisect_widest();
+            stats.bisections += 1;
+            // Depth-first exploration; pushing the halves in this order keeps
+            // the search biased toward the lower corner, which is as good as
+            // any deterministic choice.
+            stack.push(right);
+            stack.push(left);
+        }
+        SatResult::Unsat
+    }
+}
+
+impl Default for DeltaSolver {
+    fn default() -> Self {
+        DeltaSolver::new(1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nncps_expr::Expr;
+
+    fn x() -> Expr {
+        Expr::var(0)
+    }
+
+    fn y() -> Expr {
+        Expr::var(1)
+    }
+
+    fn square_domain(half: f64) -> IntervalBox {
+        IntervalBox::from_bounds(&[(-half, half), (-half, half)])
+    }
+
+    #[test]
+    fn satisfiable_conjunction_returns_witness() {
+        // x^2 + y^2 <= 1 and x >= 0.5 is satisfiable.
+        let formula = Formula::all_of([
+            Constraint::le(x().powi(2) + y().powi(2), 1.0),
+            Constraint::ge(x(), 0.5),
+        ]);
+        let solver = DeltaSolver::new(1e-3);
+        let result = solver.solve(&formula, &square_domain(2.0));
+        let witness = result.witness().expect("should be delta-sat");
+        assert!(witness[0] >= 0.5 - 1e-2);
+        assert!(witness[0] * witness[0] + witness[1] * witness[1] <= 1.0 + 1e-2);
+    }
+
+    #[test]
+    fn unsatisfiable_conjunction_is_refuted() {
+        // x^2 + y^2 <= 0.25 and x >= 1 cannot hold on [-2, 2]^2.
+        let formula = Formula::all_of([
+            Constraint::le(x().powi(2) + y().powi(2), 0.25),
+            Constraint::ge(x(), 1.0),
+        ]);
+        let solver = DeltaSolver::new(1e-3);
+        let (result, stats) = solver.solve_with_stats(&formula, &square_domain(2.0));
+        assert!(result.is_unsat(), "expected unsat, got {result}");
+        assert!(stats.boxes_explored >= 1);
+    }
+
+    #[test]
+    fn nonlinear_transcendental_queries() {
+        // sin(x) >= 0.5 on [0, pi] is satisfiable.
+        let sat = Formula::atom(Constraint::ge(x().sin(), 0.5));
+        let domain = IntervalBox::from_bounds(&[(0.0, std::f64::consts::PI)]);
+        let solver = DeltaSolver::new(1e-4);
+        assert!(solver.solve(&sat, &domain).is_delta_sat());
+
+        // tanh(x) >= 1.5 is unsatisfiable everywhere.
+        let unsat = Formula::atom(Constraint::ge(x().tanh(), 1.5));
+        let domain = IntervalBox::from_bounds(&[(-50.0, 50.0)]);
+        assert!(solver.solve(&unsat, &domain).is_unsat());
+
+        // exp(x) <= 0 is unsatisfiable.
+        let unsat = Formula::atom(Constraint::le(x().exp(), 0.0));
+        let domain = IntervalBox::from_bounds(&[(-10.0, 10.0)]);
+        assert!(solver.solve(&unsat, &domain).is_unsat());
+    }
+
+    #[test]
+    fn disjunction_finds_a_satisfiable_branch() {
+        // (x <= -3) ∨ (x >= 3) on [-1, 5].
+        let formula = Formula::any_of([Constraint::le(x(), -3.0), Constraint::ge(x(), 3.0)]);
+        let domain = IntervalBox::from_bounds(&[(-1.0, 5.0)]);
+        let solver = DeltaSolver::new(1e-3);
+        let result = solver.solve(&formula, &domain);
+        let witness = result.witness().expect("delta-sat");
+        assert!(witness[0] >= 3.0 - 1e-2);
+    }
+
+    #[test]
+    fn empty_formula_cases() {
+        let solver = DeltaSolver::new(1e-3);
+        let domain = square_domain(1.0);
+        assert!(solver.solve(&Formula::falsum(), &domain).is_unsat());
+        assert!(solver.solve(&Formula::verum(), &domain).is_delta_sat());
+        let empty_domain = IntervalBox::from_bounds(&[(1.0, -1.0), (0.0, 1.0)]);
+        assert!(solver
+            .solve(&Formula::verum(), &empty_domain)
+            .is_unsat());
+    }
+
+    #[test]
+    fn tight_equality_is_delta_decided() {
+        // x^2 = 2 has the solution sqrt(2); the solver must find it to within delta.
+        let formula = Formula::atom(Constraint::eq(x().powi(2), 2.0));
+        let domain = IntervalBox::from_bounds(&[(0.0, 2.0)]);
+        let solver = DeltaSolver::new(1e-6);
+        let result = solver.solve(&formula, &domain);
+        let witness = result.witness().expect("delta-sat");
+        assert!((witness[0] - 2.0_f64.sqrt()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn box_budget_exhaustion_reports_unknown() {
+        // A hard-to-refute query with an absurdly small budget.
+        let formula = Formula::atom(Constraint::le(
+            (x() * 37.0).sin() * (y() * 53.0).cos(),
+            -0.999_999,
+        ));
+        let solver = DeltaSolver::new(1e-9).with_max_boxes(3);
+        let (result, stats) = solver.solve_with_stats(&formula, &square_domain(10.0));
+        assert!(matches!(result, SatResult::Unknown(_)));
+        assert!(stats.boxes_explored >= 3);
+    }
+
+    #[test]
+    fn solve_conjunction_api() {
+        let constraints = vec![
+            Constraint::ge(x(), 0.0),
+            Constraint::le(x(), 1.0),
+            Constraint::eq(y() - x(), 0.0),
+        ];
+        let solver = DeltaSolver::new(1e-3);
+        let (result, stats) = solver.solve_conjunction(&constraints, &square_domain(2.0));
+        assert!(result.is_delta_sat());
+        assert_eq!(stats.clauses_examined, 1);
+        let w = result.witness().unwrap();
+        assert!((w[0] - w[1]).abs() < 1e-2);
+    }
+
+    #[test]
+    fn display_and_accessors() {
+        let solver = DeltaSolver::default()
+            .with_max_boxes(10)
+            .with_contraction_rounds(2);
+        assert_eq!(solver.precision(), 1e-3);
+        assert_eq!(format!("{}", SatResult::Unsat), "unsat");
+        assert!(format!("{}", SatResult::Unknown("budget".into())).contains("budget"));
+        let sat = SatResult::DeltaSat(IntervalBox::from_point(&[1.0]));
+        assert!(format!("{sat}").contains("delta-sat"));
+        assert!(SatResult::Unsat.witness().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "precision must be positive")]
+    fn zero_precision_panics() {
+        let _ = DeltaSolver::new(0.0);
+    }
+
+    #[test]
+    fn unsat_of_barrier_style_query() {
+        // A miniature version of the paper's query (5):
+        // W(x) = x^2 + y^2, f = (-x, -y) (stable linear system).
+        // ∃ (x, y) ∈ D \ X0 : ∇W · f >= -γ  should be UNSAT because
+        // ∇W · f = -2(x^2 + y^2) < -γ outside a neighbourhood of the origin.
+        let grad_dot_f = (x() * -2.0) * x() + (y() * -2.0) * y();
+        let gamma = 1e-6;
+        // D \ X0 where X0 = [-0.5, 0.5]^2 encoded as a disjunction of strips.
+        let outside_x0 = Formula::or(vec![
+            Formula::atom(Constraint::le(x(), -0.5)),
+            Formula::atom(Constraint::ge(x(), 0.5)),
+            Formula::atom(Constraint::le(y(), -0.5)),
+            Formula::atom(Constraint::ge(y(), 0.5)),
+        ]);
+        let query = Formula::and(vec![
+            outside_x0,
+            Formula::atom(Constraint::ge(grad_dot_f, -gamma)),
+        ]);
+        let domain = square_domain(3.0);
+        let solver = DeltaSolver::new(1e-3);
+        let result = solver.solve(&query, &domain);
+        assert!(result.is_unsat(), "expected unsat, got {result}");
+    }
+}

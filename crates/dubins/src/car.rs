@@ -1,0 +1,164 @@
+//! The kinematic Dubins car model.
+
+/// Pose of the vehicle on the plane.
+///
+/// Following the paper's convention (Figure 3a), the heading `theta` is the
+/// *clockwise* angle from the positive y-axis, so the kinematics are
+/// `ẋ = V sin θ`, `ẏ = V cos θ`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Pose {
+    /// Vehicle x position.
+    pub x: f64,
+    /// Vehicle y position.
+    pub y: f64,
+    /// Heading, measured clockwise from the +y axis, in radians.
+    pub theta: f64,
+}
+
+/// The kinematic Dubins car of Section 4.1.1.
+///
+/// The model has a constant longitudinal speed `V` and is steered by the turn
+/// rate `u` produced by the controller:
+///
+/// ```text
+/// ẋ = V sin θ,   ẏ = V cos θ,   θ̇ = u
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use nncps_dubins::DubinsCar;
+///
+/// let car = DubinsCar::new(1.0);
+/// // Heading 0 means "along +y"; with zero steering the car moves straight up.
+/// let next = car.step([0.0, 0.0, 0.0], 0.0, 0.1);
+/// assert!(next[0].abs() < 1e-12);
+/// assert!((next[1] - 0.1).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DubinsCar {
+    speed: f64,
+}
+
+impl DubinsCar {
+    /// Creates a car with constant longitudinal speed `speed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the speed is not strictly positive.
+    pub fn new(speed: f64) -> Self {
+        assert!(speed > 0.0, "vehicle speed must be positive");
+        DubinsCar { speed }
+    }
+
+    /// The constant longitudinal speed `V`.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Time derivative of the state `[x, y, θ]` for steering input `u`.
+    pub fn derivative(&self, state: [f64; 3], steering: f64) -> [f64; 3] {
+        let [_, _, theta] = state;
+        [
+            self.speed * theta.sin(),
+            self.speed * theta.cos(),
+            steering,
+        ]
+    }
+
+    /// Advances the state by `dt` using one classic RK4 step with the steering
+    /// input held constant over the step (zero-order hold).
+    pub fn step(&self, state: [f64; 3], steering: f64, dt: f64) -> [f64; 3] {
+        let add = |a: [f64; 3], s: f64, b: [f64; 3]| {
+            [a[0] + s * b[0], a[1] + s * b[1], a[2] + s * b[2]]
+        };
+        let k1 = self.derivative(state, steering);
+        let k2 = self.derivative(add(state, dt / 2.0, k1), steering);
+        let k3 = self.derivative(add(state, dt / 2.0, k2), steering);
+        let k4 = self.derivative(add(state, dt, k3), steering);
+        [
+            state[0] + dt / 6.0 * (k1[0] + 2.0 * k2[0] + 2.0 * k3[0] + k4[0]),
+            state[1] + dt / 6.0 * (k1[1] + 2.0 * k2[1] + 2.0 * k3[1] + k4[1]),
+            state[2] + dt / 6.0 * (k1[2] + 2.0 * k2[2] + 2.0 * k3[2] + k4[2]),
+        ]
+    }
+
+    /// Convenience accessor converting a raw state array into a [`Pose`].
+    pub fn pose(state: [f64; 3]) -> Pose {
+        Pose {
+            x: state[0],
+            y: state[1],
+            theta: state[2],
+        }
+    }
+}
+
+impl Default for DubinsCar {
+    fn default() -> Self {
+        DubinsCar::new(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivative_follows_paper_convention() {
+        let car = DubinsCar::new(2.0);
+        // Heading pi/2 (clockwise from +y) points along +x.
+        let d = car.derivative([0.0, 0.0, std::f64::consts::FRAC_PI_2], 0.3);
+        assert!((d[0] - 2.0).abs() < 1e-12);
+        assert!(d[1].abs() < 1e-12);
+        assert!((d[2] - 0.3).abs() < 1e-15);
+        assert_eq!(car.speed(), 2.0);
+    }
+
+    #[test]
+    fn straight_motion_with_zero_steering() {
+        let car = DubinsCar::default();
+        let mut state = [0.0, 0.0, 0.0];
+        for _ in 0..100 {
+            state = car.step(state, 0.0, 0.01);
+        }
+        assert!(state[0].abs() < 1e-9);
+        assert!((state[1] - 1.0).abs() < 1e-9);
+        assert!(state[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_steering_turns_in_a_circle() {
+        // With u = const the car traces a circle of radius V/u; after time
+        // 2*pi/u it returns to the start.
+        let car = DubinsCar::new(1.0);
+        let u = 0.5;
+        let period = 2.0 * std::f64::consts::PI / u;
+        let steps = 5000;
+        let dt = period / steps as f64;
+        let mut state = [0.0, 0.0, 0.0];
+        let mut max_radius: f64 = 0.0;
+        for _ in 0..steps {
+            state = car.step(state, u, dt);
+            let r = (state[0] * state[0] + state[1] * state[1]).sqrt();
+            max_radius = max_radius.max(r);
+        }
+        assert!(state[0].abs() < 1e-3);
+        assert!(state[1].abs() < 1e-3);
+        assert!((state[2] - 2.0 * std::f64::consts::PI).abs() < 1e-6);
+        // Diameter of the traced circle is 2 V / u = 4.
+        assert!((max_radius - 4.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn pose_conversion() {
+        let p = DubinsCar::pose([1.0, 2.0, 0.5]);
+        assert_eq!(p, Pose { x: 1.0, y: 2.0, theta: 0.5 });
+        assert_eq!(Pose::default().x, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn non_positive_speed_panics() {
+        let _ = DubinsCar::new(0.0);
+    }
+}

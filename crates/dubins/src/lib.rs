@@ -1,0 +1,48 @@
+//! The paper's case study: a Dubins car following a path under NN control.
+//!
+//! Section 4 of the paper evaluates the barrier-certificate procedure on a
+//! kinematic Dubins car whose steering command is produced by a feedforward
+//! neural network trained with CMA-ES policy search.  This crate contains
+//! every ingredient of that case study:
+//!
+//! * [`DubinsCar`] — the kinematic model `ẋ = V sin θ`, `ẏ = V cos θ`,
+//!   `θ̇ = u` (the paper measures the heading clockwise from the +y axis),
+//! * [`Path`] / [`PathErrors`] — piecewise-linear target paths and the
+//!   distance/angle error computation of Section 4.1.2,
+//! * [`ErrorDynamics`] — the closed-loop error dynamics in `(d_err, θ_err)`
+//!   coordinates for a straight-line path (Section 4.1.3/4.1.4), with both
+//!   numeric evaluation and symbolic export for the verifier,
+//! * [`TrainingEnv`] / [`train_controller`] — the CMA-ES direct policy search
+//!   with the paper's quadratic cost (Section 4.2), used to regenerate the
+//!   training-evolution figure.
+//!
+//! # Examples
+//!
+//! ```
+//! use nncps_dubins::{ErrorDynamics, Path};
+//! use nncps_nn::FeedforwardNetwork;
+//! use nncps_sim::Dynamics;
+//!
+//! // A zero controller drives straight; the error dynamics are still defined.
+//! let network = FeedforwardNetwork::paper_architecture(4);
+//! let dynamics = ErrorDynamics::new(network, 1.0);
+//! let dx = dynamics.derivative(&[0.5, 0.1]);
+//! assert!((dx[0] - 0.1_f64.sin()).abs() < 1e-12); // d_err' = V sin(theta_err)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod car;
+mod error_dynamics;
+mod path;
+mod reference;
+mod training;
+
+pub use car::{DubinsCar, Pose};
+pub use error_dynamics::ErrorDynamics;
+pub use path::{Path, PathErrors};
+pub use reference::{
+    reference_controller, REFERENCE_DISTANCE_GAIN, REFERENCE_HEADING_GAIN,
+};
+pub use training::{train_controller, TrainingEnv, TrainingOptions, TrainingOutcome};

@@ -1,0 +1,271 @@
+//! Piecewise-linear target paths and the path-following error computation.
+
+/// Path-following errors of a vehicle pose with respect to a target path
+/// (Section 4.1.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathErrors {
+    /// Signed distance error `d_err`: negative when the vehicle is to the
+    /// right of the path, positive when it is to the left.
+    pub distance: f64,
+    /// Angle error `θ_err = θ_r − θ_v`.
+    pub angle: f64,
+    /// The closest point `(x_p, y_p)` on the path.
+    pub closest_point: (f64, f64),
+    /// Orientation `θ_r` of the path tangent at the closest point, measured
+    /// clockwise from the +y axis like the vehicle heading.
+    pub tangent_angle: f64,
+    /// Index of the path segment containing the closest point.
+    pub segment: usize,
+}
+
+/// A piecewise-linear target path on the plane.
+///
+/// # Examples
+///
+/// ```
+/// use nncps_dubins::Path;
+///
+/// // A straight path up the y-axis.
+/// let path = Path::new(vec![(0.0, 0.0), (0.0, 100.0)]);
+/// // A vehicle at x = 2 heading along +y is 2 to the *left*? No: the paper's
+/// // convention makes positive x (right of the path) a negative error.
+/// let errors = path.errors(2.0, 10.0, 0.0);
+/// assert!((errors.distance + 2.0).abs() < 1e-12);
+/// assert!(errors.angle.abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    waypoints: Vec<(f64, f64)>,
+}
+
+impl Path {
+    /// Creates a path through the given waypoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two waypoints are given or two consecutive
+    /// waypoints coincide.
+    pub fn new(waypoints: Vec<(f64, f64)>) -> Self {
+        assert!(waypoints.len() >= 2, "a path needs at least two waypoints");
+        for pair in waypoints.windows(2) {
+            let dx = pair[1].0 - pair[0].0;
+            let dy = pair[1].1 - pair[0].1;
+            assert!(
+                dx.hypot(dy) > 1e-12,
+                "consecutive waypoints must be distinct"
+            );
+        }
+        Path { waypoints }
+    }
+
+    /// A straight-line path of the given length starting at the origin with
+    /// tangent orientation `theta_r` (clockwise from +y) — the configuration
+    /// used for all the verification experiments.
+    pub fn straight_line(theta_r: f64, length: f64) -> Self {
+        Path::new(vec![
+            (0.0, 0.0),
+            (length * theta_r.sin(), length * theta_r.cos()),
+        ])
+    }
+
+    /// The piecewise-linear training path used for the policy search, shaped
+    /// like the blue reference of Figure 4 in the paper (an S-shaped route of
+    /// a few hundred meters; the exact waypoints are not published, so this is
+    /// a representative reconstruction at the same scale).
+    pub fn figure4_path() -> Self {
+        Path::new(vec![
+            (0.0, 0.0),
+            (0.0, 30.0),
+            (20.0, 55.0),
+            (50.0, 70.0),
+            (80.0, 70.0),
+            (105.0, 85.0),
+            (115.0, 100.0),
+        ])
+    }
+
+    /// The waypoints of the path.
+    pub fn waypoints(&self) -> &[(f64, f64)] {
+        &self.waypoints
+    }
+
+    /// First waypoint.
+    pub fn start(&self) -> (f64, f64) {
+        self.waypoints[0]
+    }
+
+    /// Last waypoint.
+    pub fn end(&self) -> (f64, f64) {
+        *self.waypoints.last().expect("path has waypoints")
+    }
+
+    /// Total arc length of the path.
+    pub fn length(&self) -> f64 {
+        self.waypoints
+            .windows(2)
+            .map(|w| (w[1].0 - w[0].0).hypot(w[1].1 - w[0].1))
+            .sum()
+    }
+
+    /// Number of line segments.
+    pub fn num_segments(&self) -> usize {
+        self.waypoints.len() - 1
+    }
+
+    /// Computes the path-following errors for a vehicle at `(x, y)` with
+    /// heading `theta` (clockwise from +y).
+    pub fn errors(&self, x: f64, y: f64, theta: f64) -> PathErrors {
+        let mut best: Option<PathErrors> = None;
+        let mut best_distance = f64::INFINITY;
+        for (segment, pair) in self.waypoints.windows(2).enumerate() {
+            let (ax, ay) = pair[0];
+            let (bx, by) = pair[1];
+            let dx = bx - ax;
+            let dy = by - ay;
+            let len_sq = dx * dx + dy * dy;
+            // Project the vehicle position onto the segment.
+            let t = (((x - ax) * dx + (y - ay) * dy) / len_sq).clamp(0.0, 1.0);
+            let px = ax + t * dx;
+            let py = ay + t * dy;
+            let dist = (x - px).hypot(y - py);
+            if dist < best_distance {
+                best_distance = dist;
+                // Tangent orientation measured clockwise from +y.
+                let theta_r = dx.atan2(dy);
+                // Signed distance: negative when the vehicle is to the right
+                // of the tangent direction (paper convention, Eq. 12).
+                let signed = -(x - px) * theta_r.cos() + (y - py) * theta_r.sin();
+                best = Some(PathErrors {
+                    distance: signed,
+                    angle: wrap_angle(theta_r - theta),
+                    closest_point: (px, py),
+                    tangent_angle: theta_r,
+                    segment,
+                });
+            }
+        }
+        best.expect("path has at least one segment")
+    }
+}
+
+/// Wraps an angle to `(-π, π]`.
+fn wrap_angle(angle: f64) -> f64 {
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mut a = angle % two_pi;
+    if a <= -std::f64::consts::PI {
+        a += two_pi;
+    } else if a > std::f64::consts::PI {
+        a -= two_pi;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn straight_vertical_path_errors() {
+        let path = Path::new(vec![(0.0, 0.0), (0.0, 100.0)]);
+        // Vehicle to the right of the path (positive x): negative distance.
+        let e = path.errors(2.0, 50.0, 0.0);
+        assert!((e.distance + 2.0).abs() < 1e-12);
+        assert!(e.angle.abs() < 1e-12);
+        assert_eq!(e.closest_point, (2.0_f64.mul_add(0.0, 0.0), 50.0));
+        assert!(e.tangent_angle.abs() < 1e-12);
+        // Vehicle to the left of the path: positive distance.
+        let e = path.errors(-3.0, 20.0, 0.1);
+        assert!((e.distance - 3.0).abs() < 1e-12);
+        assert!((e.angle + 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn straight_line_constructor_matches_orientation() {
+        let theta_r = std::f64::consts::FRAC_PI_4;
+        let path = Path::straight_line(theta_r, 10.0);
+        let e = path.errors(0.0, 0.0, theta_r);
+        assert!(e.distance.abs() < 1e-12);
+        assert!(e.angle.abs() < 1e-12);
+        assert!((e.tangent_angle - theta_r).abs() < 1e-12);
+        assert!((path.length() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn horizontal_path_sign_convention() {
+        // Path along +x: theta_r = pi/2. A vehicle "above" the path (greater
+        // y) is to its left, so the distance error is positive.
+        let path = Path::new(vec![(0.0, 0.0), (10.0, 0.0)]);
+        let e = path.errors(5.0, 1.0, std::f64::consts::FRAC_PI_2);
+        assert!((e.tangent_angle - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((e.distance - 1.0).abs() < 1e-12);
+        let below = path.errors(5.0, -1.0, std::f64::consts::FRAC_PI_2);
+        assert!((below.distance + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closest_point_clamps_to_segment_ends() {
+        let path = Path::new(vec![(0.0, 0.0), (0.0, 10.0)]);
+        let e = path.errors(1.0, -5.0, 0.0);
+        assert_eq!(e.closest_point, (0.0, 0.0));
+        let e = path.errors(1.0, 15.0, 0.0);
+        assert_eq!(e.closest_point, (0.0, 10.0));
+    }
+
+    #[test]
+    fn multi_segment_path_selects_nearest_segment() {
+        let path = Path::new(vec![(0.0, 0.0), (0.0, 10.0), (10.0, 10.0)]);
+        assert_eq!(path.num_segments(), 2);
+        let near_first = path.errors(1.0, 3.0, 0.0);
+        assert_eq!(near_first.segment, 0);
+        let near_second = path.errors(5.0, 11.0, 0.0);
+        assert_eq!(near_second.segment, 1);
+        assert!((path.length() - 20.0).abs() < 1e-12);
+        assert_eq!(path.start(), (0.0, 0.0));
+        assert_eq!(path.end(), (10.0, 10.0));
+    }
+
+    #[test]
+    fn figure4_path_is_well_formed() {
+        let path = Path::figure4_path();
+        assert!(path.num_segments() >= 4);
+        assert!(path.length() > 100.0);
+        assert_eq!(path.start(), (0.0, 0.0));
+        assert_eq!(path.waypoints().len(), path.num_segments() + 1);
+    }
+
+    #[test]
+    fn angle_error_wraps_to_principal_range() {
+        let path = Path::new(vec![(0.0, 0.0), (0.0, 10.0)]);
+        let e = path.errors(0.0, 5.0, 2.0 * std::f64::consts::PI);
+        assert!(e.angle.abs() < 1e-12);
+        let e = path.errors(0.0, 5.0, 3.5 * std::f64::consts::PI);
+        assert!(e.angle.abs() <= std::f64::consts::PI);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two waypoints")]
+    fn single_waypoint_panics() {
+        let _ = Path::new(vec![(0.0, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be distinct")]
+    fn repeated_waypoints_panic() {
+        let _ = Path::new(vec![(0.0, 0.0), (0.0, 0.0)]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_distance_error_magnitude_matches_euclidean_distance(
+            x in -20.0f64..20.0, y in 10.0f64..90.0, theta in -3.0f64..3.0,
+        ) {
+            // For a vertical path the |d_err| equals the distance to the line x=0
+            // whenever the projection falls inside the segment.
+            let path = Path::new(vec![(0.0, 0.0), (0.0, 100.0)]);
+            let e = path.errors(x, y, theta);
+            prop_assert!((e.distance.abs() - x.abs()).abs() < 1e-9);
+            prop_assert!(e.angle <= std::f64::consts::PI && e.angle > -std::f64::consts::PI);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Symbolic differentiation.
+
+use crate::expr::Node;
+use crate::{BinaryOp, Expr, UnaryOp};
+
+impl Expr {
+    /// Computes the partial derivative of the expression with respect to the
+    /// variable with index `var`.
+    ///
+    /// The result is not simplified; call [`Expr::simplified`] afterwards when
+    /// a compact form matters (for example before exporting a gradient into an
+    /// SMT query).
+    ///
+    /// `abs`, `min`, and `max` are differentiated piecewise using sign/choice
+    /// expressions that agree with the true derivative wherever it exists;
+    /// on the measure-zero kink sets one of the one-sided derivatives is
+    /// produced.
+    pub fn differentiate(&self, var: usize) -> Expr {
+        match self.node() {
+            Node::Const(_) => Expr::zero(),
+            Node::Var(i) => {
+                if *i == var {
+                    Expr::one()
+                } else {
+                    Expr::zero()
+                }
+            }
+            Node::Powi(a, n) => {
+                // d/dx a^n = n * a^(n-1) * a'
+                let da = a.differentiate(var);
+                Expr::constant(f64::from(*n)) * a.clone().powi(n - 1) * da
+            }
+            Node::Unary(op, a) => {
+                let da = a.differentiate(var);
+                let outer = match op {
+                    UnaryOp::Neg => -Expr::one(),
+                    UnaryOp::Sin => a.clone().cos(),
+                    UnaryOp::Cos => -a.clone().sin(),
+                    // d/dx tan = 1 + tan^2
+                    UnaryOp::Tan => Expr::one() + a.clone().tan().powi(2),
+                    UnaryOp::Exp => a.clone().exp(),
+                    UnaryOp::Ln => Expr::one() / a.clone(),
+                    UnaryOp::Sqrt => Expr::constant(0.5) / a.clone().sqrt(),
+                    // d/dx |a| = a / |a| (valid away from zero)
+                    UnaryOp::Abs => a.clone() / a.clone().abs(),
+                    // d/dx tanh = 1 - tanh^2
+                    UnaryOp::Tanh => Expr::one() - a.clone().tanh().powi(2),
+                    // d/dx sigmoid = sigmoid * (1 - sigmoid)
+                    UnaryOp::Sigmoid => {
+                        a.clone().sigmoid() * (Expr::one() - a.clone().sigmoid())
+                    }
+                    UnaryOp::Atan => Expr::one() / (Expr::one() + a.clone().powi(2)),
+                };
+                outer * da
+            }
+            Node::Binary(op, a, b) => {
+                let da = a.differentiate(var);
+                let db = b.differentiate(var);
+                match op {
+                    BinaryOp::Add => da + db,
+                    BinaryOp::Sub => da - db,
+                    BinaryOp::Mul => da * b.clone() + a.clone() * db,
+                    BinaryOp::Div => {
+                        (da * b.clone() - a.clone() * db) / b.clone().powi(2)
+                    }
+                    // Piecewise: pick the branch that is currently active.
+                    // d/dx min(a,b) = a' where a <= b, else b'. We encode the
+                    // selector with min/max so interval evaluation stays sound
+                    // in the weak sense of covering both branch derivatives.
+                    BinaryOp::Min => select_leq(a, b, da, db),
+                    BinaryOp::Max => select_leq(a, b, db, da),
+                }
+            }
+        }
+    }
+
+    /// Computes the full gradient as a vector of expressions of length `dim`.
+    pub fn gradient(&self, dim: usize) -> Vec<Expr> {
+        (0..dim).map(|i| self.differentiate(i)).collect()
+    }
+}
+
+/// Builds an expression equal to `da` where `a <= b` and `db` elsewhere.
+///
+/// The encoding uses the identity
+/// `select = da + step(a - b) * (db - da)` with `step(t) = (sign(t)+1)/2`
+/// realised via `t / |t|`; at the kink (`a == b`) the expression evaluates via
+/// `0/0 = NaN` so callers differentiating `min`/`max` should avoid sampling
+/// exactly on the kink (simulation traces almost surely do not).
+fn select_leq(a: &Expr, b: &Expr, da: Expr, db: Expr) -> Expr {
+    let t = a.clone() - b.clone();
+    let step = (t.clone() / t.abs() + 1.0) * 0.5;
+    da.clone() + step * (db - da)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn finite_diff(f: &Expr, point: &[f64], var: usize) -> f64 {
+        let h = 1e-6;
+        let mut plus = point.to_vec();
+        let mut minus = point.to_vec();
+        plus[var] += h;
+        minus[var] -= h;
+        (f.eval(&plus) - f.eval(&minus)) / (2.0 * h)
+    }
+
+    #[test]
+    fn polynomial_derivatives() {
+        // f = 3x^2 + 2x + 7 -> f' = 6x + 2
+        let x = Expr::var(0);
+        let f = Expr::constant(3.0) * x.clone().powi(2) + Expr::constant(2.0) * x + 7.0;
+        let df = f.differentiate(0);
+        assert!((df.eval(&[2.0]) - 14.0).abs() < 1e-12);
+        assert!((df.eval(&[-1.0]) + 4.0).abs() < 1e-12);
+        // Derivative with respect to an absent variable is zero.
+        assert_eq!(f.differentiate(1).simplified().as_constant(), Some(0.0));
+    }
+
+    #[test]
+    fn product_and_quotient_rules() {
+        let x = Expr::var(0);
+        let y = Expr::var(1);
+        let f = x.clone() * y.clone();
+        assert!((f.differentiate(0).eval(&[2.0, 3.0]) - 3.0).abs() < 1e-12);
+        assert!((f.differentiate(1).eval(&[2.0, 3.0]) - 2.0).abs() < 1e-12);
+        let g = x.clone() / y.clone();
+        // d/dy (x/y) = -x / y^2
+        assert!((g.differentiate(1).eval(&[2.0, 4.0]) + 2.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transcendental_derivatives_match_finite_differences() {
+        let x = Expr::var(0);
+        let cases: Vec<Expr> = vec![
+            x.clone().sin(),
+            x.clone().cos(),
+            x.clone().tan(),
+            x.clone().exp(),
+            (x.clone() + 2.0).ln(),
+            (x.clone() + 2.0).sqrt(),
+            x.clone().tanh(),
+            x.clone().sigmoid(),
+            x.clone().atan(),
+            (x.clone() * 2.0 + 0.3).tanh() * x.clone(),
+        ];
+        for f in cases {
+            for &p in &[-0.8, 0.1, 0.9] {
+                let sym = f.differentiate(0).eval(&[p]);
+                let num = finite_diff(&f, &[p], 0);
+                assert!(
+                    (sym - num).abs() < 1e-5,
+                    "mismatch for {f} at {p}: {sym} vs {num}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn abs_min_max_derivatives_away_from_kinks() {
+        let x = Expr::var(0);
+        let f = x.clone().abs();
+        assert!((f.differentiate(0).eval(&[2.0]) - 1.0).abs() < 1e-12);
+        assert!((f.differentiate(0).eval(&[-2.0]) + 1.0).abs() < 1e-12);
+
+        let g = x.clone().min(Expr::constant(1.0));
+        assert!((g.differentiate(0).eval(&[0.5]) - 1.0).abs() < 1e-12);
+        assert!(g.differentiate(0).eval(&[2.0]).abs() < 1e-12);
+
+        let h = x.clone().max(Expr::constant(1.0));
+        assert!(h.differentiate(0).eval(&[0.5]).abs() < 1e-12);
+        assert!((h.differentiate(0).eval(&[2.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_rule_through_powers() {
+        // f = tanh(x)^3 -> f' = 3 tanh(x)^2 (1 - tanh(x)^2)
+        let x = Expr::var(0);
+        let f = x.clone().tanh().powi(3);
+        let p = 0.4_f64;
+        let want = 3.0 * p.tanh().powi(2) * (1.0 - p.tanh().powi(2));
+        assert!((f.differentiate(0).eval(&[p]) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_has_requested_length() {
+        let f = Expr::var(0) * Expr::var(1);
+        let grad = f.gradient(3);
+        assert_eq!(grad.len(), 3);
+        assert!((grad[0].eval(&[2.0, 5.0, 0.0]) - 5.0).abs() < 1e-12);
+        assert!(grad[2].eval(&[2.0, 5.0, 0.0]).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_symbolic_derivative_matches_finite_difference(
+            a in -1.0f64..1.0, b in -1.0f64..1.0, p0 in -1.0f64..1.0, p1 in -1.0f64..1.0,
+        ) {
+            let x = Expr::var(0);
+            let y = Expr::var(1);
+            let f = (x.clone() * a + y.clone() * b).tanh() * x.clone().sin()
+                + (x.clone() * y.clone()).cos()
+                + x.clone().powi(3) * 0.1;
+            let point = [p0, p1];
+            for var in 0..2 {
+                let sym = f.differentiate(var).eval(&point);
+                let num = finite_diff(&f, &point, var);
+                prop_assert!((sym - num).abs() < 1e-4,
+                    "var {} at {:?}: {} vs {}", var, point, sym, num);
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Operator tags shared by the expression tree.
+
+use nncps_interval::Interval;
+
+/// Unary operators supported by [`crate::Expr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Tangent.
+    Tan,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm.
+    Ln,
+    /// Square root.
+    Sqrt,
+    /// Absolute value.
+    Abs,
+    /// Hyperbolic tangent (the `tansig` activation of the paper).
+    Tanh,
+    /// Logistic sigmoid `1 / (1 + e^{-x})`.
+    Sigmoid,
+    /// Arctangent.
+    Atan,
+}
+
+impl UnaryOp {
+    /// Applies the operator to a floating-point value.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            UnaryOp::Neg => -x,
+            UnaryOp::Sin => x.sin(),
+            UnaryOp::Cos => x.cos(),
+            UnaryOp::Tan => x.tan(),
+            UnaryOp::Exp => x.exp(),
+            UnaryOp::Ln => x.ln(),
+            UnaryOp::Sqrt => x.sqrt(),
+            UnaryOp::Abs => x.abs(),
+            UnaryOp::Tanh => x.tanh(),
+            UnaryOp::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            UnaryOp::Atan => x.atan(),
+        }
+    }
+
+    /// Applies the operator to an interval (sound enclosure).
+    pub fn apply_interval(self, x: Interval) -> Interval {
+        match self {
+            UnaryOp::Neg => -x,
+            UnaryOp::Sin => x.sin(),
+            UnaryOp::Cos => x.cos(),
+            UnaryOp::Tan => x.tan(),
+            UnaryOp::Exp => x.exp(),
+            UnaryOp::Ln => x.ln(),
+            UnaryOp::Sqrt => x.sqrt(),
+            UnaryOp::Abs => x.abs(),
+            UnaryOp::Tanh => x.tanh(),
+            UnaryOp::Sigmoid => x.sigmoid(),
+            UnaryOp::Atan => x.atan(),
+        }
+    }
+
+    /// The textual name used by [`std::fmt::Display`] for expressions.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnaryOp::Neg => "-",
+            UnaryOp::Sin => "sin",
+            UnaryOp::Cos => "cos",
+            UnaryOp::Tan => "tan",
+            UnaryOp::Exp => "exp",
+            UnaryOp::Ln => "ln",
+            UnaryOp::Sqrt => "sqrt",
+            UnaryOp::Abs => "abs",
+            UnaryOp::Tanh => "tanh",
+            UnaryOp::Sigmoid => "sigmoid",
+            UnaryOp::Atan => "atan",
+        }
+    }
+}
+
+/// Binary operators supported by [`crate::Expr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Pointwise minimum.
+    Min,
+    /// Pointwise maximum.
+    Max,
+}
+
+impl BinaryOp {
+    /// Applies the operator to floating-point values.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinaryOp::Add => a + b,
+            BinaryOp::Sub => a - b,
+            BinaryOp::Mul => a * b,
+            BinaryOp::Div => a / b,
+            BinaryOp::Min => a.min(b),
+            BinaryOp::Max => a.max(b),
+        }
+    }
+
+    /// Applies the operator to intervals (sound enclosure).
+    pub fn apply_interval(self, a: Interval, b: Interval) -> Interval {
+        match self {
+            BinaryOp::Add => a + b,
+            BinaryOp::Sub => a - b,
+            BinaryOp::Mul => a * b,
+            BinaryOp::Div => a / b,
+            BinaryOp::Min => a.min(&b),
+            BinaryOp::Max => a.max(&b),
+        }
+    }
+
+    /// The textual symbol used by [`std::fmt::Display`] for expressions.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Min => "min",
+            BinaryOp::Max => "max",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_ops_match_std_functions() {
+        let x = 0.7;
+        assert_eq!(UnaryOp::Neg.apply(x), -x);
+        assert_eq!(UnaryOp::Sin.apply(x), x.sin());
+        assert_eq!(UnaryOp::Cos.apply(x), x.cos());
+        assert_eq!(UnaryOp::Tan.apply(x), x.tan());
+        assert_eq!(UnaryOp::Exp.apply(x), x.exp());
+        assert_eq!(UnaryOp::Ln.apply(x), x.ln());
+        assert_eq!(UnaryOp::Sqrt.apply(x), x.sqrt());
+        assert_eq!(UnaryOp::Abs.apply(-x), x);
+        assert_eq!(UnaryOp::Tanh.apply(x), x.tanh());
+        assert!((UnaryOp::Sigmoid.apply(0.0) - 0.5).abs() < 1e-15);
+        assert_eq!(UnaryOp::Atan.apply(x), x.atan());
+    }
+
+    #[test]
+    fn binary_ops_match_std_functions() {
+        assert_eq!(BinaryOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinaryOp::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinaryOp::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinaryOp::Div.apply(3.0, 2.0), 1.5);
+        assert_eq!(BinaryOp::Min.apply(2.0, 3.0), 2.0);
+        assert_eq!(BinaryOp::Max.apply(2.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn interval_application_encloses_pointwise() {
+        use nncps_interval::Interval;
+        let x = Interval::new(0.2, 0.8);
+        let y = Interval::new(-0.5, 0.5);
+        for op in [
+            UnaryOp::Neg,
+            UnaryOp::Sin,
+            UnaryOp::Cos,
+            UnaryOp::Exp,
+            UnaryOp::Tanh,
+            UnaryOp::Sigmoid,
+            UnaryOp::Abs,
+            UnaryOp::Atan,
+            UnaryOp::Sqrt,
+            UnaryOp::Ln,
+        ] {
+            let iv = op.apply_interval(x);
+            assert!(iv.contains(op.apply(0.5)), "{op:?} failed enclosure");
+        }
+        for op in [
+            BinaryOp::Add,
+            BinaryOp::Sub,
+            BinaryOp::Mul,
+            BinaryOp::Min,
+            BinaryOp::Max,
+        ] {
+            let iv = op.apply_interval(x, y);
+            assert!(iv.contains(op.apply(0.5, 0.0)), "{op:?} failed enclosure");
+        }
+    }
+
+    #[test]
+    fn names_and_symbols_are_nonempty() {
+        assert_eq!(UnaryOp::Tanh.name(), "tanh");
+        assert_eq!(BinaryOp::Add.symbol(), "+");
+        assert_eq!(BinaryOp::Min.symbol(), "min");
+    }
+}

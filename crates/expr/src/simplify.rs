@@ -1,0 +1,186 @@
+//! Algebraic simplification (constant folding plus identity rewrites).
+
+use crate::expr::Node;
+use crate::{BinaryOp, Expr, UnaryOp};
+
+impl Expr {
+    /// Returns an algebraically simplified copy of the expression.
+    ///
+    /// Simplification performs constant folding and removes the most common
+    /// identity operations produced by symbolic differentiation:
+    ///
+    /// * `e + 0`, `0 + e`, `e - 0`  →  `e`
+    /// * `e * 1`, `1 * e`, `e / 1`  →  `e`
+    /// * `e * 0`, `0 * e`, `0 / e`  →  `0`
+    /// * `-(-e)`                    →  `e`
+    /// * `e^0` → `1`, `e^1` → `e`
+    ///
+    /// The rewrite never changes the value of the expression at any point of
+    /// its domain (with the usual caveat that `0 * e → 0` assumes `e` is
+    /// finite, which holds for every expression the pipeline constructs over
+    /// bounded domains).
+    pub fn simplified(&self) -> Expr {
+        match self.node() {
+            Node::Const(c) => Expr::constant(*c),
+            Node::Var(i) => Expr::var(*i),
+            Node::Powi(a, n) => {
+                let a = a.simplified();
+                if let Some(c) = a.as_constant() {
+                    return Expr::constant(c.powi(*n));
+                }
+                match n {
+                    0 => Expr::one(),
+                    1 => a,
+                    _ => a.powi(*n),
+                }
+            }
+            Node::Unary(op, a) => {
+                let a = a.simplified();
+                if let Some(c) = a.as_constant() {
+                    return Expr::constant(op.apply(c));
+                }
+                // -(-e) => e
+                if *op == UnaryOp::Neg {
+                    if let Node::Unary(UnaryOp::Neg, inner) = a.node() {
+                        return inner.clone();
+                    }
+                }
+                Expr::unary(*op, a)
+            }
+            Node::Binary(op, a, b) => {
+                let a = a.simplified();
+                let b = b.simplified();
+                if let (Some(ca), Some(cb)) = (a.as_constant(), b.as_constant()) {
+                    return Expr::constant(op.apply(ca, cb));
+                }
+                match op {
+                    BinaryOp::Add => {
+                        if a.is_zero() {
+                            return b;
+                        }
+                        if b.is_zero() {
+                            return a;
+                        }
+                        a + b
+                    }
+                    BinaryOp::Sub => {
+                        if b.is_zero() {
+                            return a;
+                        }
+                        if a.is_zero() {
+                            return -b;
+                        }
+                        a - b
+                    }
+                    BinaryOp::Mul => {
+                        if a.is_zero() || b.is_zero() {
+                            return Expr::zero();
+                        }
+                        if a.is_one() {
+                            return b;
+                        }
+                        if b.is_one() {
+                            return a;
+                        }
+                        a * b
+                    }
+                    BinaryOp::Div => {
+                        if a.is_zero() {
+                            return Expr::zero();
+                        }
+                        if b.is_one() {
+                            return a;
+                        }
+                        a / b
+                    }
+                    BinaryOp::Min => a.min(b),
+                    BinaryOp::Max => a.max(b),
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if the expression is the literal constant `0`.
+    pub fn is_zero(&self) -> bool {
+        self.as_constant() == Some(0.0)
+    }
+
+    /// Returns `true` if the expression is the literal constant `1`.
+    pub fn is_one(&self) -> bool {
+        self.as_constant() == Some(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_folding() {
+        let e = Expr::constant(2.0) * Expr::constant(3.0) + Expr::constant(1.0);
+        assert_eq!(e.simplified().as_constant(), Some(7.0));
+        let t = Expr::constant(0.0).tanh();
+        assert_eq!(t.simplified().as_constant(), Some(0.0));
+        let p = Expr::constant(2.0).powi(10);
+        assert_eq!(p.simplified().as_constant(), Some(1024.0));
+    }
+
+    #[test]
+    fn identity_elimination() {
+        let x = Expr::var(0);
+        assert_eq!(format!("{}", (x.clone() + 0.0).simplified()), "x0");
+        assert_eq!(format!("{}", (0.0 + x.clone()).simplified()), "x0");
+        assert_eq!(format!("{}", (x.clone() - 0.0).simplified()), "x0");
+        assert_eq!(format!("{}", (x.clone() * 1.0).simplified()), "x0");
+        assert_eq!(format!("{}", (1.0 * x.clone()).simplified()), "x0");
+        assert_eq!(format!("{}", (x.clone() / 1.0).simplified()), "x0");
+        assert_eq!((x.clone() * 0.0).simplified().as_constant(), Some(0.0));
+        assert_eq!((0.0 * x.clone()).simplified().as_constant(), Some(0.0));
+        assert_eq!((0.0 / (x.clone() + 5.0)).simplified().as_constant(), Some(0.0));
+        assert_eq!(format!("{}", x.clone().powi(1).simplified()), "x0");
+        assert_eq!(x.clone().powi(0).simplified().as_constant(), Some(1.0));
+        assert_eq!(format!("{}", (0.0 - x.clone()).simplified()), "(-x0)");
+        assert_eq!(format!("{}", (-(-x)).simplified()), "x0");
+    }
+
+    #[test]
+    fn simplification_shrinks_differentiation_output() {
+        let x = Expr::var(0);
+        let f = Expr::constant(3.0) * x.clone().powi(2) + x.clone() * 2.0 + 7.0;
+        let df = f.differentiate(0);
+        let simplified = df.simplified();
+        assert!(simplified.node_count() < df.node_count());
+        for p in [-1.5, 0.0, 2.5] {
+            assert!((simplified.eval(&[p]) - df.eval(&[p])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_max_with_constants_fold() {
+        let e = Expr::constant(2.0).min(Expr::constant(5.0));
+        assert_eq!(e.simplified().as_constant(), Some(2.0));
+        let e = Expr::constant(2.0).max(Expr::constant(5.0));
+        assert_eq!(e.simplified().as_constant(), Some(5.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_simplification_preserves_value(
+            a in -3.0f64..3.0, b in -3.0f64..3.0, p in -2.0f64..2.0, q in -2.0f64..2.0,
+        ) {
+            let x = Expr::var(0);
+            let y = Expr::var(1);
+            let f = (x.clone() * a + 0.0) * 1.0
+                + (y.clone() * b).tanh() * (x.clone() + 0.0)
+                + (x.clone() - 0.0).sin() * Expr::constant(0.0)
+                + x.clone().powi(1) * y.clone().powi(0)
+                + (x.clone() * y.clone()).cos() / 1.0;
+            let s = f.simplified();
+            let fv = f.eval(&[p, q]);
+            let sv = s.eval(&[p, q]);
+            prop_assert!((fv - sv).abs() < 1e-10, "{} vs {}", fv, sv);
+            prop_assert!(s.node_count() <= f.node_count());
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Interval arithmetic for the δ-satisfiability solver.
+//!
+//! The verification queries issued by the barrier-certificate pipeline are
+//! decided by an interval constraint propagation (ICP) solver in the
+//! `nncps-deltasat` crate.  That solver needs a sound interval arithmetic:
+//! every operation on [`Interval`] values must return an interval that
+//! *encloses* the set of all possible real results, so that pruning a box can
+//! never discard a true solution.
+//!
+//! Enclosure is achieved by outward rounding: after each floating-point
+//! operation the lower bound is nudged down by one unit in the last place and
+//! the upper bound is nudged up by one ulp.  This is slightly conservative
+//! compared to true directed rounding but it is portable, branch-free, and
+//! more than tight enough for δ-precision on the order of `1e-6` used by the
+//! paper.
+//!
+//! The crate provides:
+//!
+//! * [`Interval`] — a closed interval `[lo, hi]` with arithmetic
+//!   (`+`, `-`, `*`, `/`), powers, and the transcendental functions needed by
+//!   the case study (`sin`, `cos`, `tan`, `exp`, `ln`, `tanh`, `sigmoid`,
+//!   `sqrt`, `abs`, `min`, `max`),
+//! * [`IntervalBox`] — an axis-aligned box (vector of intervals) with the
+//!   bisection and measurement utilities used by branch-and-prune search.
+//!
+//! # Examples
+//!
+//! ```
+//! use nncps_interval::Interval;
+//!
+//! let x = Interval::new(0.0, 1.0);
+//! let y = Interval::new(-2.0, 3.0);
+//! let sum = x + y;
+//! assert!(sum.contains(2.5));
+//! assert!(sum.lo() <= -2.0 && sum.hi() >= 4.0);
+//!
+//! // tanh is monotone, so the enclosure is tight:
+//! let t = Interval::new(-1.0, 1.0).tanh();
+//! assert!(t.lo() <= -0.7615 && t.hi() >= 0.7615);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interval;
+mod interval_box;
+
+pub use interval::Interval;
+pub use interval_box::IntervalBox;

@@ -1,0 +1,40 @@
+//! A dense two-phase primal simplex linear-programming solver.
+//!
+//! The barrier-certificate procedure of the paper repeatedly solves small
+//! linear programs: the coefficients of the templated generator function
+//! `W(x)` are the decision variables, and every simulation sample contributes
+//! a linear constraint (positivity of `W` outside the initial set, decrease of
+//! `W` along the trace).  The problems have tens of variables and at most a
+//! few thousand constraints, so a dense tableau simplex is entirely adequate
+//! and keeps the workspace dependency-free.
+//!
+//! The solver handles free (unbounded-sign) variables by internally splitting
+//! them into positive and negative parts, uses a two-phase method to find an
+//! initial basic feasible solution, and applies Bland's rule to guarantee
+//! termination in the presence of degeneracy.
+//!
+//! # Examples
+//!
+//! ```
+//! use nncps_lp::{Comparison, LpProblem};
+//!
+//! // maximize x + y  subject to  x + 2y <= 4,  3x + y <= 6,  x, y free.
+//! let mut lp = LpProblem::new(2);
+//! lp.set_objective(&[-1.0, -1.0]); // the solver minimizes
+//! lp.add_constraint(&[1.0, 2.0], Comparison::Le, 4.0);
+//! lp.add_constraint(&[3.0, 1.0], Comparison::Le, 6.0);
+//! // Keep the region bounded from below so the LP has an optimum.
+//! lp.add_constraint(&[1.0, 0.0], Comparison::Ge, 0.0);
+//! lp.add_constraint(&[0.0, 1.0], Comparison::Ge, 0.0);
+//! let solution = lp.solve()?;
+//! assert!((solution.objective() + 2.8).abs() < 1e-9); // optimum at (1.6, 1.2)
+//! # Ok::<(), nncps_lp::LpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod problem;
+mod simplex;
+
+pub use problem::{Comparison, LpError, LpProblem, LpSolution};

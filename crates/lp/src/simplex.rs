@@ -1,0 +1,618 @@
+//! Two-phase primal simplex on a dense tableau.
+//!
+//! The solver works on the standard form obtained by
+//!
+//! 1. splitting every free variable `x_j` into `x_j⁺ - x_j⁻` with both parts
+//!    non-negative,
+//! 2. flipping constraint rows so every right-hand side is non-negative,
+//! 3. adding a slack variable for `<=` rows, a surplus variable for `>=`
+//!    rows, and an artificial variable for `>=`/`=` rows.
+//!
+//! Phase 1 minimizes the sum of the artificial variables; a positive optimum
+//! proves infeasibility.  Phase 2 then minimizes the true objective starting
+//! from the feasible basis produced by phase 1.  Bland's anti-cycling rule is
+//! used throughout.
+
+use crate::problem::{Comparison, LinearConstraint, LpError, LpProblem, LpSolution};
+
+const EPS: f64 = 1e-9;
+const MAX_ITERATIONS: usize = 200_000;
+
+/// Dense simplex tableau.
+struct Tableau {
+    /// Row-major tableau: `rows x (cols + 1)`, last column is the RHS.
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    /// Index of the basic variable for each row.
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * (self.cols + 1) + c]
+    }
+
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[r * (self.cols + 1) + c]
+    }
+
+    fn rhs(&self, r: usize) -> f64 {
+        self.at(r, self.cols)
+    }
+
+    /// Performs a pivot on (`pivot_row`, `pivot_col`).
+    fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
+        let width = self.cols + 1;
+        let pivot_value = self.at(pivot_row, pivot_col);
+        debug_assert!(pivot_value.abs() > EPS, "pivot too small");
+        // Normalize the pivot row.
+        for c in 0..width {
+            *self.at_mut(pivot_row, c) /= pivot_value;
+        }
+        // Eliminate the pivot column from all other rows.
+        for r in 0..self.rows {
+            if r == pivot_row {
+                continue;
+            }
+            let factor = self.at(r, pivot_col);
+            if factor.abs() <= EPS {
+                continue;
+            }
+            for c in 0..width {
+                let delta = factor * self.at(pivot_row, c);
+                *self.at_mut(r, c) -= delta;
+            }
+        }
+        self.basis[pivot_row] = pivot_col;
+    }
+}
+
+/// Runs the simplex method on the tableau for the given objective row
+/// (reduced costs), minimizing.  `allowed_cols` restricts entering variables.
+///
+/// The entering variable is chosen with Dantzig's rule (most negative reduced
+/// cost) for speed; after a large number of iterations the solver falls back
+/// to Bland's rule, which guarantees termination on degenerate problems.
+///
+/// Returns `Ok(objective_value)` on optimality.
+fn run_simplex(
+    tableau: &mut Tableau,
+    costs: &mut [f64],
+    objective_value: &mut f64,
+    allowed_cols: &[bool],
+) -> Result<(), LpError> {
+    // Switch to Bland's anti-cycling rule once the iteration count suggests
+    // the faster Dantzig rule might be cycling.
+    let bland_threshold = 50 * (tableau.rows + tableau.cols).max(100);
+    for iteration in 0..MAX_ITERATIONS {
+        let use_bland = iteration >= bland_threshold;
+        // Entering variable.
+        let entering = if use_bland {
+            (0..tableau.cols).find(|&c| allowed_cols[c] && costs[c] < -EPS)
+        } else {
+            let mut best: Option<(usize, f64)> = None;
+            for c in 0..tableau.cols {
+                if allowed_cols[c] && costs[c] < -EPS {
+                    if best.map_or(true, |(_, v)| costs[c] < v) {
+                        best = Some((c, costs[c]));
+                    }
+                }
+            }
+            best.map(|(c, _)| c)
+        };
+        let Some(entering) = entering else {
+            return Ok(());
+        };
+        // Ratio test: smallest ratio rhs / a_ij over rows with a_ij > 0.  Ties
+        // are broken by the smallest basis index under Bland's rule and by the
+        // largest pivot magnitude (better conditioning) otherwise.
+        let mut pivot_row: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for r in 0..tableau.rows {
+            let a = tableau.at(r, entering);
+            if a > EPS {
+                let ratio = tableau.rhs(r) / a;
+                let better = match pivot_row {
+                    None => true,
+                    Some(prev) => {
+                        let prev_a = tableau.at(prev, entering);
+                        ratio < best_ratio - EPS
+                            || ((ratio - best_ratio).abs() <= EPS
+                                && if use_bland {
+                                    tableau.basis[r] < tableau.basis[prev]
+                                } else {
+                                    a > prev_a
+                                })
+                    }
+                };
+                if better {
+                    best_ratio = ratio;
+                    pivot_row = Some(r);
+                }
+            }
+        }
+        let Some(pivot_row) = pivot_row else {
+            return Err(LpError::Unbounded);
+        };
+        tableau.pivot(pivot_row, entering);
+        // Update the reduced-cost row.
+        let factor = costs[entering];
+        if factor.abs() > EPS {
+            for c in 0..tableau.cols {
+                costs[c] -= factor * tableau.at(pivot_row, c);
+            }
+            *objective_value -= factor * tableau.rhs(pivot_row);
+        }
+    }
+    Err(LpError::IterationLimit)
+}
+
+/// Solves the given problem with the two-phase simplex method.
+pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
+    let n = problem.num_vars();
+    let constraints = problem.constraints();
+    let m = constraints.len();
+
+    // With no constraints the problem is unbounded unless the objective is zero.
+    if m == 0 {
+        return if problem.objective().iter().all(|&c| c.abs() <= EPS) {
+            Ok(LpSolution::new(vec![0.0; n], 0.0))
+        } else {
+            Err(LpError::Unbounded)
+        };
+    }
+
+    // Column layout: [x⁺ (n) | x⁻ (n) | slack/surplus (m_slack) | artificial (m_art)]
+    let mut num_slack = 0usize;
+    let mut num_artificial = 0usize;
+    for c in constraints {
+        match normalized_comparison(c) {
+            Comparison::Le => num_slack += 1,
+            Comparison::Ge => {
+                num_slack += 1;
+                num_artificial += 1;
+            }
+            Comparison::Eq => num_artificial += 1,
+        }
+    }
+    let total_cols = 2 * n + num_slack + num_artificial;
+    let artificial_start = 2 * n + num_slack;
+
+    let mut tableau = Tableau {
+        data: vec![0.0; m * (total_cols + 1)],
+        rows: m,
+        cols: total_cols,
+        basis: vec![usize::MAX; m],
+    };
+
+    let mut slack_index = 0usize;
+    let mut artificial_index = 0usize;
+    let mut artificial_rows: Vec<usize> = Vec::new();
+
+    for (r, c) in constraints.iter().enumerate() {
+        let flip = c.rhs < 0.0;
+        let sign = if flip { -1.0 } else { 1.0 };
+        for (j, &a) in c.coefficients.iter().enumerate() {
+            *tableau.at_mut(r, j) = sign * a;
+            *tableau.at_mut(r, n + j) = -sign * a;
+        }
+        *tableau.at_mut(r, total_cols) = sign * c.rhs;
+        let comparison = normalized_comparison_flip(c, flip);
+        match comparison {
+            Comparison::Le => {
+                let col = 2 * n + slack_index;
+                *tableau.at_mut(r, col) = 1.0;
+                tableau.basis[r] = col;
+                slack_index += 1;
+            }
+            Comparison::Ge => {
+                let surplus_col = 2 * n + slack_index;
+                *tableau.at_mut(r, surplus_col) = -1.0;
+                slack_index += 1;
+                let art_col = artificial_start + artificial_index;
+                *tableau.at_mut(r, art_col) = 1.0;
+                tableau.basis[r] = art_col;
+                artificial_index += 1;
+                artificial_rows.push(r);
+            }
+            Comparison::Eq => {
+                let art_col = artificial_start + artificial_index;
+                *tableau.at_mut(r, art_col) = 1.0;
+                tableau.basis[r] = art_col;
+                artificial_index += 1;
+                artificial_rows.push(r);
+            }
+        }
+    }
+
+    let allowed_all = vec![true; total_cols];
+
+    // ---- Phase 1: minimize the sum of artificial variables. ----
+    if num_artificial > 0 {
+        let mut costs = vec![0.0; total_cols];
+        for c in artificial_start..total_cols {
+            costs[c] = 1.0;
+        }
+        let mut phase1_value = 0.0;
+        // Express the phase-1 objective in terms of the non-basic variables:
+        // subtract the rows whose basic variable is artificial.
+        for &r in &artificial_rows {
+            for c in 0..total_cols {
+                costs[c] -= tableau.at(r, c);
+            }
+            phase1_value -= tableau.rhs(r);
+        }
+        run_simplex(&mut tableau, &mut costs, &mut phase1_value, &allowed_all)?;
+        // Recompute the phase-1 optimum (the sum of the artificial variables)
+        // directly from the tableau instead of trusting the incrementally
+        // updated value, which accumulates rounding error over thousands of
+        // pivots on large problems.
+        let infeasibility: f64 = (0..m)
+            .filter(|&r| tableau.basis[r] >= artificial_start)
+            .map(|r| tableau.rhs(r).max(0.0))
+            .sum();
+        let rhs_scale = constraints
+            .iter()
+            .map(|c| c.rhs.abs())
+            .fold(1.0_f64, f64::max);
+        if infeasibility > 1e-7 * rhs_scale.max(1.0) {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any remaining artificial variables out of the basis.
+        for r in 0..m {
+            if tableau.basis[r] >= artificial_start && tableau.rhs(r).abs() <= 1e-7 {
+                if let Some(col) = (0..artificial_start)
+                    .find(|&c| tableau.at(r, c).abs() > 1e-7)
+                {
+                    tableau.pivot(r, col);
+                }
+            }
+        }
+    }
+
+    // ---- Phase 2: minimize the true objective over non-artificial columns. ----
+    let mut allowed = vec![true; total_cols];
+    for c in artificial_start..total_cols {
+        allowed[c] = false;
+    }
+    let mut costs = vec![0.0; total_cols];
+    for j in 0..n {
+        costs[j] = problem.objective()[j];
+        costs[n + j] = -problem.objective()[j];
+    }
+    let mut objective_value = 0.0;
+    // Express the objective in terms of the current (feasible) basis.
+    for r in 0..m {
+        let b = tableau.basis[r];
+        if b < total_cols {
+            let factor = costs[b];
+            if factor.abs() > EPS {
+                for c in 0..total_cols {
+                    costs[c] -= factor * tableau.at(r, c);
+                }
+                objective_value -= factor * tableau.rhs(r);
+            }
+        }
+    }
+    run_simplex(&mut tableau, &mut costs, &mut objective_value, &allowed)?;
+
+    // Extract the solution: basic variables take their RHS value, others zero.
+    let mut extended = vec![0.0; total_cols];
+    for r in 0..m {
+        let b = tableau.basis[r];
+        if b < total_cols {
+            extended[b] = tableau.rhs(r);
+        }
+    }
+    // If an artificial variable is still basic at a nonzero level the problem
+    // is infeasible (can happen despite the phase-1 optimum check when the
+    // pivot clean-up above could not remove it).
+    for c in artificial_start..total_cols {
+        if extended[c].abs() > 1e-6 {
+            return Err(LpError::Infeasible);
+        }
+    }
+    let values: Vec<f64> = (0..n).map(|j| extended[j] - extended[n + j]).collect();
+    let objective = problem.objective_value(&values);
+    Ok(LpSolution::new(values, objective))
+}
+
+/// Comparison after the RHS sign normalization used for column counting
+/// (counting is conservative: a flipped `<=` becomes `>=` and vice versa, but
+/// both need exactly one slack-type column, and `>=` needs an artificial; we
+/// count using the flipped form to match construction).
+fn normalized_comparison(c: &LinearConstraint) -> Comparison {
+    normalized_comparison_flip(c, c.rhs < 0.0)
+}
+
+fn normalized_comparison_flip(c: &LinearConstraint, flip: bool) -> Comparison {
+    match (c.comparison, flip) {
+        (Comparison::Le, false) | (Comparison::Ge, true) => Comparison::Le,
+        (Comparison::Ge, false) | (Comparison::Le, true) => Comparison::Ge,
+        (Comparison::Eq, _) => Comparison::Eq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn solve_lp(
+        num_vars: usize,
+        objective: &[f64],
+        constraints: &[(&[f64], Comparison, f64)],
+    ) -> Result<LpSolution, LpError> {
+        let mut lp = LpProblem::new(num_vars);
+        lp.set_objective(objective);
+        for (coeffs, cmp, rhs) in constraints {
+            lp.add_constraint(coeffs, *cmp, *rhs);
+        }
+        lp.solve()
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // maximize 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0
+        // optimum 36 at (2, 6).  We minimize the negated objective.
+        let sol = solve_lp(
+            2,
+            &[-3.0, -5.0],
+            &[
+                (&[1.0, 0.0], Comparison::Le, 4.0),
+                (&[0.0, 2.0], Comparison::Le, 12.0),
+                (&[3.0, 2.0], Comparison::Le, 18.0),
+                (&[1.0, 0.0], Comparison::Ge, 0.0),
+                (&[0.0, 1.0], Comparison::Ge, 0.0),
+            ],
+        )
+        .unwrap();
+        assert!((sol.objective() + 36.0).abs() < 1e-7, "{sol:?}");
+        assert!((sol.values()[0] - 2.0).abs() < 1e-7);
+        assert!((sol.values()[1] - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // minimize x + y s.t. x + y = 10, x - y = 2 -> unique point (6, 4).
+        let sol = solve_lp(
+            2,
+            &[1.0, 1.0],
+            &[
+                (&[1.0, 1.0], Comparison::Eq, 10.0),
+                (&[1.0, -1.0], Comparison::Eq, 2.0),
+            ],
+        )
+        .unwrap();
+        assert!((sol.values()[0] - 6.0).abs() < 1e-7);
+        assert!((sol.values()[1] - 4.0).abs() < 1e-7);
+        assert!((sol.objective() - 10.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn free_variables_can_go_negative() {
+        // minimize x s.t. x >= -5 -> optimum -5.
+        let sol = solve_lp(1, &[1.0], &[(&[1.0], Comparison::Ge, -5.0)]).unwrap();
+        assert!((sol.values()[0] + 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_problem_detected() {
+        let err = solve_lp(
+            1,
+            &[1.0],
+            &[
+                (&[1.0], Comparison::Ge, 5.0),
+                (&[1.0], Comparison::Le, 1.0),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_problem_detected() {
+        let err = solve_lp(1, &[-1.0], &[(&[1.0], Comparison::Ge, 0.0)]).unwrap_err();
+        assert_eq!(err, LpError::Unbounded);
+        // No constraints with a nonzero objective is unbounded as well.
+        let err = solve_lp(1, &[1.0], &[]).unwrap_err();
+        assert_eq!(err, LpError::Unbounded);
+        // No constraints with a zero objective is trivially optimal at 0.
+        let sol = solve_lp(2, &[0.0, 0.0], &[]).unwrap();
+        assert_eq!(sol.values(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // minimize x + y s.t. -x - y <= -4  (i.e. x + y >= 4), x,y >= 0.
+        let sol = solve_lp(
+            2,
+            &[1.0, 1.0],
+            &[
+                (&[-1.0, -1.0], Comparison::Le, -4.0),
+                (&[1.0, 0.0], Comparison::Ge, 0.0),
+                (&[0.0, 1.0], Comparison::Ge, 0.0),
+            ],
+        )
+        .unwrap();
+        assert!((sol.objective() - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn feasibility_problem_with_zero_objective() {
+        // Any point with x >= 1, x <= 3 works; check that the returned point
+        // is feasible rather than a specific vertex.
+        let mut lp = LpProblem::new(1);
+        lp.add_constraint(&[1.0], Comparison::Ge, 1.0);
+        lp.add_constraint(&[1.0], Comparison::Le, 3.0);
+        let sol = lp.solve().unwrap();
+        assert!(lp.is_feasible(sol.values(), 1e-7), "{sol:?}");
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A classic degenerate LP; Bland's rule must avoid cycling.
+        let sol = solve_lp(
+            4,
+            &[-0.75, 150.0, -0.02, 6.0],
+            &[
+                (&[0.25, -60.0, -0.04, 9.0], Comparison::Le, 0.0),
+                (&[0.5, -90.0, -0.02, 3.0], Comparison::Le, 0.0),
+                (&[0.0, 0.0, 1.0, 0.0], Comparison::Le, 1.0),
+                (&[1.0, 0.0, 0.0, 0.0], Comparison::Ge, 0.0),
+                (&[0.0, 1.0, 0.0, 0.0], Comparison::Ge, 0.0),
+                (&[0.0, 0.0, 1.0, 0.0], Comparison::Ge, 0.0),
+                (&[0.0, 0.0, 0.0, 1.0], Comparison::Ge, 0.0),
+            ],
+        )
+        .unwrap();
+        assert!((sol.objective() + 0.05).abs() < 1e-6, "{sol:?}");
+    }
+
+    #[test]
+    fn barrier_style_feasibility_lp() {
+        // Miniature of the generator-function LP: find p11, p22, c such that
+        // W(x) = p11*x1^2 + p22*x2^2 + c is positive at sample points and
+        // decreases between consecutive samples.  Samples from a contracting
+        // trajectory x_{k+1} = 0.9 x_k starting at (1, 1).
+        let samples = [(1.0, 1.0), (0.9, 0.9), (0.81, 0.81), (0.729, 0.729)];
+        let mut lp = LpProblem::new(3);
+        lp.set_objective(&[0.0, 0.0, 0.0]);
+        // Positivity: W(x_k) >= 0.1
+        for &(x1, x2) in &samples {
+            lp.add_constraint(&[x1 * x1, x2 * x2, 1.0], Comparison::Ge, 0.1);
+        }
+        // Decrease: W(x_{k+1}) - W(x_k) <= -0.01
+        for w in samples.windows(2) {
+            let (a1, a2) = w[0];
+            let (b1, b2) = w[1];
+            lp.add_constraint(
+                &[b1 * b1 - a1 * a1, b2 * b2 - a2 * a2, 0.0],
+                Comparison::Le,
+                -0.01,
+            );
+        }
+        // Normalization to keep the solution bounded.
+        lp.add_constraint(&[1.0, 1.0, 0.0], Comparison::Eq, 2.0);
+        lp.add_constraint(&[0.0, 0.0, 1.0], Comparison::Le, 10.0);
+        lp.add_constraint(&[0.0, 0.0, 1.0], Comparison::Ge, -10.0);
+        let sol = lp.solve().unwrap();
+        assert!(lp.is_feasible(sol.values(), 1e-6), "{sol:?}");
+        // The found W must indeed decrease along the samples.
+        let w = |p: &[f64], x1: f64, x2: f64| p[0] * x1 * x1 + p[1] * x2 * x2 + p[2];
+        for win in samples.windows(2) {
+            let before = w(sol.values(), win[0].0, win[0].1);
+            let after = w(sol.values(), win[1].0, win[1].1);
+            assert!(after < before);
+        }
+    }
+
+    #[test]
+    fn large_trace_style_lp_is_not_misreported_as_infeasible() {
+        // Regression test: with several hundred positivity/decrease rows the
+        // accumulated pivot error used to push the incrementally tracked
+        // phase-1 objective past the feasibility threshold and the solver
+        // reported `Infeasible` even though a feasible point exists.  The
+        // constraint system below is built around the known feasible point
+        // w = (0.02, 0.01, 0.13, 0, 0, 0.01, t=0).
+        let w = [0.02, 0.01, 0.13, 0.0, 0.0, 0.01, 0.0];
+        let eval = |coeffs: &[f64]| -> f64 {
+            coeffs.iter().zip(w.iter()).map(|(a, b)| a * b).sum()
+        };
+        let mut lp = LpProblem::new(7);
+        lp.set_objective(&[0.0, 0.0, 0.0, 0.0, 0.0, 0.0, -1.0]);
+        for k in 0..400 {
+            let t = k as f64 / 400.0;
+            let x = 4.5 * (1.0 - 0.8 * t) * (7.0 * t).cos();
+            let y = 1.5 * (1.0 - 0.8 * t) * (7.0 * t).sin();
+            let pos = [x * x, x * y, y * y, x, y, 1.0, 0.0];
+            // Positivity row, guaranteed loose at the feasible point.
+            lp.add_constraint(&pos, Comparison::Ge, eval(&pos) - 0.1);
+            // Decrease row toward a contracted point, again loose at w.
+            let (nx, ny) = (0.97 * x, 0.96 * y);
+            let dec = [
+                nx * nx - x * x,
+                nx * ny - x * y,
+                ny * ny - y * y,
+                nx - x,
+                ny - y,
+                0.0,
+                0.01,
+            ];
+            lp.add_constraint(&dec, Comparison::Le, eval(&dec) + 0.1);
+        }
+        let norm = [25.0, 7.8, 2.4, 5.0, 1.56, 1.0, 0.0];
+        lp.add_constraint(&norm, Comparison::Eq, eval(&norm));
+        let solution = lp.solve().expect("the constructed LP is feasible");
+        assert!(lp.is_feasible(solution.values(), 1e-5));
+    }
+
+    #[test]
+    fn maximizing_a_margin_variable_prefers_larger_margins() {
+        // minimize -t subject to  x + t <= 5, x >= 1, 0 <= t <= 10.
+        // Optimal t = 4 at x = 1.
+        let sol = solve_lp(
+            2,
+            &[0.0, -1.0],
+            &[
+                (&[1.0, 1.0], Comparison::Le, 5.0),
+                (&[1.0, 0.0], Comparison::Ge, 1.0),
+                (&[0.0, 1.0], Comparison::Ge, 0.0),
+                (&[0.0, 1.0], Comparison::Le, 10.0),
+            ],
+        )
+        .unwrap();
+        assert!((sol.values()[1] - 4.0).abs() < 1e-6, "{sol:?}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lps_built_around_a_known_point_are_feasible(
+            seed_rows in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0, -2.0f64..2.0), 5..60),
+            point in (-1.5f64..1.5, -1.5f64..1.5, -1.5f64..1.5),
+        ) {
+            // Every row is of the form a·x ⋈ b with b chosen so the fixed
+            // point satisfies it with slack; the solver must never report
+            // infeasibility, and its solution must satisfy every row.
+            let fixed = [point.0, point.1, point.2];
+            let mut lp = LpProblem::new(3);
+            for (i, (a0, a1, a2)) in seed_rows.iter().enumerate() {
+                let row = [*a0, *a1, *a2];
+                let value: f64 = row.iter().zip(fixed.iter()).map(|(a, b)| a * b).sum();
+                if i % 2 == 0 {
+                    lp.add_constraint(&row, Comparison::Ge, value - 0.5);
+                } else {
+                    lp.add_constraint(&row, Comparison::Le, value + 0.5);
+                }
+            }
+            let solution = lp.solve();
+            prop_assert!(solution.is_ok(), "spurious infeasibility: {solution:?}");
+            prop_assert!(lp.is_feasible(solution.unwrap().values(), 1e-6));
+        }
+
+        #[test]
+        fn prop_solution_is_feasible_and_not_worse_than_feasible_points(
+            c0 in -2.0f64..2.0, c1 in -2.0f64..2.0,
+            b0 in 1.0f64..5.0, b1 in 1.0f64..5.0,
+        ) {
+            // minimize c·x over the box 0 <= x <= b (encoded with Ge/Le rows).
+            let mut lp = LpProblem::new(2);
+            lp.set_objective(&[c0, c1]);
+            lp.add_constraint(&[1.0, 0.0], Comparison::Ge, 0.0);
+            lp.add_constraint(&[0.0, 1.0], Comparison::Ge, 0.0);
+            lp.add_constraint(&[1.0, 0.0], Comparison::Le, b0);
+            lp.add_constraint(&[0.0, 1.0], Comparison::Le, b1);
+            let sol = lp.solve().unwrap();
+            prop_assert!(lp.is_feasible(sol.values(), 1e-6));
+            // The optimum of a linear objective over a box is attained at a
+            // corner; check against all four corners.
+            let corners = [(0.0, 0.0), (b0, 0.0), (0.0, b1), (b0, b1)];
+            let best = corners
+                .iter()
+                .map(|&(x, y)| c0 * x + c1 * y)
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(sol.objective() <= best + 1e-6);
+        }
+    }
+}

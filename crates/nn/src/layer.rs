@@ -1,0 +1,233 @@
+//! A dense affine layer followed by an activation.
+
+use nncps_expr::Expr;
+use nncps_linalg::{Matrix, Vector};
+
+use crate::Activation;
+
+/// One fully-connected layer: `output = activation(W · input + b)`.
+///
+/// Following the paper's notation, a layer with `d_out` neurons and `d_in`
+/// inputs is parameterized by a `d_out × d_in` weight matrix `W` and a bias
+/// vector `b` of length `d_out`.
+///
+/// # Examples
+///
+/// ```
+/// use nncps_linalg::{Matrix, Vector};
+/// use nncps_nn::{Activation, Layer};
+///
+/// let layer = Layer::new(
+///     Matrix::from_rows(&[&[1.0, -1.0]]),
+///     Vector::from_slice(&[0.5]),
+///     Activation::Tanh,
+/// );
+/// let out = layer.forward(&[2.0, 1.0]);
+/// assert!((out[0] - 1.5_f64.tanh()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    weights: Matrix,
+    biases: Vector,
+    activation: Activation,
+}
+
+impl Layer {
+    /// Creates a layer from its weight matrix, bias vector, and activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bias length does not equal the number of weight rows.
+    pub fn new(weights: Matrix, biases: Vector, activation: Activation) -> Self {
+        assert_eq!(
+            weights.rows(),
+            biases.len(),
+            "bias length must equal the number of neurons (weight rows)"
+        );
+        Layer {
+            weights,
+            biases,
+            activation,
+        }
+    }
+
+    /// Creates a layer with all parameters set to zero.
+    pub fn zeroed(inputs: usize, neurons: usize, activation: Activation) -> Self {
+        Layer::new(
+            Matrix::zeros(neurons, inputs),
+            Vector::zeros(neurons),
+            activation,
+        )
+    }
+
+    /// Number of inputs accepted by the layer.
+    pub fn input_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Number of neurons (outputs) in the layer.
+    pub fn output_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// The weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The bias vector.
+    pub fn biases(&self) -> &Vector {
+        &self.biases
+    }
+
+    /// Total number of trainable parameters (`weights + biases`).
+    pub fn num_params(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.biases.len()
+    }
+
+    /// Evaluates the layer on an input slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.input_dim()`.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.input_dim(), "layer input length mismatch");
+        let pre = self.weights.mat_vec(&Vector::from_slice(input));
+        (0..self.output_dim())
+            .map(|i| self.activation.apply(pre[i] + self.biases[i]))
+            .collect()
+    }
+
+    /// Builds symbolic expressions for the layer outputs given symbolic inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.input_dim()`.
+    pub fn forward_symbolic(&self, inputs: &[Expr]) -> Vec<Expr> {
+        assert_eq!(
+            inputs.len(),
+            self.input_dim(),
+            "layer symbolic input length mismatch"
+        );
+        (0..self.output_dim())
+            .map(|i| {
+                let mut pre = Expr::constant(self.biases[i]);
+                for (j, input) in inputs.iter().enumerate() {
+                    let w = self.weights[(i, j)];
+                    if w != 0.0 {
+                        pre = pre + Expr::constant(w) * input.clone();
+                    }
+                }
+                self.activation.apply_expr(pre)
+            })
+            .collect()
+    }
+
+    /// Appends the layer parameters (weights row-major, then biases) to `out`.
+    pub fn flatten_into(&self, out: &mut Vec<f64>) {
+        out.extend_from_slice(self.weights.as_slice());
+        out.extend_from_slice(self.biases.as_slice());
+    }
+
+    /// Reads the layer parameters back from a flat slice, returning how many
+    /// values were consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice holds fewer than [`Layer::num_params`] values.
+    pub fn unflatten_from(&mut self, params: &[f64]) -> usize {
+        let need = self.num_params();
+        assert!(
+            params.len() >= need,
+            "parameter slice too short: need {need}, got {}",
+            params.len()
+        );
+        let (rows, cols) = (self.weights.rows(), self.weights.cols());
+        self.weights = Matrix::from_row_major(rows, cols, params[..rows * cols].to_vec());
+        self.biases = Vector::from_slice(&params[rows * cols..need]);
+        need
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_layer() -> Layer {
+        Layer::new(
+            Matrix::from_rows(&[&[1.0, 2.0], &[-0.5, 0.25]]),
+            Vector::from_slice(&[0.1, -0.2]),
+            Activation::Tanh,
+        )
+    }
+
+    #[test]
+    fn dimensions_and_parameter_count() {
+        let layer = sample_layer();
+        assert_eq!(layer.input_dim(), 2);
+        assert_eq!(layer.output_dim(), 2);
+        assert_eq!(layer.num_params(), 6);
+        assert_eq!(layer.activation(), Activation::Tanh);
+        assert_eq!(layer.weights().rows(), 2);
+        assert_eq!(layer.biases().len(), 2);
+        let z = Layer::zeroed(3, 4, Activation::Relu);
+        assert_eq!(z.num_params(), 16);
+    }
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let layer = sample_layer();
+        let out = layer.forward(&[1.0, -1.0]);
+        assert!((out[0] - (1.0 - 2.0 + 0.1_f64).tanh()).abs() < 1e-12);
+        assert!((out[1] - (-0.5 - 0.25 - 0.2_f64).tanh()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symbolic_forward_matches_numeric_forward() {
+        use nncps_expr::Expr;
+        let layer = sample_layer();
+        let exprs = layer.forward_symbolic(&[Expr::var(0), Expr::var(1)]);
+        for &input in &[[0.3, -0.7], [1.5, 2.0], [0.0, 0.0]] {
+            let numeric = layer.forward(&input);
+            for (k, e) in exprs.iter().enumerate() {
+                assert!((e.eval(&input) - numeric[k]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn flatten_unflatten_roundtrip() {
+        let layer = sample_layer();
+        let mut flat = Vec::new();
+        layer.flatten_into(&mut flat);
+        assert_eq!(flat.len(), 6);
+        let mut copy = Layer::zeroed(2, 2, Activation::Tanh);
+        let used = copy.unflatten_from(&flat);
+        assert_eq!(used, 6);
+        assert_eq!(copy, layer);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length")]
+    fn mismatched_bias_length_panics() {
+        let _ = Layer::new(Matrix::zeros(2, 2), Vector::zeros(3), Activation::Tanh);
+    }
+
+    #[test]
+    #[should_panic(expected = "input length mismatch")]
+    fn wrong_input_length_panics() {
+        let _ = sample_layer().forward(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter slice too short")]
+    fn short_parameter_slice_panics() {
+        let mut layer = sample_layer();
+        let _ = layer.unflatten_from(&[1.0, 2.0]);
+    }
+}

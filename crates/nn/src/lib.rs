@@ -1,0 +1,42 @@
+//! Feedforward neural-network controllers.
+//!
+//! The paper's learning-enabled component is a fully-connected feedforward
+//! network with one hidden layer of `tansig` (hyperbolic tangent) neurons that
+//! maps the path-following errors `(d_err, θ_err)` to a steering command `u`.
+//! This crate provides:
+//!
+//! * [`Activation`] — the activation functions used by the paper and the
+//!   related literature (`tansig`/tanh, logistic sigmoid, ReLU, linear),
+//! * [`Layer`] — a dense affine layer followed by an activation,
+//! * [`FeedforwardNetwork`] — a stack of layers with forward evaluation,
+//!   parameter flattening for the CMA-ES policy search, and **symbolic
+//!   export** into [`nncps_expr::Expr`] trees so that the very same network
+//!   appears inside the δ-SAT verification queries (the paper's requirement
+//!   that the "deployed" dynamics and the SMT queries share one
+//!   interpretation).
+//!
+//! # Examples
+//!
+//! ```
+//! use nncps_nn::{Activation, FeedforwardNetwork};
+//!
+//! // The paper's architecture: 2 inputs, Nh tanh neurons, 1 linear output.
+//! let network = FeedforwardNetwork::builder(2)
+//!     .layer(10, Activation::Tanh)
+//!     .layer(1, Activation::Tanh)
+//!     .build_zeroed();
+//! assert_eq!(network.num_params(), 4 * 10 + 1);
+//! let u = network.forward(&[0.1, -0.2]);
+//! assert_eq!(u.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activation;
+mod layer;
+mod network;
+
+pub use activation::Activation;
+pub use layer::Layer;
+pub use network::{network_from_weights, FeedforwardNetwork, NetworkBuilder};

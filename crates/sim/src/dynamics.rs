@@ -1,0 +1,168 @@
+//! The `Dynamics` trait and its standard implementations.
+
+use nncps_expr::Expr;
+
+/// An autonomous continuous-time system `ẋ = f(x)`.
+///
+/// The closed-loop models produced by composing a plant with a neural-network
+/// controller (Equation (4) of the paper) are autonomous, so the trait does
+/// not carry an explicit time argument.
+pub trait Dynamics {
+    /// Dimension of the state vector.
+    fn dim(&self) -> usize;
+
+    /// Evaluates the vector field at `state`, returning `ẋ`.
+    ///
+    /// Implementations may assume `state.len() == self.dim()` and must return
+    /// a vector of the same length.
+    fn derivative(&self, state: &[f64]) -> Vec<f64>;
+}
+
+/// Dynamics defined by a plain Rust closure.
+///
+/// # Examples
+///
+/// ```
+/// use nncps_sim::{Dynamics, FnDynamics};
+///
+/// // Harmonic oscillator: x' = v, v' = -x.
+/// let oscillator = FnDynamics::new(2, |s: &[f64]| vec![s[1], -s[0]]);
+/// assert_eq!(oscillator.derivative(&[0.0, 1.0]), vec![1.0, 0.0]);
+/// ```
+pub struct FnDynamics<F> {
+    dim: usize,
+    f: F,
+}
+
+impl<F: Fn(&[f64]) -> Vec<f64>> FnDynamics<F> {
+    /// Wraps a closure computing the vector field of a `dim`-dimensional system.
+    pub fn new(dim: usize, f: F) -> Self {
+        FnDynamics { dim, f }
+    }
+}
+
+impl<F: Fn(&[f64]) -> Vec<f64>> Dynamics for FnDynamics<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn derivative(&self, state: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(state.len(), self.dim, "state dimension mismatch");
+        let out = (self.f)(state);
+        debug_assert_eq!(out.len(), self.dim, "derivative dimension mismatch");
+        out
+    }
+}
+
+impl<F> std::fmt::Debug for FnDynamics<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnDynamics").field("dim", &self.dim).finish()
+    }
+}
+
+/// Dynamics defined by symbolic expressions, one per state component.
+///
+/// Using [`ExprDynamics`] for simulation guarantees that the trajectories the
+/// LP is fitted to and the vector field inside the δ-SAT queries come from
+/// the *same* mathematical object — the consistency requirement the paper
+/// discusses at the end of Section 3.
+///
+/// # Examples
+///
+/// ```
+/// use nncps_expr::Expr;
+/// use nncps_sim::{Dynamics, ExprDynamics};
+///
+/// let x = Expr::var(0);
+/// let v = Expr::var(1);
+/// let oscillator = ExprDynamics::new(vec![v, -x]);
+/// assert_eq!(oscillator.derivative(&[0.0, 1.0]), vec![1.0, -0.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExprDynamics {
+    components: Vec<Expr>,
+}
+
+impl ExprDynamics {
+    /// Creates dynamics from one expression per state derivative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any expression references a variable index outside
+    /// `0..components.len()`.
+    pub fn new(components: Vec<Expr>) -> Self {
+        let dim = components.len();
+        for (i, c) in components.iter().enumerate() {
+            assert!(
+                c.num_vars() <= dim,
+                "component {i} references variable x{} but the state has {dim} dimensions",
+                c.num_vars() - 1
+            );
+        }
+        ExprDynamics { components }
+    }
+
+    /// The symbolic components of the vector field.
+    pub fn components(&self) -> &[Expr] {
+        &self.components
+    }
+}
+
+impl Dynamics for ExprDynamics {
+    fn dim(&self) -> usize {
+        self.components.len()
+    }
+
+    fn derivative(&self, state: &[f64]) -> Vec<f64> {
+        self.components.iter().map(|c| c.eval(state)).collect()
+    }
+}
+
+impl<D: Dynamics + ?Sized> Dynamics for &D {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn derivative(&self, state: &[f64]) -> Vec<f64> {
+        (**self).derivative(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_dynamics_evaluates_closure() {
+        let d = FnDynamics::new(2, |s: &[f64]| vec![s[1], -2.0 * s[0]]);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.derivative(&[1.0, 3.0]), vec![3.0, -2.0]);
+        assert!(format!("{d:?}").contains("dim"));
+    }
+
+    #[test]
+    fn expr_dynamics_matches_expressions() {
+        let x = Expr::var(0);
+        let y = Expr::var(1);
+        let d = ExprDynamics::new(vec![y.clone(), -x.clone() - y.clone() * 0.1]);
+        assert_eq!(d.dim(), 2);
+        let out = d.derivative(&[2.0, -1.0]);
+        assert!((out[0] + 1.0).abs() < 1e-15);
+        assert!((out[1] - (-2.0 + 0.1)).abs() < 1e-15);
+        assert_eq!(d.components().len(), 2);
+    }
+
+    #[test]
+    fn reference_implements_dynamics() {
+        let d = FnDynamics::new(1, |s: &[f64]| vec![-s[0]]);
+        let r: &dyn Dynamics = &d;
+        assert_eq!(r.dim(), 1);
+        assert_eq!((&r).derivative(&[2.0]), vec![-2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "references variable")]
+    fn expr_dynamics_rejects_out_of_range_variables() {
+        let _ = ExprDynamics::new(vec![Expr::var(3)]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Closed-loop simulation: dynamics, ODE integrators, and traces.
+//!
+//! The barrier-certificate procedure is *simulation guided*: candidate
+//! generator functions are fitted to constraints extracted from trajectories
+//! of the closed-loop system (the paper's traces Φs and Φf).  This crate
+//! provides the simulation substrate that replaces the paper's MATLAB®
+//! environment:
+//!
+//! * the [`Dynamics`] trait describing an autonomous vector field `ẋ = f(x)`,
+//! * implementations for plain closures ([`FnDynamics`]) and for symbolic
+//!   expressions ([`ExprDynamics`]) so the *same* expression tree used in the
+//!   SMT queries can also drive the simulator,
+//! * fixed-step explicit integrators (Euler, midpoint, classic RK4) and an
+//!   adaptive Runge–Kutta–Fehlberg 4(5) integrator ([`Integrator`]),
+//! * the [`Trace`] type storing time-stamped states, and
+//! * a [`Simulator`] that wires it all together.
+//!
+//! # Examples
+//!
+//! ```
+//! use nncps_sim::{FnDynamics, Integrator, Simulator};
+//!
+//! // Simulate the scalar system x' = -x for one second.
+//! let dynamics = FnDynamics::new(1, |x: &[f64]| vec![-x[0]]);
+//! let simulator = Simulator::new(Integrator::RungeKutta4, 0.01, 1.0);
+//! let trace = simulator.simulate(&dynamics, &[1.0]);
+//! let x_end = trace.final_state()[0];
+//! assert!((x_end - (-1.0_f64).exp()).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dynamics;
+mod integrator;
+mod simulator;
+mod trace;
+
+pub use dynamics::{Dynamics, ExprDynamics, FnDynamics};
+pub use integrator::Integrator;
+pub use simulator::Simulator;
+pub use trace::Trace;

@@ -1,0 +1,70 @@
+//! Using the δ-SAT solver directly, the way the paper uses dReal.
+//!
+//! The barrier pipeline drives the solver automatically, but the solver is a
+//! general δ-complete decision procedure for nonlinear real arithmetic and can
+//! be used on its own.  This example poses three hand-written queries:
+//!
+//! 1. a satisfiable conjunction of polynomial and trigonometric constraints,
+//! 2. an unsatisfiable query involving a `tanh` neural activation, and
+//! 3. the paper-style decrease query for a hand-written Lyapunov function.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example dreal_style_query
+//! ```
+
+use nncps_deltasat::{Constraint, DeltaSolver, Formula};
+use nncps_expr::{Expr, VarSet};
+use nncps_interval::IntervalBox;
+
+fn main() {
+    let solver = DeltaSolver::new(1e-4);
+
+    // --- Query 1: satisfiable nonlinear conjunction --------------------------
+    // exists (x, y) in [-2, 2]^2 :  x^2 + y^2 <= 1  /\  sin(x) + y >= 1
+    let mut vars = VarSet::new();
+    let x = vars.var("x");
+    let y = vars.var("y");
+    let q1 = Formula::all_of([
+        Constraint::le(x.clone().powi(2) + y.clone().powi(2), 1.0),
+        Constraint::ge(x.clone().sin() + y.clone(), 1.0),
+    ]);
+    let domain = IntervalBox::from_bounds(&[(-2.0, 2.0), (-2.0, 2.0)]);
+    let (result, stats) = solver.solve_with_stats(&q1, &domain);
+    println!("query 1: {result}");
+    println!(
+        "         ({} boxes explored, {} pruned, {} bisections)",
+        stats.boxes_explored, stats.boxes_pruned, stats.bisections
+    );
+
+    // --- Query 2: unsatisfiable query over a tanh activation -----------------
+    // exists x in [-10, 10] :  tanh(2 x) >= 1.0001
+    let q2 = Formula::atom(Constraint::ge((x.clone() * 2.0).tanh(), 1.0001));
+    let q2_result = solver.solve(&q2, &IntervalBox::from_bounds(&[(-10.0, 10.0)]));
+    println!("query 2: {q2_result} (tanh is bounded by 1, so this must be unsat)");
+
+    // --- Query 3: a decrease query like the paper's condition (5) -------------
+    // System: x' = -x + 0.5 y, y' = -y; candidate W = x^2 + y^2.
+    // Ask the negation: exists state outside X0 with dW/dt >= -gamma.
+    let f = [
+        -x.clone() + y.clone() * 0.5,
+        -y.clone(),
+    ];
+    let w = x.clone().powi(2) + y.clone().powi(2);
+    let lie = w.differentiate(0) * f[0].clone() + w.differentiate(1) * f[1].clone();
+    let gamma = 1e-6;
+    let outside_x0 = Formula::or(vec![
+        Formula::atom(Constraint::lt(x.clone(), -0.5)),
+        Formula::atom(Constraint::gt(x.clone(), 0.5)),
+        Formula::atom(Constraint::lt(y.clone(), -0.5)),
+        Formula::atom(Constraint::gt(y, 0.5)),
+    ]);
+    let q3 = Formula::and(vec![
+        outside_x0,
+        Formula::atom(Constraint::ge(lie.simplified(), -gamma)),
+    ]);
+    let domain = IntervalBox::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]);
+    let q3_result = solver.solve(&q3, &domain);
+    println!("query 3: {q3_result} (unsat means W decreases everywhere outside X0)");
+}

@@ -1,0 +1,97 @@
+//! Regenerates the data behind Figure 5: the phase portrait of the verified
+//! closed loop with the initial set, the unsafe set, sample trajectories, and
+//! the barrier-certificate level set.
+//!
+//! The output is CSV with a `kind` column so the figure can be reproduced with
+//! any plotting tool:
+//!
+//! * `x0_corner` — corners of the initial set rectangle,
+//! * `unsafe_bound` — the rectangle whose complement is the unsafe set,
+//! * `trace,<id>` — sampled simulation trajectories (Φs of the paper),
+//! * `barrier` — points on the certified level set `{W(x) = ℓ}`.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example phase_portrait > figure5.csv
+//! ```
+
+use nncps_barrier::{ClosedLoopSystem, SafetySpec, VerificationConfig, Verifier};
+use nncps_dubins::{reference_controller, ErrorDynamics};
+use nncps_interval::IntervalBox;
+use nncps_sim::{Integrator, Simulator};
+
+fn main() {
+    let eps = 0.01;
+    let pi = std::f64::consts::PI;
+    let initial_set = IntervalBox::from_bounds(&[(-1.0, 1.0), (-pi / 16.0, pi / 16.0)]);
+    let safe_region = IntervalBox::from_bounds(&[
+        (-5.0, 5.0),
+        (-(pi / 2.0 - eps), pi / 2.0 - eps),
+    ]);
+    let spec = SafetySpec::rectangular(initial_set.clone(), safe_region.clone());
+
+    let dynamics = ErrorDynamics::new(reference_controller(10), 1.0);
+    let system = ClosedLoopSystem::new(dynamics.symbolic_vector_field(), spec);
+    let verifier = Verifier::new(VerificationConfig::default());
+    let outcome = verifier.verify(&system);
+
+    println!("kind,x,y");
+    // The rectangles.
+    for corner in initial_set.corners() {
+        println!("x0_corner,{},{}", corner[0], corner[1]);
+    }
+    for corner in safe_region.corners() {
+        println!("unsafe_bound,{},{}", corner[0], corner[1]);
+    }
+
+    // Sample trajectories from the domain (the Φs of Figure 5).
+    let simulator = Simulator::new(Integrator::RungeKutta4, 0.05, 10.0);
+    let expr_dynamics = system.dynamics();
+    let starts = [
+        [4.0, 1.0],
+        [-4.0, -1.0],
+        [3.0, -1.2],
+        [-3.0, 1.2],
+        [2.0, 0.8],
+        [-2.0, -0.8],
+        [4.5, -0.5],
+        [-4.5, 0.5],
+    ];
+    for (id, start) in starts.iter().enumerate() {
+        let trace = simulator.simulate_until(&expr_dynamics, start, |_, s| {
+            !safe_region.contains_point(s)
+        });
+        for (_, state) in trace.iter().step_by(4) {
+            println!("trace{id},{},{}", state[0], state[1]);
+        }
+    }
+
+    // The barrier level set {W = l}, traced by scanning the domain.
+    match outcome.certificate() {
+        Some(certificate) => {
+            eprintln!("certified with level {:.6}", certificate.level());
+            let steps = 400;
+            for i in 0..=steps {
+                let x = -5.0 + 10.0 * i as f64 / steps as f64;
+                // For each x, find theta values where W(x, theta) = l by a fine scan.
+                let mut previous: Option<(f64, f64)> = None;
+                for j in 0..=steps {
+                    let y = -(pi / 2.0) + pi * j as f64 / steps as f64;
+                    let value = certificate.value(&[x, y]);
+                    if let Some((py, pv)) = previous {
+                        if pv.signum() != value.signum() {
+                            // Linear interpolation of the crossing.
+                            let t = pv / (pv - value);
+                            println!("barrier,{},{}", x, py + t * (y - py));
+                        }
+                    }
+                    previous = Some((y, value));
+                }
+            }
+        }
+        None => {
+            eprintln!("verification inconclusive: {outcome}");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Reproduces the controller-training experiment behind Figure 4.
+//!
+//! The controller is trained by CMA-ES direct policy search on the
+//! piecewise-linear reference path; the example prints the per-generation
+//! training cost (the data of the Figure 4 evolution) and writes the final
+//! closed-loop trajectory next to the target path as CSV so it can be
+//! plotted.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example train_controller [hidden_neurons] [generations]
+//! ```
+
+use nncps_dubins::{train_controller, Path, TrainingEnv, TrainingOptions};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let hidden_neurons: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+    let generations: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(25);
+
+    let options = TrainingOptions {
+        hidden_neurons,
+        population: 40,
+        max_generations: generations,
+        ..TrainingOptions::default()
+    };
+    let path = Path::figure4_path();
+    println!(
+        "training a 2 -> {hidden_neurons} -> 1 tanh controller with CMA-ES \
+         (population {}, {} generations) on a {:.0} m reference path",
+        options.population,
+        options.max_generations,
+        path.length()
+    );
+    println!();
+    println!("generation,best_cost,mean_cost,sigma");
+
+    let outcome = train_controller(path.clone(), &options);
+    for generation in &outcome.history {
+        println!(
+            "{},{:.3},{:.3},{:.5}",
+            generation.index, generation.best_fitness, generation.mean_fitness, generation.sigma
+        );
+    }
+    println!();
+    println!("best cost J = {:.3}", outcome.best_cost);
+
+    // Roll out the trained controller and report tracking quality.
+    let env = TrainingEnv::new(path.clone(), &options);
+    let (trace, cost) = env.rollout(&outcome.controller);
+    let end = path.end();
+    let fin = trace.final_state();
+    let terminal_error = ((fin[0] - end.0).powi(2) + (fin[1] - end.1).powi(2)).sqrt();
+    println!("rollout cost            = {cost:.3}");
+    println!("terminal position error = {terminal_error:.3} m");
+    println!();
+    println!("# final trajectory (x, y) vs target path — CSV");
+    println!("kind,x,y");
+    for &(x, y) in path.waypoints() {
+        println!("target,{x},{y}");
+    }
+    for (_, state) in trace.iter().step_by(5) {
+        println!("actual,{},{}", state[0], state[1]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Reproduces the Table 1 sweep: verification effort versus controller size.
+//!
+//! For every hidden-layer width the example builds the case-study closed loop,
+//! runs the full barrier-certificate procedure, and prints one row with the
+//! same quantities as Table 1 of the paper: the number of generator
+//! iterations, the average LP and SMT times, the time spent in the remaining
+//! steps, and the total time.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example verify_sweep [widths...]
+//! # default widths: 10 20 40 50 70 80 90 100
+//! ```
+
+use nncps_barrier::{ClosedLoopSystem, SafetySpec, VerificationConfig, Verifier};
+use nncps_dubins::{reference_controller, ErrorDynamics};
+use nncps_interval::IntervalBox;
+
+fn paper_spec() -> SafetySpec {
+    let eps = 0.01;
+    let pi = std::f64::consts::PI;
+    SafetySpec::rectangular(
+        IntervalBox::from_bounds(&[(-1.0, 1.0), (-pi / 16.0, pi / 16.0)]),
+        IntervalBox::from_bounds(&[(-5.0, 5.0), (-(pi / 2.0 - eps), pi / 2.0 - eps)]),
+    )
+}
+
+fn main() {
+    let widths: Vec<usize> = {
+        let parsed: Vec<usize> = std::env::args()
+            .skip(1)
+            .filter_map(|a| a.parse().ok())
+            .collect();
+        if parsed.is_empty() {
+            vec![10, 20, 40, 50, 70, 80, 90, 100]
+        } else {
+            parsed
+        }
+    };
+
+    println!(
+        "{:>8} | {:>10} | {:>10} | {:>12} | {:>10} | {:>10} | {:>9}",
+        "neurons", "iterations", "LP (s)", "SMT (5) (s)", "other (s)", "total (s)", "result"
+    );
+    println!("{}", "-".repeat(88));
+
+    for &width in &widths {
+        let controller = reference_controller(width);
+        let dynamics = ErrorDynamics::new(controller, 1.0);
+        let system = ClosedLoopSystem::new(dynamics.symbolic_vector_field(), paper_spec());
+        let verifier = Verifier::new(VerificationConfig::default());
+        let outcome = verifier.verify(&system);
+        let stats = outcome.stats();
+        println!(
+            "{:>8} | {:>10} | {:>10.3} | {:>12.3} | {:>10.3} | {:>10.3} | {:>9}",
+            width,
+            stats.generator_iterations,
+            stats.avg_lp_time().as_secs_f64(),
+            stats.avg_smt_time().as_secs_f64(),
+            stats.timings.other().as_secs_f64(),
+            stats.timings.total.as_secs_f64(),
+            if outcome.is_certified() { "safe" } else { "unknown" },
+        );
+    }
+}

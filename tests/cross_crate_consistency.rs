@@ -1,0 +1,215 @@
+//! Cross-crate consistency tests.
+//!
+//! The paper is explicit that the trace generator and the SMT solver must use
+//! the *same interpretation* of the system dynamics (Section 3, final
+//! paragraph).  In this workspace that means the numeric closed-loop model
+//! (`nncps-dubins` + `nncps-sim`), the symbolic model (`nncps-expr`), and the
+//! interval model used by the δ-SAT solver (`nncps-interval` +
+//! `nncps-deltasat`) must all agree.  These tests pin that agreement down.
+
+use nncps_barrier::{CandidateSynthesizer, QuadraticTemplate, SafetySpec};
+use nncps_deltasat::{Constraint, DeltaSolver, Formula, SatResult};
+use nncps_dubins::{reference_controller, ErrorDynamics};
+use nncps_expr::{Expr, VarSet};
+use nncps_interval::IntervalBox;
+use nncps_nn::FeedforwardNetwork;
+use nncps_sim::{Dynamics, ExprDynamics, FnDynamics, Integrator, Simulator};
+
+fn probe_states() -> Vec<[f64; 2]> {
+    vec![
+        [0.0, 0.0],
+        [1.0, 0.1],
+        [-2.5, -0.7],
+        [4.9, 1.5],
+        [-4.9, -1.5],
+        [0.3, -1.2],
+        [-1.7, 0.9],
+    ]
+}
+
+#[test]
+fn numeric_and_symbolic_error_dynamics_agree() {
+    for width in [1, 10, 40] {
+        let dynamics = ErrorDynamics::new(reference_controller(width), 1.0);
+        let field = dynamics.symbolic_vector_field();
+        assert_eq!(field.len(), 2);
+        for state in probe_states() {
+            let numeric = dynamics.derivative(&state);
+            for (component, expr) in field.iter().enumerate() {
+                let symbolic = expr.eval(&state);
+                assert!(
+                    (numeric[component] - symbolic).abs() < 1e-9,
+                    "width {width}, state {state:?}, component {component}: \
+                     numeric {} vs symbolic {symbolic}",
+                    numeric[component]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn network_forward_and_symbolic_forward_agree() {
+    let controller = reference_controller(25);
+    let inputs = [Expr::var(0), Expr::var(1)];
+    let symbolic = controller.forward_symbolic(&inputs);
+    assert_eq!(symbolic.len(), 1);
+    for state in probe_states() {
+        let numeric = controller.forward(&state)[0];
+        let from_expr = symbolic[0].eval(&state);
+        assert!(
+            (numeric - from_expr).abs() < 1e-9,
+            "state {state:?}: {numeric} vs {from_expr}"
+        );
+    }
+}
+
+#[test]
+fn interval_evaluation_encloses_numeric_evaluation() {
+    // The δ-SAT solver reasons with interval extensions of the same symbolic
+    // expressions; any point evaluation must lie inside the interval value of
+    // a box containing the point.
+    let dynamics = ErrorDynamics::new(reference_controller(10), 1.0);
+    let field = dynamics.symbolic_vector_field();
+    for state in probe_states() {
+        let padded: Vec<(f64, f64)> = state.iter().map(|&v| (v - 0.05, v + 0.05)).collect();
+        let enclosure = IntervalBox::from_bounds(&padded);
+        let numeric = dynamics.derivative(&state);
+        for (component, expr) in field.iter().enumerate() {
+            let interval = expr.eval_box(&enclosure);
+            assert!(
+                interval.lo() <= numeric[component] && numeric[component] <= interval.hi(),
+                "state {state:?}, component {component}: {} not in {interval}",
+                numeric[component]
+            );
+        }
+    }
+}
+
+#[test]
+fn expression_and_function_dynamics_produce_identical_traces() {
+    // Simulating the symbolic closed loop and the plain-Rust closure closed
+    // loop must give bit-comparable trajectories (same integrator, same step).
+    let controller = reference_controller(10);
+    let dynamics = ErrorDynamics::new(controller.clone(), 1.0);
+    let expr_dynamics = ExprDynamics::new(dynamics.symbolic_vector_field());
+    let fn_dynamics = FnDynamics::new(2, move |state: &[f64]| {
+        let u = controller.forward(state)[0];
+        vec![state[1].sin(), -u]
+    });
+    let simulator = Simulator::new(Integrator::RungeKutta4, 0.05, 5.0);
+    for start in [[0.8, 0.1], [-0.5, -0.15], [2.0, 0.5]] {
+        let a = simulator.simulate(&expr_dynamics, &start);
+        let b = simulator.simulate(&fn_dynamics, &start);
+        assert_eq!(a.len(), b.len());
+        for ((_, sa), (_, sb)) in a.iter().zip(b.iter()) {
+            assert!((sa[0] - sb[0]).abs() < 1e-9 && (sa[1] - sb[1]).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn template_lie_row_matches_symbolic_lie_derivative() {
+    // The LP's counterexample row and the SMT query's symbolic Lie derivative
+    // are two views of the same quantity; they must agree numerically.
+    let template = QuadraticTemplate::new(2);
+    let coefficients = [0.02, 0.009, 0.13, -0.001, 0.004, 0.01];
+    let generator = template.instantiate(&coefficients);
+    let dynamics = ErrorDynamics::new(reference_controller(10), 1.0);
+    let field = dynamics.symbolic_vector_field();
+    let w = generator.to_expr();
+    let symbolic_lie = (w.differentiate(0) * field[0].clone()
+        + w.differentiate(1) * field[1].clone())
+    .simplified();
+    for state in probe_states() {
+        let derivative = dynamics.derivative(&state);
+        let row = template.lie_basis_values(&state, &derivative);
+        let from_row: f64 = row
+            .iter()
+            .zip(coefficients.iter())
+            .map(|(b, c)| b * c)
+            .sum();
+        let from_expr = symbolic_lie.eval(&state);
+        assert!(
+            (from_row - from_expr).abs() < 1e-9,
+            "state {state:?}: LP row {from_row} vs symbolic {from_expr}"
+        );
+    }
+}
+
+#[test]
+fn synthesized_candidate_generalizes_and_refines_with_fresh_traces() {
+    // A candidate synthesized from one batch of traces should show a net
+    // decrease along traces it has never seen (same dynamics, different
+    // starts), and folding the fresh traces back into the synthesizer — the
+    // refinement the pipeline performs after a counterexample — must keep the
+    // LP feasible and produce a candidate that decreases along *all* recorded
+    // samples.
+    let spec = SafetySpec::rectangular(
+        IntervalBox::from_bounds(&[(-0.5, 0.5), (-0.5, 0.5)]),
+        IntervalBox::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]),
+    );
+    let dynamics = ExprDynamics::new(vec![
+        -Expr::var(0) + Expr::var(1) * 0.3,
+        -Expr::var(1) - Expr::var(0) * 0.3,
+    ]);
+    let simulator = Simulator::new(Integrator::RungeKutta4, 0.05, 4.0);
+    let training = simulator.simulate_batch(
+        &dynamics,
+        &[vec![2.5, 1.0], vec![-2.0, 2.0], vec![1.0, -2.5], vec![-2.0, -2.0]],
+    );
+    let mut synthesizer = CandidateSynthesizer::new(spec.clone());
+    synthesizer.add_traces(&training);
+    let candidate = synthesizer.synthesize().expect("feasible LP");
+
+    // Net decrease along unseen trajectories.
+    let fresh = simulator.simulate_batch(&dynamics, &[vec![2.9, -0.4], vec![-0.8, 2.7]]);
+    for trace in &fresh {
+        assert!(
+            candidate.evaluate(trace.final_state()) < candidate.evaluate(trace.initial_state()),
+            "no net decrease along the fresh trace starting at {:?}",
+            trace.initial_state()
+        );
+    }
+
+    // Refinement with the fresh traces keeps the LP feasible and the refined
+    // candidate decreases along every recorded pair outside X0.
+    synthesizer.add_traces(&fresh);
+    let refined = synthesizer.synthesize().expect("refined LP stays feasible");
+    for trace in training.iter().chain(fresh.iter()) {
+        for ((_, a), (_, b)) in trace.consecutive_pairs() {
+            if spec.is_initial(a)
+                || !spec.domain().contains_point(a)
+                || !spec.domain().contains_point(b)
+            {
+                continue;
+            }
+            assert!(
+                refined.evaluate(b) < refined.evaluate(a) + 1e-9,
+                "refined candidate does not decrease from {a:?} to {b:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn delta_sat_agrees_with_dense_sampling_on_bounded_activations() {
+    // tanh(x) stays below 1: the solver proves it (UNSAT of the negation) and
+    // dense sampling of the same network output confirms the numeric side.
+    let controller: FeedforwardNetwork = reference_controller(5);
+    let symbolic = controller.forward_symbolic(&[Expr::var(0), Expr::var(1)])[0].clone();
+    let mut vars = VarSet::new();
+    let _ = vars.var("d_err");
+    let _ = vars.var("theta_err");
+    let query = Formula::atom(Constraint::ge(symbolic.clone(), 1.0001));
+    let domain = IntervalBox::from_bounds(&[(-5.0, 5.0), (-2.0, 2.0)]);
+    let solver = DeltaSolver::new(1e-4);
+    assert!(matches!(solver.solve(&query, &domain), SatResult::Unsat));
+    for i in 0..30 {
+        for j in 0..30 {
+            let d = -5.0 + 10.0 * i as f64 / 29.0;
+            let t = -2.0 + 4.0 * j as f64 / 29.0;
+            assert!(symbolic.eval(&[d, t]) < 1.0001);
+        }
+    }
+}

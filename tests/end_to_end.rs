@@ -1,0 +1,171 @@
+//! End-to-end integration tests: the paper's case study from controller
+//! construction through barrier-certificate verification.
+
+use nncps_barrier::{ClosedLoopSystem, SafetySpec, VerificationConfig, Verifier};
+use nncps_dubins::{reference_controller, ErrorDynamics};
+use nncps_interval::IntervalBox;
+use nncps_nn::{network_from_weights, Activation};
+use nncps_sim::{Integrator, Simulator};
+
+/// The safety specification of Section 4.3 of the paper: `X0` is the rectangle
+/// with corners `(-1, -π/16)` and `(1, π/16)`, the unsafe set is everything
+/// outside the rectangle with corners `(-5, -(π/2 - ε))` and `(5, π/2 - ε)`.
+fn paper_spec() -> SafetySpec {
+    let eps = 0.01;
+    let pi = std::f64::consts::PI;
+    SafetySpec::rectangular(
+        IntervalBox::from_bounds(&[(-1.0, 1.0), (-pi / 16.0, pi / 16.0)]),
+        IntervalBox::from_bounds(&[(-5.0, 5.0), (-(pi / 2.0 - eps), pi / 2.0 - eps)]),
+    )
+}
+
+/// A verification configuration scaled down enough to run quickly in debug
+/// builds while exercising every stage of the pipeline.
+fn fast_config() -> VerificationConfig {
+    VerificationConfig {
+        num_seed_traces: 10,
+        max_samples_per_trace: 15,
+        sim_duration: 8.0,
+        ..VerificationConfig::default()
+    }
+}
+
+fn paper_system(hidden_neurons: usize) -> ClosedLoopSystem {
+    let controller = reference_controller(hidden_neurons);
+    let dynamics = ErrorDynamics::new(controller, 1.0);
+    ClosedLoopSystem::new(dynamics.symbolic_vector_field(), paper_spec())
+}
+
+#[test]
+fn paper_case_study_is_certified_safe() {
+    let system = paper_system(10);
+    let outcome = Verifier::new(fast_config()).verify(&system);
+    assert!(outcome.is_certified(), "outcome: {outcome}");
+
+    let certificate = outcome.certificate().expect("certified outcome");
+    let spec = paper_spec();
+
+    // Condition (1): every corner of X0 lies inside the invariant L.
+    for corner in spec.initial_set().corners() {
+        assert!(
+            certificate.contains(&corner),
+            "X0 corner {corner:?} outside the invariant"
+        );
+    }
+    // Condition (2): representative unsafe states lie outside L.
+    let pi = std::f64::consts::PI;
+    for unsafe_state in [[5.5, 0.0], [-5.5, 0.0], [0.0, pi / 2.0], [0.0, -pi / 2.0]] {
+        assert!(
+            !certificate.contains(&unsafe_state),
+            "unsafe state {unsafe_state:?} inside the invariant"
+        );
+    }
+    // Numeric spot check of all three conditions on a grid.
+    let dynamics = ErrorDynamics::new(reference_controller(10), 1.0);
+    let violations = certificate.count_violations(
+        &spec,
+        |p| {
+            use nncps_sim::Dynamics;
+            dynamics.derivative(p)
+        },
+        21,
+    );
+    assert_eq!(violations, 0, "grid spot check found violations");
+}
+
+#[test]
+fn statistics_reflect_the_work_performed() {
+    let system = paper_system(10);
+    let outcome = Verifier::new(fast_config()).verify(&system);
+    let stats = outcome.stats();
+    assert!(stats.generator_iterations >= 1);
+    assert_eq!(stats.lp_solves, stats.generator_iterations);
+    assert!(stats.smt_decrease_checks >= 1);
+    assert!(stats.timings.total >= stats.timings.smt_decrease);
+    assert!(stats.timings.total >= stats.timings.lp);
+    // The "other" column of Table 1 never exceeds the total.
+    assert!(stats.timings.other() <= stats.timings.total);
+}
+
+#[test]
+fn verification_scales_across_controller_widths() {
+    // The Table 1 sweep in miniature: a couple of widths, all certified.
+    for width in [10, 30] {
+        let system = paper_system(width);
+        let outcome = Verifier::new(fast_config()).verify(&system);
+        assert!(
+            outcome.is_certified(),
+            "width {width} not certified: {outcome}"
+        );
+    }
+}
+
+#[test]
+fn destabilizing_controller_is_not_certified() {
+    // A controller with the opposite sign convention pushes the car away from
+    // the path; the procedure must not produce a certificate for it.
+    let good = reference_controller(10);
+    let mut flipped_params = good.flatten_params();
+    for p in &mut flipped_params {
+        *p = -*p;
+    }
+    let bad = good.with_params(&flipped_params);
+    let dynamics = ErrorDynamics::new(bad, 1.0);
+    let system = ClosedLoopSystem::new(dynamics.symbolic_vector_field(), paper_spec());
+    let config = VerificationConfig {
+        max_candidate_iterations: 3,
+        num_seed_traces: 6,
+        sim_duration: 5.0,
+        ..VerificationConfig::default()
+    };
+    let outcome = Verifier::new(config).verify(&system);
+    assert!(!outcome.is_certified(), "unsafe system must not certify");
+}
+
+#[test]
+fn hand_written_saturating_controller_is_certified() {
+    // The pipeline is not tied to `reference_controller`: a single-neuron
+    // tanh controller with explicit weights also verifies.
+    use nncps_linalg::{Matrix, Vector};
+    let mut hidden = Matrix::zeros(1, 2);
+    hidden[(0, 0)] = 0.4;
+    hidden[(0, 1)] = 1.2;
+    let mut output = Matrix::zeros(1, 1);
+    output[(0, 0)] = 1.0;
+    let controller = network_from_weights(
+        2,
+        vec![
+            (hidden, Vector::zeros(1), Activation::Tanh),
+            (output, Vector::zeros(1), Activation::Tanh),
+        ],
+    );
+    let dynamics = ErrorDynamics::new(controller, 1.0);
+    let system = ClosedLoopSystem::new(dynamics.symbolic_vector_field(), paper_spec());
+    let outcome = Verifier::new(fast_config()).verify(&system);
+    assert!(outcome.is_certified(), "outcome: {outcome}");
+}
+
+#[test]
+fn certified_invariant_is_respected_by_simulation() {
+    // The semantic content of the certificate: trajectories started inside X0
+    // stay inside L = {W <= l} and never become unsafe.
+    let system = paper_system(10);
+    let outcome = Verifier::new(fast_config()).verify(&system);
+    let certificate = outcome.certificate().expect("certified outcome");
+    let spec = paper_spec();
+    let dynamics = system.dynamics();
+    let simulator = Simulator::new(Integrator::RungeKutta4, 0.02, 20.0);
+    for corner in spec.initial_set().corners() {
+        let trace = simulator.simulate(&dynamics, &corner);
+        for (_, state) in trace.iter() {
+            assert!(
+                !spec.is_unsafe(state),
+                "trajectory from {corner:?} reached unsafe state {state:?}"
+            );
+            assert!(
+                certificate.contains(state),
+                "trajectory from {corner:?} left the invariant at {state:?}"
+            );
+        }
+    }
+}
