@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate for the workspace. Run from the repository root:
+#
+#   ./ci.sh          # full gate: build, tests, docs, lints
+#   ./ci.sh quick    # skip the release build (debug tests + docs + lints)
+#
+# Every step must pass with zero warnings.
+set -euo pipefail
+
+quick="${1:-}"
+
+echo "==> cargo build --release"
+if [ "$quick" != "quick" ]; then
+    cargo build --release
+fi
+
+echo "==> cargo test -q (unit + integration + doc tests)"
+cargo test -q
+
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+echo "==> cargo clippy --all-targets (warnings are errors)"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> ci.sh: all green"

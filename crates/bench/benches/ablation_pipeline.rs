@@ -1,4 +1,5 @@
-//! Ablation benches for the design choices called out in `DESIGN.md`:
+//! Ablation benches for the design choices behind the Table 1 numbers (see
+//! `ARCHITECTURE.md`):
 //!
 //! * **seed-trace budget** — how the number of seed simulations Φs affects
 //!   the cost of one verification run (too few seeds push work into the

@@ -7,10 +7,10 @@
 //! of a single CMA-ES generation (one `ask`/rollout/`tell` cycle) as well as
 //! a short multi-generation search.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nncps_bench::{fig4_path, fig4_training_options};
 use nncps_cmaes::{seeded_rng, CmaEs, CmaesParams};
-use nncps_dubins::{train_controller, TrainingEnv};
+use nncps_dubins::{train_controller, TrainingEnv, TrainingOptions};
 
 fn print_training_series() {
     let options = fig4_training_options(15);
@@ -67,6 +67,24 @@ fn fig4(c: &mut Criterion) {
     group.bench_function("3_generations", |b| {
         b.iter(|| train_controller(fig4_path(), &options).best_cost);
     });
+    group.finish();
+
+    // Rollout-evaluation scaling: the same policy search with the candidate
+    // rollouts evaluated sequentially versus on all available cores (the
+    // `parallel` feature's headline win — one rollout per candidate, all
+    // independent).  The trained controller is identical in both cases.
+    let mut group = c.benchmark_group("fig4/policy_search_threads");
+    group.sample_size(10);
+    for &threads in &[1usize, 0] {
+        let label = if threads == 1 { "1".to_string() } else { format!("{}_cores", nncps_sim::effective_threads(0)) };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &threads, |b, &threads| {
+            let options = TrainingOptions {
+                threads,
+                ..fig4_training_options(3)
+            };
+            b.iter(|| train_controller(fig4_path(), &options).best_cost);
+        });
+    }
     group.finish();
 }
 

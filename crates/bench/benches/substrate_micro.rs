@@ -66,6 +66,32 @@ fn deltasat_bench(c: &mut Criterion) {
         b.iter(|| solver.solve(&unsat, &domain));
     });
 
+    // The paper-style decrease query (below, width 50) with the box stack
+    // worked in parallel batches: UNSAT queries must visit the whole search
+    // tree, so they scale with the worker-thread count on multi-core hosts
+    // (δ-SAT queries return at the first witness and benefit less).
+    {
+        let dynamics = ErrorDynamics::new(reference_controller(50), 1.0);
+        let field = dynamics.symbolic_vector_field();
+        let w = (x.clone().powi(2) * 0.02
+            + (x.clone() * y.clone()) * 0.01
+            + y.clone().powi(2) * 0.13)
+            .simplified();
+        let lie = (w.differentiate(0) * field[0].clone() + w.differentiate(1) * field[1].clone())
+            .simplified();
+        let query = Formula::atom(Constraint::ge(lie, -1e-6));
+        for &threads in &[1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new("decrease_query_50_threads", threads),
+                &threads,
+                |b, &threads| {
+                    let solver = DeltaSolver::new(1e-4).with_threads(threads);
+                    b.iter(|| solver.solve(&query, &domain));
+                },
+            );
+        }
+    }
+
     // The paper-style decrease query for controllers of increasing width.
     for width in [10usize, 50] {
         let dynamics = ErrorDynamics::new(reference_controller(width), 1.0);

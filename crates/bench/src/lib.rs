@@ -45,7 +45,7 @@ pub const DEFAULT_TABLE1_WIDTHS: [usize; 5] = [10, 20, 50, 80, 100];
 /// Returns the widths the Table 1 bench should use, honouring
 /// `NNCPS_FULL_TABLE1`.
 pub fn table1_widths() -> Vec<usize> {
-    if std::env::var("NNCPS_FULL_TABLE1").map_or(false, |v| v == "1") {
+    if std::env::var("NNCPS_FULL_TABLE1").is_ok_and(|v| v == "1") {
         PAPER_TABLE1_WIDTHS.to_vec()
     } else {
         DEFAULT_TABLE1_WIDTHS.to_vec()

@@ -37,5 +37,5 @@
 mod optimizer;
 mod params;
 
-pub use optimizer::{seeded_rng, CmaEs, Generation, OptimizationResult};
+pub use optimizer::{evaluate_population, seeded_rng, CmaEs, Generation, OptimizationResult};
 pub use params::CmaesParams;

@@ -153,7 +153,7 @@ impl CmaEs {
         let improved = self
             .best_candidate
             .as_ref()
-            .map_or(true, |(_, f)| fitnesses[best_idx] < *f);
+            .is_none_or(|(_, f)| fitnesses[best_idx] < *f);
         if improved {
             self.best_candidate = Some((candidates[best_idx].clone(), fitnesses[best_idx]));
         }
@@ -244,11 +244,76 @@ impl CmaEs {
         F: FnMut(&[f64]) -> f64,
         R: Rng + ?Sized,
     {
+        self.optimize_with(
+            |candidates| candidates.iter().map(|c| fitness(c)).collect(),
+            max_generations,
+            target_fitness,
+            rng,
+        )
+    }
+
+    /// Like [`CmaEs::optimize`], but evaluates each generation's population
+    /// on up to `threads` worker threads (`0` = one per available core).
+    ///
+    /// Fitness evaluation dominates the cost of policy search when each
+    /// evaluation is a closed-loop rollout (the paper's Figure 4 training),
+    /// and the λ evaluations within a generation are independent.  The
+    /// fitness function must therefore be `Fn + Sync` rather than `FnMut`;
+    /// sampling and the distribution update stay on the calling thread, so
+    /// the optimization path is identical to the sequential one for every
+    /// thread count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nncps_cmaes::{seeded_rng, CmaEs, CmaesParams};
+    ///
+    /// let sphere = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+    /// let mut rng = seeded_rng(42);
+    /// let mut cma = CmaEs::new(vec![2.0; 3], 0.8, CmaesParams::new(3));
+    /// // threads = 0: one worker per available core.
+    /// let result = cma.optimize_parallel(sphere, 80, 1e-10, &mut rng, 0);
+    /// assert!(result.best_fitness < 1e-6);
+    /// ```
+    pub fn optimize_parallel<F, R>(
+        &mut self,
+        fitness: F,
+        max_generations: usize,
+        target_fitness: f64,
+        rng: &mut R,
+        threads: usize,
+    ) -> OptimizationResult
+    where
+        F: Fn(&[f64]) -> f64 + Sync,
+        R: Rng + ?Sized,
+    {
+        self.optimize_with(
+            |candidates| evaluate_population(&fitness, candidates, threads),
+            max_generations,
+            target_fitness,
+            rng,
+        )
+    }
+
+    /// The shared ask/evaluate/tell driver behind [`CmaEs::optimize`] and
+    /// [`CmaEs::optimize_parallel`]: `evaluate` maps a population to its
+    /// fitness vector (in candidate order).
+    fn optimize_with<E, R>(
+        &mut self,
+        mut evaluate: E,
+        max_generations: usize,
+        target_fitness: f64,
+        rng: &mut R,
+    ) -> OptimizationResult
+    where
+        E: FnMut(&[Vec<f64>]) -> Vec<f64>,
+        R: Rng + ?Sized,
+    {
         let mut history = Vec::new();
         let mut evaluations = 0usize;
         for g in 0..max_generations {
             let candidates = self.ask(rng);
-            let fitnesses: Vec<f64> = candidates.iter().map(|c| fitness(c)).collect();
+            let fitnesses = evaluate(&candidates);
             evaluations += fitnesses.len();
             self.tell(&candidates, &fitnesses);
             let best = fitnesses.iter().copied().fold(f64::INFINITY, f64::min);
@@ -296,6 +361,18 @@ impl CmaEs {
         let scaled = Vector::from_fn(n, |i| bt_v[i] / self.eigen_scale[i]);
         self.eigen_basis.mat_vec(&scaled)
     }
+}
+
+/// Evaluates `fitness` on every candidate using up to `threads` worker
+/// threads (`0` = one per available core), preserving candidate order.
+///
+/// The result is identical to `candidates.iter().map(|c| fitness(c))` for
+/// every thread count; without the `parallel` feature it runs sequentially.
+pub fn evaluate_population<F>(fitness: &F, candidates: &[Vec<f64>], threads: usize) -> Vec<f64>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    nncps_parallel::parallel_map(candidates, threads, |c| fitness(c))
 }
 
 /// Creates a deterministic RNG for reproducible experiments.
@@ -423,6 +500,33 @@ mod tests {
         assert!(cma.best().is_some());
         assert_ne!(cma.mean().to_vec(), before_mean);
         assert!(cma.sigma() > 0.0);
+    }
+
+    #[test]
+    fn parallel_optimize_matches_sequential_exactly() {
+        let run = |threads: Option<usize>| {
+            let mut rng = seeded_rng(13);
+            let mut cma = CmaEs::new(vec![2.0; 4], 0.8, CmaesParams::new(4));
+            match threads {
+                None => cma.optimize(sphere, 40, 1e-12, &mut rng),
+                Some(t) => cma.optimize_parallel(sphere, 40, 1e-12, &mut rng, t),
+            }
+        };
+        let sequential = run(None);
+        for threads in [1, 2, 0] {
+            let parallel = run(Some(threads));
+            assert_eq!(parallel.best_candidate, sequential.best_candidate);
+            assert_eq!(parallel.best_fitness, sequential.best_fitness);
+            assert_eq!(parallel.history, sequential.history);
+        }
+    }
+
+    #[test]
+    fn evaluate_population_preserves_order() {
+        let candidates: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let expected: Vec<f64> = candidates.iter().map(|c| sphere(c)).collect();
+        assert_eq!(evaluate_population(&sphere, &candidates, 0), expected);
+        assert_eq!(evaluate_population(&sphere, &candidates, 3), expected);
     }
 
     #[test]

@@ -19,6 +19,20 @@ use crate::{GeneratorFunction, SafetySpec};
 /// pipeline only after all three conditions have been discharged by the δ-SAT
 /// solver, but the type also offers numeric spot checks that are convenient in
 /// tests and examples.
+///
+/// # Examples
+///
+/// ```
+/// use nncps_barrier::{BarrierCertificate, GeneratorFunction};
+/// use nncps_linalg::{Matrix, Vector};
+///
+/// // W(x) = x1² + x2², certified level ℓ = 1: the invariant is the unit disk.
+/// let w = GeneratorFunction::new(Matrix::identity(2), Vector::zeros(2), 0.0);
+/// let certificate = BarrierCertificate::new(w, 1.0);
+/// assert!(certificate.contains(&[0.5, 0.5]));
+/// assert!(!certificate.contains(&[1.5, 0.0]));
+/// assert!(certificate.value(&[2.0, 0.0]) > 0.0); // B > 0 outside
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct BarrierCertificate {
     generator: GeneratorFunction,

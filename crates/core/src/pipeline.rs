@@ -15,6 +15,21 @@ use crate::{
 };
 
 /// Configuration of the verification pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use nncps_barrier::VerificationConfig;
+///
+/// // A scaled-down single-threaded run for quick experiments.
+/// let config = VerificationConfig {
+///     num_seed_traces: 8,
+///     sim_duration: 5.0,
+///     threads: 1,
+///     ..VerificationConfig::default()
+/// };
+/// assert_eq!(config.gamma, 1e-6); // the paper's slack is the default
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct VerificationConfig {
     /// Number of random initial states simulated to seed the LP (Φs).
@@ -41,6 +56,26 @@ pub struct VerificationConfig {
     pub seed: u64,
     /// LP constraint-generation options.
     pub synthesis: SynthesisOptions,
+    /// Worker threads for seed-trace simulation (`0` = one per available
+    /// core, `1` = fully sequential).
+    ///
+    /// The seed traces are batched through
+    /// [`Simulator::simulate_until_batch`](nncps_sim::Simulator::simulate_until_batch);
+    /// the batch is bit-identical to the sequential loop for every thread
+    /// count, so the default (`0`) never affects results.  Ignored
+    /// (sequential) when the `parallel` feature is disabled.
+    pub threads: usize,
+    /// Worker threads for the δ-SAT searches, passed to
+    /// [`DeltaSolver::with_threads`](nncps_deltasat::DeltaSolver::with_threads)
+    /// (`1` = sequential, `0` = one per available core).
+    ///
+    /// Kept separate from [`VerificationConfig::threads`] and defaulting to
+    /// `1` because the parallel search's δ-SAT *witnesses* are only
+    /// deterministic per thread count: with `0` the counterexamples fed back
+    /// into the LP — and hence the final certificate — could differ between
+    /// machines with different core counts.  Set to `0` (or an explicit
+    /// count) to trade that cross-machine reproducibility for speed.
+    pub smt_threads: usize,
 }
 
 impl Default for VerificationConfig {
@@ -57,6 +92,8 @@ impl Default for VerificationConfig {
             max_samples_per_trace: 25,
             seed: 2018,
             synthesis: SynthesisOptions::default(),
+            threads: 0,
+            smt_threads: 1,
         }
     }
 }
@@ -215,21 +252,33 @@ impl Verifier {
         let spec = system.spec().clone();
         let dynamics = system.dynamics();
         let simulator = Simulator::new(Integrator::RungeKutta4, cfg.sim_dt, cfg.sim_duration);
-        let solver = DeltaSolver::new(cfg.delta).with_max_boxes(cfg.max_smt_boxes);
+        let solver = DeltaSolver::new(cfg.delta)
+            .with_max_boxes(cfg.max_smt_boxes)
+            .with_threads(cfg.smt_threads);
         let queries = QueryBuilder::new(system, cfg.gamma);
         let mut synthesizer =
             CandidateSynthesizer::with_options(spec.clone(), cfg.synthesis);
 
         // --- Seed traces Φs -------------------------------------------------
+        // The initial states are drawn sequentially from the seeded RNG (so
+        // runs stay reproducible), then the embarrassingly parallel batch of
+        // closed-loop simulations fans out over the worker threads.
         let sim_start = Instant::now();
         let mut rng = seeded_rng(cfg.seed);
         let domain = spec.domain().clone();
-        for _ in 0..cfg.num_seed_traces {
-            let unit: Vec<f64> = (0..domain.dim()).map(|_| rng.gen::<f64>()).collect();
-            let x0 = domain.lerp_point(&unit);
-            let trace = simulator.simulate_until(&dynamics, &x0, |_, s| {
-                !domain.contains_point(s)
-            });
+        let initial_states: Vec<Vec<f64>> = (0..cfg.num_seed_traces)
+            .map(|_| {
+                let unit: Vec<f64> = (0..domain.dim()).map(|_| rng.gen::<f64>()).collect();
+                domain.lerp_point(&unit)
+            })
+            .collect();
+        let traces = simulator.simulate_until_batch(
+            &dynamics,
+            &initial_states,
+            |_, s| !domain.contains_point(s),
+            cfg.threads,
+        );
+        for trace in &traces {
             synthesizer.add_trace(&trace.downsampled(cfg.max_samples_per_trace));
         }
         stats.timings.simulation += sim_start.elapsed();
@@ -428,6 +477,16 @@ mod tests {
         };
         let verifier = Verifier::new(config);
         let outcome = verifier.verify(&stable_linear_system());
+        assert!(outcome.is_certified(), "outcome: {outcome}");
+    }
+
+    #[test]
+    fn parallel_smt_threads_still_certify() {
+        let config = VerificationConfig {
+            smt_threads: 2,
+            ..VerificationConfig::default()
+        };
+        let outcome = Verifier::new(config).verify(&stable_linear_system());
         assert!(outcome.is_certified(), "outcome: {outcome}");
     }
 

@@ -17,6 +17,29 @@ use crate::{ClosedLoopSystem, GeneratorFunction};
 ///   (negation of `X0 ⊆ L`),
 /// * **query (7)** — `∃x : W(x) ≤ ℓ ∧ x ∈ U`
 ///   (negation of `L ∩ U = ∅`).
+///
+/// # Examples
+///
+/// ```
+/// use nncps_barrier::{ClosedLoopSystem, GeneratorFunction, QueryBuilder, SafetySpec};
+/// use nncps_deltasat::DeltaSolver;
+/// use nncps_expr::Expr;
+/// use nncps_interval::IntervalBox;
+/// use nncps_linalg::{Matrix, Vector};
+///
+/// // Stable linear system x' = -x, y' = -y with W(x) = x² + y².
+/// let system = ClosedLoopSystem::new(
+///     vec![-Expr::var(0), -Expr::var(1)],
+///     SafetySpec::rectangular(
+///         IntervalBox::from_bounds(&[(-0.5, 0.5), (-0.5, 0.5)]),
+///         IntervalBox::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]),
+///     ),
+/// );
+/// let w = GeneratorFunction::new(Matrix::identity(2), Vector::zeros(2), 0.0);
+/// let (formula, domain) = QueryBuilder::new(&system, 1e-6).decrease_query(&w);
+/// // W strictly decreases along this flow, so query (5) must be UNSAT.
+/// assert!(DeltaSolver::new(1e-3).solve(&formula, &domain).is_unsat());
+/// ```
 #[derive(Debug, Clone)]
 pub struct QueryBuilder<'a> {
     system: &'a ClosedLoopSystem,

@@ -81,6 +81,22 @@ impl Halfspace {
 /// For the paper's case study `X0` and the safe region are axis-aligned
 /// rectangles; use [`SafetySpec::rectangular`] to construct that layout
 /// directly.
+///
+/// # Examples
+///
+/// ```
+/// use nncps_barrier::SafetySpec;
+/// use nncps_interval::IntervalBox;
+///
+/// let spec = SafetySpec::rectangular(
+///     IntervalBox::from_bounds(&[(-0.5, 0.5), (-0.5, 0.5)]),
+///     IntervalBox::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]),
+/// );
+/// assert!(spec.is_initial(&[0.0, 0.0]));
+/// assert!(spec.is_unsafe(&[3.5, 0.0])); // outside the safe region
+/// assert!(!spec.is_unsafe(&[1.0, 1.0]));
+/// assert_eq!(spec.dim(), 2);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct SafetySpec {
     initial_set: IntervalBox,

@@ -91,6 +91,29 @@ impl Default for SynthesisOptions {
 /// max-margin candidate is well separated from the boundary of the decrease
 /// condition, which is what lets the subsequent δ-SAT check (query (5))
 /// conclude UNSAT instead of returning spurious near-zero witnesses.
+///
+/// # Examples
+///
+/// ```
+/// use nncps_barrier::{CandidateSynthesizer, SafetySpec};
+/// use nncps_expr::Expr;
+/// use nncps_interval::IntervalBox;
+/// use nncps_sim::{ExprDynamics, Integrator, Simulator};
+///
+/// let spec = SafetySpec::rectangular(
+///     IntervalBox::from_bounds(&[(-0.5, 0.5), (-0.5, 0.5)]),
+///     IntervalBox::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]),
+/// );
+/// // Traces of the contracting system x' = -x, y' = -2y.
+/// let dynamics = ExprDynamics::new(vec![-Expr::var(0), -Expr::var(1) * 2.0]);
+/// let simulator = Simulator::new(Integrator::RungeKutta4, 0.05, 3.0);
+/// let traces = simulator.simulate_batch(&dynamics, &[vec![2.0, 1.0], vec![-1.0, 2.0]]);
+///
+/// let mut synthesizer = CandidateSynthesizer::new(spec);
+/// synthesizer.add_traces(&traces);
+/// let candidate = synthesizer.synthesize().expect("LP is feasible");
+/// assert!(candidate.is_positive_definite(1e-9));
+/// ```
 #[derive(Debug, Clone)]
 pub struct CandidateSynthesizer {
     template: QuadraticTemplate,

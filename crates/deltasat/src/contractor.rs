@@ -184,7 +184,7 @@ fn invert_binary(
 
 /// Inverse of an integer power: a requirement on `a` given `a^n ∈ out`.
 fn invert_powi(n: i32, out: Interval, a_val: Interval) -> Interval {
-    if n == 0 || n < 0 {
+    if n <= 0 {
         // a^0 carries no information; negative powers are rare in our models
         // and skipping the narrowing is always sound.
         return a_val;

@@ -72,6 +72,18 @@ pub struct DeltaSolver {
     precision: f64,
     max_boxes: usize,
     contraction_rounds: usize,
+    threads: usize,
+}
+
+/// What the branch-and-prune loop does with one box popped from the work
+/// stack (contraction, feasibility classification, δ-termination, or split).
+enum BoxOutcome {
+    /// The box was emptied by contraction or certainly violates a constraint.
+    Pruned,
+    /// The box certifies the δ-weakened formula.
+    Sat(IntervalBox),
+    /// The box was bisected; explore both halves (left first).
+    Split(IntervalBox, IntervalBox),
 }
 
 impl DeltaSolver {
@@ -92,6 +104,7 @@ impl DeltaSolver {
             precision,
             max_boxes: Self::DEFAULT_MAX_BOXES,
             contraction_rounds: Self::DEFAULT_CONTRACTION_ROUNDS,
+            threads: 1,
         }
     }
 
@@ -107,9 +120,47 @@ impl DeltaSolver {
         self
     }
 
+    /// Sets the number of worker threads for the branch-and-prune search
+    /// (`1` = sequential, `0` = one per available core).
+    ///
+    /// With more than one thread the solver pops the top boxes of the work
+    /// stack as subtree roots and explores each depth-first on its own
+    /// worker (capped per round), merging the leftovers back in depth-first
+    /// order.  Verdicts are deterministic for a fixed thread count.  UNSAT
+    /// verdicts visit exactly the same search tree as the sequential
+    /// solver; δ-SAT witnesses may come from a different (but equally
+    /// valid) region, after exploring at most ~`threads ×` the sequential
+    /// box count, so give `with_max_boxes` the same headroom when enabling
+    /// threads.  Without the `parallel` feature the search always runs
+    /// sequentially.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nncps_deltasat::{Constraint, DeltaSolver, Formula};
+    /// use nncps_expr::Expr;
+    /// use nncps_interval::IntervalBox;
+    ///
+    /// let x = Expr::var(0);
+    /// let query = Formula::atom(Constraint::ge(x.clone().powi(2), 2.0));
+    /// let domain = IntervalBox::from_bounds(&[(-3.0, 3.0)]);
+    /// let sequential = DeltaSolver::new(1e-4).solve(&query, &domain);
+    /// let parallel = DeltaSolver::new(1e-4).with_threads(0).solve(&query, &domain);
+    /// assert_eq!(sequential.is_delta_sat(), parallel.is_delta_sat());
+    /// ```
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// The configured precision `δ`.
     pub fn precision(&self) -> f64 {
         self.precision
+    }
+
+    /// The configured worker-thread count (`0` = one per available core).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Decides `∃ x ∈ domain : formula(x)`.
@@ -149,8 +200,10 @@ impl DeltaSolver {
         constraints: &[Constraint],
         domain: &IntervalBox,
     ) -> (SatResult, SolverStats) {
-        let mut stats = SolverStats::default();
-        stats.clauses_examined = 1;
+        let mut stats = SolverStats {
+            clauses_examined: 1,
+            ..SolverStats::default()
+        };
         let result = self.solve_clause(constraints, domain, &mut stats);
         (result, stats)
     }
@@ -174,8 +227,56 @@ impl DeltaSolver {
             return SatResult::Unsat;
         }
 
+        let threads = nncps_parallel::effective_threads(self.threads);
+        if threads > 1 {
+            self.solve_clause_batched(clause, domain, stats, threads)
+        } else {
+            self.solve_clause_sequential(clause, domain, stats)
+        }
+    }
+
+    /// Contracts and classifies one box: the body of the branch-and-prune
+    /// loop, shared by the sequential and batched searches.
+    fn process_box(&self, clause: &[Constraint], mut region: IntervalBox) -> BoxOutcome {
+        // Prune with the contractor.
+        if !contract_clause(clause, &mut region, self.contraction_rounds) {
+            return BoxOutcome::Pruned;
+        }
+        if region.is_empty() {
+            return BoxOutcome::Pruned;
+        }
+
+        // Classify the contracted box.
+        let mut all_satisfied = true;
+        for constraint in clause {
+            match constraint.feasibility(&region) {
+                Feasibility::CertainlySatisfied => {}
+                Feasibility::CertainlyViolated => return BoxOutcome::Pruned,
+                Feasibility::Unknown => all_satisfied = false,
+            }
+        }
+        if all_satisfied {
+            return BoxOutcome::Sat(region);
+        }
+
+        // δ-termination: the box can no longer be refuted by splitting at
+        // the configured precision, so report the δ-weakened SAT verdict.
+        if region.max_width() <= self.precision {
+            return BoxOutcome::Sat(region);
+        }
+
+        let (left, right) = region.bisect_widest();
+        BoxOutcome::Split(left, right)
+    }
+
+    fn solve_clause_sequential(
+        &self,
+        clause: &[Constraint],
+        domain: &IntervalBox,
+        stats: &mut SolverStats,
+    ) -> SatResult {
         let mut stack = vec![domain.clone()];
-        while let Some(mut region) = stack.pop() {
+        while let Some(region) = stack.pop() {
             stats.boxes_explored += 1;
             if stats.boxes_explored > self.max_boxes {
                 return SatResult::Unknown(format!(
@@ -183,54 +284,161 @@ impl DeltaSolver {
                     self.max_boxes
                 ));
             }
-
-            // Prune with the contractor.
-            if !contract_clause(clause, &mut region, self.contraction_rounds) {
-                stats.boxes_pruned += 1;
-                continue;
-            }
-            if region.is_empty() {
-                stats.boxes_pruned += 1;
-                continue;
-            }
-
-            // Classify the contracted box.
-            let mut all_satisfied = true;
-            let mut violated = false;
-            for constraint in clause {
-                match constraint.feasibility(&region) {
-                    Feasibility::CertainlySatisfied => {}
-                    Feasibility::CertainlyViolated => {
-                        violated = true;
-                        break;
-                    }
-                    Feasibility::Unknown => all_satisfied = false,
+            match self.process_box(clause, region) {
+                BoxOutcome::Pruned => stats.boxes_pruned += 1,
+                BoxOutcome::Sat(region) => return SatResult::DeltaSat(region),
+                BoxOutcome::Split(left, right) => {
+                    stats.bisections += 1;
+                    // Depth-first exploration; pushing the halves in this
+                    // order keeps the search biased toward the lower corner,
+                    // which is as good as any deterministic choice.
+                    stack.push(right);
+                    stack.push(left);
                 }
             }
-            if violated {
-                stats.boxes_pruned += 1;
-                continue;
-            }
-            if all_satisfied {
-                return SatResult::DeltaSat(region);
-            }
-
-            // δ-termination: the box can no longer be refuted by splitting at
-            // the configured precision, so report the δ-weakened SAT verdict.
-            if region.max_width() <= self.precision {
-                return SatResult::DeltaSat(region);
-            }
-
-            let (left, right) = region.bisect_widest();
-            stats.bisections += 1;
-            // Depth-first exploration; pushing the halves in this order keeps
-            // the search biased toward the lower corner, which is as good as
-            // any deterministic choice.
-            stack.push(right);
-            stack.push(left);
         }
         SatResult::Unsat
     }
+
+    /// How many boxes each worker explores depth-first per parallel round.
+    ///
+    /// Large enough to amortize the per-round scoped-thread spawn
+    /// (tens of microseconds) against real contraction work; small enough
+    /// that speculative subtrees stop quickly once a verdict is found.
+    const BOXES_PER_WORKER: usize = 64;
+
+    /// Speculative parallel depth-first search: each round pops the top
+    /// `threads` boxes off the stack as subtree roots and lets one worker
+    /// per root run a plain depth-first exploration of its subtree, capped
+    /// at [`Self::BOXES_PER_WORKER`] boxes.  Leftover sub-stacks are merged
+    /// back in depth-first order, so the top root's pending boxes end up on
+    /// top again.
+    ///
+    /// The top-priority worker therefore follows *exactly* the sequential
+    /// depth-first path (in cap-sized chunks), while the remaining workers
+    /// speculate on the boxes the sequential search would visit next.
+    /// Consequences:
+    ///
+    /// * UNSAT verdicts visit exactly the same search tree as the
+    ///   sequential solver (all boxes must be refuted either way);
+    /// * a δ-SAT verdict is found after exploring at most ~`threads ×` the
+    ///   sequential box count (the speculation bound), never exponentially
+    ///   more, and the reported witness is the one from the
+    ///   highest-priority subtree that round — deterministic for a fixed
+    ///   thread count;
+    /// * budget (`Unknown`) verdicts can therefore fire earlier than
+    ///   sequentially on δ-SAT queries; give the budget `threads ×`
+    ///   headroom when enabling threads.
+    ///
+    /// The first round starts from a single root, so shallow searches run
+    /// inline ([`nncps_parallel::parallel_map_owned`] spawns no threads for
+    /// a single item) and never pay for parallelism.
+    fn solve_clause_batched(
+        &self,
+        clause: &[Constraint],
+        domain: &IntervalBox,
+        stats: &mut SolverStats,
+        threads: usize,
+    ) -> SatResult {
+        let mut stack = vec![domain.clone()];
+        while !stack.is_empty() {
+            // Budget accounting: per-worker caps are trimmed toward the
+            // remaining allowance, but a round of `workers` capped subtrees
+            // can still collectively overshoot `max_boxes` by up to
+            // `workers − 1` boxes (the caps round up), so the budget is a
+            // soft limit; Unknown is reported on the round after the budget
+            // is exhausted, mirroring the sequential search's
+            // report-on-exceeding-pop behavior.
+            let remaining_budget = self.max_boxes.saturating_sub(stats.boxes_explored);
+            if remaining_budget == 0 {
+                stats.boxes_explored += 1; // the pop that broke the budget
+                return SatResult::Unknown(format!(
+                    "box budget of {} exhausted",
+                    self.max_boxes
+                ));
+            }
+            let workers = threads.min(stack.len());
+            let cap = Self::BOXES_PER_WORKER
+                .min(remaining_budget.div_ceil(workers))
+                .max(1);
+            // `split_off` keeps order: `roots` runs bottom → top of stack.
+            let roots = stack.split_off(stack.len() - workers);
+            let results = nncps_parallel::parallel_map_owned(roots, threads, |root| {
+                self.explore_subtree(clause, root, cap)
+            });
+            // Merge bottom → top: the last δ-SAT outcome seen is the one
+            // with the highest depth-first priority (closest to the top of
+            // the stack), which keeps the reported witness deterministic.
+            // Leftover sub-stacks are re-pushed in the same order, so the
+            // top root's pending boxes end up back on top.
+            let mut sat = None;
+            let mut leftovers = Vec::with_capacity(workers);
+            for result in results {
+                stats.boxes_explored += result.explored;
+                stats.boxes_pruned += result.pruned;
+                stats.bisections += result.bisections;
+                if let Some(region) = result.sat {
+                    sat = Some(region);
+                }
+                leftovers.push(result.leftover);
+            }
+            if let Some(region) = sat {
+                return SatResult::DeltaSat(region);
+            }
+            for leftover in leftovers {
+                stack.extend(leftover);
+            }
+        }
+        SatResult::Unsat
+    }
+
+    /// Depth-first exploration of one subtree, stopping at a δ-SAT box or
+    /// after `cap` boxes; the unexplored remainder is returned as `leftover`
+    /// (bottom → top, i.e. ready to be pushed back onto the main stack).
+    fn explore_subtree(
+        &self,
+        clause: &[Constraint],
+        root: IntervalBox,
+        cap: usize,
+    ) -> SubtreeResult {
+        let mut result = SubtreeResult::default();
+        let mut stack = vec![root];
+        while let Some(region) = stack.pop() {
+            result.explored += 1;
+            match self.process_box(clause, region) {
+                BoxOutcome::Pruned => result.pruned += 1,
+                BoxOutcome::Sat(region) => {
+                    result.sat = Some(region);
+                    break;
+                }
+                BoxOutcome::Split(left, right) => {
+                    result.bisections += 1;
+                    stack.push(right);
+                    stack.push(left);
+                }
+            }
+            if result.explored >= cap {
+                break;
+            }
+        }
+        result.leftover = stack;
+        result
+    }
+}
+
+/// Outcome of one worker's capped depth-first subtree exploration.
+#[derive(Debug, Default)]
+struct SubtreeResult {
+    /// δ-SAT box found in the subtree, if any.
+    sat: Option<IntervalBox>,
+    /// Boxes popped (and therefore counted against the budget).
+    explored: usize,
+    /// Boxes discarded by contraction or feasibility checks.
+    pruned: usize,
+    /// Bisections performed.
+    bisections: usize,
+    /// Unexplored remainder of the subtree (bottom → top).
+    leftover: Vec<IntervalBox>,
 }
 
 impl Default for DeltaSolver {
@@ -362,6 +570,100 @@ mod tests {
         assert_eq!(stats.clauses_examined, 1);
         let w = result.witness().unwrap();
         assert!((w[0] - w[1]).abs() < 1e-2);
+    }
+
+    #[test]
+    fn batched_search_agrees_with_sequential_verdicts() {
+        let queries: Vec<(Formula, IntervalBox)> = vec![
+            // Satisfiable conjunction.
+            (
+                Formula::all_of([
+                    Constraint::le(x().powi(2) + y().powi(2), 1.0),
+                    Constraint::ge(x(), 0.5),
+                ]),
+                square_domain(2.0),
+            ),
+            // Unsatisfiable conjunction.
+            (
+                Formula::all_of([
+                    Constraint::le(x().powi(2) + y().powi(2), 0.25),
+                    Constraint::ge(x(), 1.0),
+                ]),
+                square_domain(2.0),
+            ),
+            // Tight equality in one dimension.
+            (
+                Formula::atom(Constraint::eq(x().powi(2), 2.0)),
+                IntervalBox::from_bounds(&[(0.0, 2.0)]),
+            ),
+        ];
+        for (formula, domain) in &queries {
+            let sequential = DeltaSolver::new(1e-4).solve(formula, domain);
+            for threads in [0, 2, 4] {
+                let solver = DeltaSolver::new(1e-4).with_threads(threads);
+                assert_eq!(solver.threads(), threads);
+                let parallel = solver.solve(formula, domain);
+                // Verdict kinds must agree; δ-SAT witnesses must satisfy the
+                // query even if they come from a different box.
+                assert_eq!(parallel.is_unsat(), sequential.is_unsat());
+                assert_eq!(parallel.is_delta_sat(), sequential.is_delta_sat());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_search_is_deterministic_per_thread_count() {
+        let formula = Formula::atom(Constraint::eq(x().powi(2) + y().powi(2), 1.0));
+        let solver = DeltaSolver::new(1e-5).with_threads(3);
+        let a = solver.solve(&formula, &square_domain(2.0));
+        let b = solver.solve(&formula, &square_domain(2.0));
+        assert_eq!(a.witness(), b.witness());
+        let w = a.witness().expect("the unit circle intersects the domain");
+        assert!((w[0] * w[0] + w[1] * w[1] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn batched_search_does_not_degenerate_to_breadth_first() {
+        // Regression test: a weakly-contracting δ-SAT query whose witness
+        // sits deep in the search tree.  An earlier batched implementation
+        // processed the whole stack per round (breadth-first), exploring
+        // 30–70× more boxes than the sequential search and turning tight
+        // budgets into spurious Unknowns.  The speculative-DFS search must
+        // stay within the documented `threads ×` bound.
+        let formula = Formula::atom(Constraint::eq(
+            (x() * 4.0).sin() * (y() * 4.0).cos(),
+            0.25,
+        ));
+        let domain = square_domain(3.0);
+        let (seq_result, seq_stats) =
+            DeltaSolver::new(1e-6).solve_with_stats(&formula, &domain);
+        assert!(seq_result.is_delta_sat());
+        for threads in [2usize, 4] {
+            let budget = threads * seq_stats.boxes_explored + threads * 64;
+            let solver = DeltaSolver::new(1e-6)
+                .with_threads(threads)
+                .with_max_boxes(budget);
+            let (result, stats) = solver.solve_with_stats(&formula, &domain);
+            assert!(
+                result.is_delta_sat(),
+                "threads={threads}: expected delta-sat within {budget} boxes, got {result} \
+                 after {} boxes (sequential: {})",
+                stats.boxes_explored,
+                seq_stats.boxes_explored
+            );
+        }
+    }
+
+    #[test]
+    fn batched_budget_exhaustion_reports_unknown() {
+        let formula = Formula::atom(Constraint::le(
+            (x() * 37.0).sin() * (y() * 53.0).cos(),
+            -0.999_999,
+        ));
+        let solver = DeltaSolver::new(1e-9).with_max_boxes(5).with_threads(4);
+        let (result, stats) = solver.solve_with_stats(&formula, &square_domain(10.0));
+        assert!(matches!(result, SatResult::Unknown(_)));
+        assert!(stats.boxes_explored > 5);
     }
 
     #[test]

@@ -27,6 +27,11 @@ pub struct TrainingOptions {
     pub sigma0: f64,
     /// RNG seed for reproducible training runs.
     pub seed: u64,
+    /// Worker threads for rollout evaluation (`0` = one per available core,
+    /// `1` = sequential).  Candidate rollouts within a generation are
+    /// independent, and the parallel evaluation preserves candidate order,
+    /// so the trained controller is identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for TrainingOptions {
@@ -39,6 +44,7 @@ impl Default for TrainingOptions {
             speed: 2.0,
             sigma0: 0.5,
             seed: 2018,
+            threads: 0,
         }
     }
 }
@@ -170,11 +176,12 @@ pub fn train_controller(path: Path, options: &TrainingOptions) -> TrainingOutcom
     // Start from small random parameters like the paper ("random set of NN
     // parameters"); the CMA-ES mean is the origin and σ₀ covers the range.
     let mut cma = CmaEs::new(vec![0.0; dim], options.sigma0, params);
-    let result = cma.optimize(
+    let result = cma.optimize_parallel(
         |candidate| env.cost_of_params(candidate),
         options.max_generations,
         0.0,
         &mut rng,
+        options.threads,
     );
     TrainingOutcome {
         controller: env.controller_from_params(&result.best_candidate),
@@ -200,6 +207,7 @@ mod tests {
             speed: 2.0,
             sigma0: 0.5,
             seed: 7,
+            threads: 0,
         }
     }
 

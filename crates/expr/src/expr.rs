@@ -3,16 +3,19 @@
 use std::collections::BTreeSet;
 use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::{BinaryOp, UnaryOp};
 
 /// An immutable symbolic expression over indexed real variables.
 ///
-/// Expressions are cheap to clone (`Rc`-backed) and share common
+/// Expressions are cheap to clone (`Arc`-backed) and share common
 /// subexpressions, which matters when the whole neural-network controller is
 /// exported symbolically: each hidden neuron's pre-activation is built once
-/// and reused in both the dynamics and its gradient.
+/// and reused in both the dynamics and its gradient. The atomically
+/// reference-counted nodes make expressions `Send + Sync`, so dynamics and
+/// constraints built from them can be evaluated from worker threads (the
+/// `parallel` features of the simulator and δ-SAT solver rely on this).
 ///
 /// # Examples
 ///
@@ -25,7 +28,7 @@ use crate::{BinaryOp, UnaryOp};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Expr {
-    node: Rc<Node>,
+    node: Arc<Node>,
 }
 
 /// The internal node representation.
@@ -77,7 +80,7 @@ pub enum ExprView<'a> {
 impl Expr {
     pub(crate) fn from_node(node: Node) -> Self {
         Expr {
-            node: Rc::new(node),
+            node: Arc::new(node),
         }
     }
 

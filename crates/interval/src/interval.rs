@@ -142,9 +142,7 @@ impl Interval {
 
     /// Mignitude: the smallest absolute value contained in the interval.
     pub fn mignitude(&self) -> f64 {
-        if self.is_empty() {
-            0.0
-        } else if self.contains(0.0) {
+        if self.is_empty() || self.contains(0.0) {
             0.0
         } else {
             self.lo.abs().min(self.hi.abs())

@@ -64,9 +64,9 @@ impl Vector {
     /// let v = Vector::from_fn(4, |i| i as f64 * 2.0);
     /// assert_eq!(v.as_slice(), &[0.0, 2.0, 4.0, 6.0]);
     /// ```
-    pub fn from_fn<F: FnMut(usize) -> f64>(len: usize, mut f: F) -> Self {
+    pub fn from_fn<F: FnMut(usize) -> f64>(len: usize, f: F) -> Self {
         Vector {
-            data: (0..len).map(|i| f(i)).collect(),
+            data: (0..len).map(f).collect(),
         }
     }
 

@@ -1,0 +1,153 @@
+//! Order-preserving scoped-thread map: the workspace's `rayon` stand-in.
+//!
+//! The workspace builds without registry access, so instead of `rayon` the
+//! data-parallel layers of the simulator (batch trace collection), the
+//! CMA-ES optimizer (population evaluation), and the δ-SAT solver (box-stack
+//! work queue) share this small work-claiming loop on `std::thread::scope`:
+//! workers atomically claim item indices, compute into thread-local buffers,
+//! and the results are stitched back together in input order, so the output
+//! is identical to the sequential map regardless of scheduling.
+//!
+//! Disabling the `threads` feature turns [`parallel_map`] into a plain
+//! sequential map with an unchanged signature; the downstream crates expose
+//! this as their `parallel` feature.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a thread-count knob: `0` means "one per available core".
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `items` using up to `threads` worker threads, preserving
+/// input order in the output.
+///
+/// Falls back to a plain sequential map when `threads <= 1`, when there is at
+/// most one item, or when the `threads` feature is disabled (the signature —
+/// including the `Sync`/`Send` bounds — is identical either way, so callers
+/// do not need their own feature gates).
+///
+/// # Examples
+///
+/// ```
+/// use nncps_parallel::parallel_map;
+///
+/// let squares = parallel_map(&[1, 2, 3, 4], 0, |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = effective_threads(threads).min(items.len());
+    if !cfg!(feature = "threads") || threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, R)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= items.len() {
+                            break;
+                        }
+                        local.push((index, f(&items[index])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        per_worker = handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel map worker panicked"))
+            .collect();
+    });
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (index, value) in per_worker.into_iter().flatten() {
+        slots[index] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+/// Like [`parallel_map`], but consumes the items, so workers move each value
+/// into `f` instead of borrowing it — use when cloning the items would be
+/// wasteful (e.g. the δ-SAT solver's box batches).
+pub fn parallel_map_owned<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = effective_threads(threads).min(items.len());
+    if !cfg!(feature = "threads") || threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|item| std::sync::Mutex::new(Some(item)))
+        .collect();
+    let results = parallel_map(&slots, threads, |slot| {
+        let item = slot
+            .lock()
+            .expect("no worker panicked holding an item slot")
+            .take()
+            .expect("every index is claimed exactly once");
+        f(item)
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_map_matches_sequential_and_moves_items() {
+        let items: Vec<String> = (0..37).map(|i| format!("item-{i}")).collect();
+        let expected: Vec<usize> = items.iter().map(|s| s.len()).collect();
+        for threads in [0, 1, 3] {
+            assert_eq!(
+                parallel_map_owned(items.clone(), threads, |s| s.len()),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn matches_sequential_map_in_order() {
+        let items: Vec<usize> = (0..103).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for threads in [0, 1, 2, 7] {
+            assert_eq!(parallel_map(&items, threads, |&x| x * x), expected);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[5], 4, |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero_to_cores() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+}

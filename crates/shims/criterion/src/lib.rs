@@ -1,0 +1,399 @@
+//! Offline stand-in for the crates.io
+//! [`criterion`](https://docs.rs/criterion/0.5) crate.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! macro/API surface the workspace's benches use — [`criterion_group!`],
+//! [`criterion_main!`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`] — backed by a simple
+//! wall-clock harness:
+//!
+//! * `cargo bench` (the binary receives `--bench`): each benchmark is warmed
+//!   up, then timed over `sample_size` samples sized to fill roughly the
+//!   configured `measurement_time`; the median/min/max per-iteration times
+//!   are printed in a Criterion-like format. A trailing non-flag CLI argument
+//!   filters benchmarks by substring, as with the real crate.
+//! * `cargo test` (no `--bench` argument): the binary exits immediately so
+//!   the bench targets only assert that they build and link.
+//!
+//! No statistical analysis, plotting, or result persistence is performed.
+//! Swap the workspace `path` dependency for a crates.io version to get the
+//! real crate; no bench code needs to change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one parameterized benchmark, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value alone (the group name provides the
+    /// function part).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Types accepted as the name argument of `bench_function`.
+pub trait IntoBenchmarkId {
+    /// Converts to the printed benchmark label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    samples: usize,
+    measurement_time: Duration,
+    /// Median/min/max per-iteration nanoseconds, filled in by [`Bencher::iter`].
+    result: Option<(f64, f64, f64)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (`--bench`).
+    Measure,
+    /// Run each routine once, for smoke-testing.
+    Once,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration statistics.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::Once {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: at least one call, up to ~100 ms, to size the batches.
+        let warmup_budget = Duration::from_millis(100);
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        loop {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= warmup_budget || warmup_iters >= 10 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let total_budget = self.measurement_time.as_secs_f64();
+        let iters_per_sample = ((total_budget / self.samples as f64 / per_iter.max(1e-9)) as u64)
+            .clamp(1, 1_000_000);
+
+        let mut sample_nanos: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            sample_nanos.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        sample_nanos.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let median = sample_nanos[sample_nanos.len() / 2];
+        let min = sample_nanos[0];
+        let max = sample_nanos[sample_nanos.len() - 1];
+        self.result = Some((median, min, max));
+    }
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.3} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.3} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark harness configuration and driver, mirroring
+/// `criterion::Criterion`.
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mode = if args.iter().any(|a| a == "--bench") {
+            Mode::Measure
+        } else {
+            Mode::Once
+        };
+        let filter = args.into_iter().find(|a| !a.starts_with('-'));
+        Criterion {
+            measurement_time: Duration::from_secs(5),
+            sample_size: 10,
+            mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// True when the harness was invoked by `cargo bench` (with `--bench`).
+    pub fn is_measuring(&self) -> bool {
+        self.mode == Mode::Measure
+    }
+
+    fn run_one(&self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: self.mode,
+            samples: self.sample_size,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut bencher);
+        if let Some((median, min, max)) = bencher.result {
+            println!(
+                "{label:<50} time: [{} {} {}]",
+                format_nanos(min),
+                format_nanos(median),
+                format_nanos(max)
+            );
+        }
+    }
+
+    /// Benchmarks a single routine.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        self.run_one(&label, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing settings, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = Some(samples.max(1));
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = Some(duration);
+        self
+    }
+
+    fn effective(&self) -> Criterion {
+        Criterion {
+            measurement_time: self
+                .measurement_time
+                .unwrap_or(self.parent.measurement_time),
+            sample_size: self.sample_size.unwrap_or(self.parent.sample_size),
+            mode: self.parent.mode,
+            filter: self.parent.filter.clone(),
+        }
+    }
+
+    /// Benchmarks a routine under this group's name.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        self.effective().run_one(&label, &mut f);
+        self
+    }
+
+    /// Benchmarks a routine that receives a borrowed input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        self.effective().run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in this shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Defines a named group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines the bench binary's `main`, mirroring `criterion::criterion_main!`.
+///
+/// Without `--bench` on the command line (i.e. under `cargo test`) the
+/// binary exits immediately so bench targets stay cheap smoke tests.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if !std::env::args().any(|a| a == "--bench") {
+                eprintln!("bench harness: pass --bench (i.e. run `cargo bench`) to measure");
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_criterion(mode: Mode) -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_millis(50),
+            sample_size: 3,
+            mode,
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn once_mode_runs_routine_exactly_once() {
+        let mut criterion = quiet_criterion(Mode::Once);
+        let mut calls = 0;
+        criterion.bench_function("counter", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut criterion = quiet_criterion(Mode::Measure);
+        let mut ran = false;
+        criterion.bench_function("spin", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_compose_labels_and_settings() {
+        let mut criterion = quiet_criterion(Mode::Once);
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(5).measurement_time(Duration::from_millis(10));
+        let mut seen = 0;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3, |b, &x| {
+            b.iter(|| black_box(x * 2));
+            seen = x;
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(0)));
+        group.finish();
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 10).label, "f/10");
+        assert_eq!(BenchmarkId::from_parameter(10).label, "10");
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut criterion = quiet_criterion(Mode::Once);
+        criterion.filter = Some("match".into());
+        let mut calls = 0;
+        criterion.bench_function("matching", |b| b.iter(|| calls += 1));
+        criterion.bench_function("other", |b| b.iter(|| calls += 10));
+        assert_eq!(calls, 1);
+    }
+}

@@ -1,0 +1,316 @@
+//! Offline stand-in for the crates.io
+//! [`proptest`](https://docs.rs/proptest/1) crate.
+//!
+//! The build environment has no registry access, so this crate implements the
+//! subset of the proptest API the workspace's property tests use: the
+//! [`proptest!`] test macro, [`Strategy`] over `f64` ranges / tuples /
+//! `prop_map`, [`collection::vec`], and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Each test runs a fixed number of random cases (256 by default, override
+//! with `PROPTEST_CASES`) drawn from an RNG seeded by the test name, so runs
+//! are deterministic. Unlike the real crate there is **no shrinking**: a
+//! failing case panics with the sampled values left to the assertion message.
+//! Swap the workspace `path` dependency for a crates.io version to get the
+//! real crate; no test code needs to change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies while sampling test cases.
+pub type TestRng = StdRng;
+
+/// Marker returned by `prop_assume!` when a sampled case is rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected;
+
+/// Creates the deterministic per-test RNG (seeded from the test name).
+pub fn test_rng(test_name: &str) -> TestRng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for byte in test_name.bytes() {
+        seed ^= byte as u64;
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::seed_from_u64(seed)
+}
+
+/// Number of cases to run per property (`PROPTEST_CASES`, default 256).
+pub fn num_cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(256)
+}
+
+/// A recipe for generating random values of type `Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every sampled value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<i32> {
+    type Value = i32;
+    fn sample(&self, rng: &mut TestRng) -> i32 {
+        let span = (self.end - self.start) as usize;
+        assert!(span > 0, "cannot sample empty range");
+        self.start + rng.gen_range(0..span) as i32
+    }
+}
+
+/// A strategy producing one fixed value, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Vector lengths accepted by [`vec()`]: a fixed length or a length range.
+    pub trait VecLen {
+        /// Draws a concrete length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl VecLen for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl VecLen for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// A strategy producing `Vec`s of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: VecLen> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// comes from `len` (a `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy, L: VecLen>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Just, Strategy};
+}
+
+/// Defines property tests: each function samples its arguments from the given
+/// strategies and runs its body for [`num_cases`] random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            #[allow(clippy::redundant_closure_call, clippy::neg_cmp_op_on_partial_ord)]
+            fn $name() {
+                let mut rng = $crate::test_rng(stringify!($name));
+                let cases = $crate::num_cases();
+                let mut accepted = 0usize;
+                let mut attempts = 0usize;
+                // Allow prop_assume! to reject up to 20x the case budget
+                // before declaring the property vacuous.
+                while accepted < cases && attempts < cases * 20 {
+                    attempts += 1;
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome: ::core::result::Result<(), $crate::Rejected> = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if outcome.is_ok() {
+                        accepted += 1;
+                    }
+                }
+                assert!(
+                    accepted > 0,
+                    "prop_assume! rejected every sampled case of {}",
+                    stringify!($name)
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+);
+    };
+}
+
+/// Skips the current case (without failing) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn sampling_is_deterministic_per_test_name() {
+        let mut a = crate::test_rng("some_test");
+        let mut b = crate::test_rng("some_test");
+        let s = (-1.0f64..1.0, 0.0f64..1.0);
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in -2.0f64..2.0, n in 1usize..5) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_controls_length(v in collection::vec(0.0f64..1.0, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn prop_map_and_tuple_patterns((lo, hi) in (-5.0f64..0.0, 0.0f64..5.0).prop_map(|(a, b)| (a, b + 1.0))) {
+            prop_assert!(lo < hi, "lo {lo} must be below hi {hi}");
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in -1.0f64..1.0) {
+            prop_assume!(x > 0.0);
+            prop_assert!(x > 0.0);
+        }
+    }
+}

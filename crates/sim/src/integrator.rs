@@ -10,6 +10,7 @@ use crate::Dynamics;
 /// default when the neural controller saturates and produces stiff-ish
 /// transients.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
 pub enum Integrator {
     /// Explicit (forward) Euler — first order, used mainly in tests and as the
     /// discrete-time model for controller training.
@@ -17,6 +18,7 @@ pub enum Integrator {
     /// Explicit midpoint method — second order.
     Midpoint,
     /// The classic fourth-order Runge–Kutta scheme.
+    #[default]
     RungeKutta4,
     /// Runge–Kutta–Fehlberg 4(5) with the given absolute local-error tolerance
     /// per step.
@@ -26,11 +28,6 @@ pub enum Integrator {
     },
 }
 
-impl Default for Integrator {
-    fn default() -> Self {
-        Integrator::RungeKutta4
-    }
-}
 
 impl Integrator {
     /// Advances the state by one step of size `dt`.

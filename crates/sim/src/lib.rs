@@ -15,6 +15,12 @@
 //! * the [`Trace`] type storing time-stamped states, and
 //! * a [`Simulator`] that wires it all together.
 //!
+//! With the `parallel` feature (on by default), batches of traces from
+//! different initial states — which are embarrassingly parallel — can be
+//! collected on worker threads via [`Simulator::simulate_batch_threaded`]
+//! and [`Simulator::simulate_until_batch`], built on the order-preserving
+//! [`parallel_map`] helper.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,5 +44,6 @@ mod trace;
 
 pub use dynamics::{Dynamics, ExprDynamics, FnDynamics};
 pub use integrator::Integrator;
+pub use nncps_parallel::{effective_threads, parallel_map};
 pub use simulator::Simulator;
-pub use trace::Trace;
+pub use trace::{Sample, Trace};

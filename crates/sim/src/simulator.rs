@@ -115,6 +115,49 @@ impl Simulator {
             .map(|x0| self.simulate(dynamics, x0))
             .collect()
     }
+
+    /// Simulates several initial states on up to `threads` worker threads
+    /// (`0` = one per available core), returning one trace per state in
+    /// input order.
+    ///
+    /// Traces from distinct initial states are independent, so the result is
+    /// identical to [`Simulator::simulate_batch`] for every thread count;
+    /// without the `parallel` feature this runs sequentially.
+    pub fn simulate_batch_threaded<D>(
+        &self,
+        dynamics: &D,
+        initial_states: &[Vec<f64>],
+        threads: usize,
+    ) -> Vec<Trace>
+    where
+        D: Dynamics + Sync + ?Sized,
+    {
+        crate::parallel_map(initial_states, threads, |x0| self.simulate(dynamics, x0))
+    }
+
+    /// Batch version of [`Simulator::simulate_until`]: simulates every
+    /// initial state with the same early-stopping predicate on up to
+    /// `threads` worker threads (`0` = one per available core), preserving
+    /// input order.
+    ///
+    /// This is the entry point the verification pipeline uses to collect the
+    /// seed traces Φs: the predicate truncates trajectories that leave the
+    /// domain of interest `D`, and the batch is collected in parallel.
+    pub fn simulate_until_batch<D, F>(
+        &self,
+        dynamics: &D,
+        initial_states: &[Vec<f64>],
+        stop: F,
+        threads: usize,
+    ) -> Vec<Trace>
+    where
+        D: Dynamics + Sync + ?Sized,
+        F: Fn(f64, &[f64]) -> bool + Sync,
+    {
+        crate::parallel_map(initial_states, threads, |x0| {
+            self.simulate_until(dynamics, x0, &stop)
+        })
+    }
 }
 
 impl Default for Simulator {
@@ -162,6 +205,30 @@ mod tests {
         assert_eq!(traces.len(), 3);
         assert!(traces[1].final_state()[0] > traces[0].final_state()[0]);
         assert!(traces[2].final_state()[0] < 0.0);
+    }
+
+    #[test]
+    fn threaded_batch_matches_sequential_batch() {
+        let sim = Simulator::new(Integrator::RungeKutta4, 0.05, 2.0);
+        let starts: Vec<Vec<f64>> = (0..17).map(|i| vec![i as f64 * 0.3 - 2.0]).collect();
+        let sequential = sim.simulate_batch(&decay(), &starts);
+        for threads in [0, 1, 4] {
+            let threaded = sim.simulate_batch_threaded(&decay(), &starts, threads);
+            assert_eq!(threaded, sequential);
+        }
+    }
+
+    #[test]
+    fn until_batch_applies_the_predicate_to_every_trace() {
+        let sim = Simulator::new(Integrator::Euler, 0.1, 10.0);
+        let starts = vec![vec![1.0], vec![2.0], vec![4.0]];
+        let traces = sim.simulate_until_batch(&decay(), &starts, |_, s| s[0] < 0.5, 0);
+        assert_eq!(traces.len(), 3);
+        for (trace, start) in traces.iter().zip(&starts) {
+            assert_eq!(trace.iter().next().unwrap().1[0], start[0]);
+            assert!(trace.final_state()[0] < 0.5);
+            assert!(trace.len() < sim.num_steps() + 1);
+        }
     }
 
     #[test]

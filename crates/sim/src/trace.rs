@@ -2,6 +2,9 @@
 
 use std::fmt;
 
+/// One time-stamped sample of a [`Trace`]: `(t_k, x_k)`.
+pub type Sample<'a> = (f64, &'a [f64]);
+
 /// A simulation trace: a sequence of time-stamped states.
 ///
 /// Traces are the raw material of the barrier-certificate synthesis: the
@@ -131,9 +134,7 @@ impl Trace {
 
     /// Iterator over consecutive sample pairs `((t_k, x_k), (t_{k+1}, x_{k+1}))`,
     /// the unit from which decrease constraints are generated.
-    pub fn consecutive_pairs(
-        &self,
-    ) -> impl Iterator<Item = ((f64, &[f64]), (f64, &[f64]))> + '_ {
+    pub fn consecutive_pairs(&self) -> impl Iterator<Item = (Sample<'_>, Sample<'_>)> + '_ {
         (0..self.len().saturating_sub(1)).map(move |k| {
             (
                 (self.times[k], self.states[k].as_slice()),

@@ -15,7 +15,7 @@
 //! ```
 
 use nncps_deltasat::{Constraint, DeltaSolver, Formula};
-use nncps_expr::{Expr, VarSet};
+use nncps_expr::VarSet;
 use nncps_interval::IntervalBox;
 
 fn main() {

@@ -103,10 +103,13 @@ fn verification_scales_across_controller_widths() {
 #[test]
 fn destabilizing_controller_is_not_certified() {
     // A controller with the opposite sign convention pushes the car away from
-    // the path; the procedure must not produce a certificate for it.
+    // the path; the procedure must not produce a certificate for it. Only the
+    // output layer is negated: with zero biases and odd activations, negating
+    // *every* parameter would cancel out and reproduce the original network.
     let good = reference_controller(10);
     let mut flipped_params = good.flatten_params();
-    for p in &mut flipped_params {
+    let output_layer_start = flipped_params.len() - 11; // 1x10 weights + 1 bias
+    for p in &mut flipped_params[output_layer_start..] {
         *p = -*p;
     }
     let bad = good.with_params(&flipped_params);
