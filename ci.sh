@@ -23,4 +23,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 echo "==> cargo clippy --all-targets (warnings are errors)"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> bench smoke: tape vs tree microbenches (substrate/tape_vs_tree)"
+if [ "$quick" != "quick" ]; then
+    cargo bench --bench substrate_micro -- substrate/tape_vs_tree
+fi
+
 echo "==> ci.sh: all green"

@@ -3,13 +3,28 @@
 //! network forward pass, and the ODE integrators.  These locate where the
 //! Table 1 time goes as the controller grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nncps_deltasat::{Constraint, DeltaSolver, Formula};
+use criterion::{criterion_group, criterion_main, black_box, BenchmarkId, Criterion};
+use nncps_deltasat::{
+    contract_clause, CompiledClause, CompiledFormula, Constraint, DeltaSolver, Formula,
+};
 use nncps_dubins::{reference_controller, ErrorDynamics};
-use nncps_expr::Expr;
+use nncps_expr::{Expr, Tape};
 use nncps_interval::IntervalBox;
 use nncps_lp::{Comparison, LpProblem};
 use nncps_sim::{Integrator, Simulator};
+
+/// The Lie derivative of the Table-1-style quadratic candidate along the
+/// width-`width` closed loop — the expression the decrease query (5) hands
+/// to the solver.
+fn lie_derivative(width: usize) -> Expr {
+    let x = Expr::var(0);
+    let y = Expr::var(1);
+    let dynamics = ErrorDynamics::new(reference_controller(width), 1.0);
+    let field = dynamics.symbolic_vector_field();
+    let w = (x.clone().powi(2) * 0.02 + (x.clone() * y.clone()) * 0.01 + y.clone().powi(2) * 0.13)
+        .simplified();
+    (w.differentiate(0) * field[0].clone() + w.differentiate(1) * field[1].clone()).simplified()
+}
 
 fn lp_bench(c: &mut Criterion) {
     // A generator-function-shaped LP: 7 variables (quadratic template in 2D
@@ -94,15 +109,7 @@ fn deltasat_bench(c: &mut Criterion) {
 
     // The paper-style decrease query for controllers of increasing width.
     for width in [10usize, 50] {
-        let dynamics = ErrorDynamics::new(reference_controller(width), 1.0);
-        let field = dynamics.symbolic_vector_field();
-        let w = (x.clone().powi(2) * 0.02
-            + (x.clone() * y.clone()) * 0.01
-            + y.clone().powi(2) * 0.13)
-            .simplified();
-        let lie = (w.differentiate(0) * field[0].clone() + w.differentiate(1) * field[1].clone())
-            .simplified();
-        let query = Formula::atom(Constraint::ge(lie, -1e-6));
+        let query = Formula::atom(Constraint::ge(lie_derivative(width), -1e-6));
         group.bench_with_input(
             BenchmarkId::new("decrease_query", width),
             &query,
@@ -112,6 +119,62 @@ fn deltasat_bench(c: &mut Criterion) {
             },
         );
     }
+    group.finish();
+}
+
+/// Head-to-head microbenches of the compiled evaluation layer against the
+/// tree-walking reference on the width-50 decrease-query expression:
+/// interval evaluation, clause contraction (HC4), and the full δ-SAT solve.
+fn tape_vs_tree_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/tape_vs_tree");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    let lie = lie_derivative(50);
+    let constraint = Constraint::ge(lie.clone(), -1e-6);
+    let clause = vec![constraint.clone()];
+    let compiled = CompiledClause::compile(&clause);
+    let tape = Tape::compile(&lie);
+    let domain = IntervalBox::from_bounds(&[(-5.0, 5.0), (-1.6, 1.6)]);
+
+    group.bench_function("eval_box/tree", |b| {
+        b.iter(|| black_box(lie.eval_box(&domain)));
+    });
+    group.bench_function("eval_box/tape", |b| {
+        let mut slots = Vec::new();
+        b.iter(|| {
+            tape.eval_interval_into(&domain, &mut slots);
+            black_box(slots[tape.root_slot(0)])
+        });
+    });
+
+    group.bench_function("hc4_contract/tree", |b| {
+        b.iter(|| {
+            let mut region = domain.clone();
+            black_box(contract_clause(&clause, &mut region, 4))
+        });
+    });
+    group.bench_function("hc4_contract/tape", |b| {
+        let mut scratch = compiled.scratch();
+        let mut region = domain.clone();
+        b.iter(|| {
+            region.clone_from(&domain);
+            black_box(compiled.contract(&mut region, 4, &mut scratch))
+        });
+    });
+
+    let query = Formula::atom(constraint);
+    group.bench_function("decrease_query_50/tree", |b| {
+        let solver = DeltaSolver::new(1e-4).with_tree_evaluator();
+        b.iter(|| solver.solve(&query, &domain));
+    });
+    // The steady-state path the pipeline runs: compiled once, solved many
+    // times (solve() would re-lower the query on every iteration).
+    group.bench_function("decrease_query_50/tape", |b| {
+        let solver = DeltaSolver::new(1e-4);
+        let compiled = CompiledFormula::compile(&query);
+        b.iter(|| solver.solve_compiled(&compiled, &domain));
+    });
     group.finish();
 }
 
@@ -154,6 +217,6 @@ fn sim_bench(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(8));
-    targets = lp_bench, deltasat_bench, nn_bench, sim_bench
+    targets = lp_bench, deltasat_bench, tape_vs_tree_bench, nn_bench, sim_bench
 }
 criterion_main!(benches);

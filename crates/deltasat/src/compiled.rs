@@ -1,0 +1,431 @@
+//! Compiled δ-SAT queries: clauses lowered to evaluation tapes.
+//!
+//! The branch-and-prune loop touches every constraint of a clause at every
+//! box — once inside the HC4 contractor and once for feasibility
+//! classification.  [`CompiledClause`] lowers all constraint expressions of
+//! one conjunction into a single [`Tape`] (sharing common subexpressions
+//! across constraints), and runs both operations on it:
+//!
+//! * **feasibility** performs *one* forward tape sweep and classifies every
+//!   constraint from its root slot, so subexpressions shared between
+//!   constraints are evaluated once per box instead of once per constraint;
+//! * **contraction** is the classic HC4 forward/backward scheme: the forward
+//!   sweep records every slot's enclosure in a reusable buffer, and the
+//!   backward pass walks the program once per occurrence using those
+//!   recorded values — O(n) per revise instead of the O(n²) of re-evaluating
+//!   subtrees at every node.
+//!
+//! All scratch state lives in a caller-owned [`ClauseScratch`], so the
+//! steady-state per-box loop performs **zero heap allocations**.
+//!
+//! # Determinism
+//!
+//! Every operation is bit-identical to the tree-walking reference: the same
+//! verdicts, the same narrowed domains, in the same visit order as
+//! [`hc4_revise`](crate::hc4_revise) /
+//! [`contract_clause`](crate::contract_clause) and
+//! [`Constraint::feasibility`].  The solver exploits this to offer a
+//! differential-testing mode
+//! ([`DeltaSolver::with_tree_evaluator`](crate::DeltaSolver::with_tree_evaluator))
+//! that explores exactly the same box tree.
+
+use nncps_expr::{Expr, Tape, TapeInstr};
+use nncps_interval::{Interval, IntervalBox};
+
+use crate::contractor::{invert_binary, invert_powi, invert_unary, total_width};
+use crate::{Constraint, Feasibility, Formula};
+
+/// One constraint of a compiled clause: the tape slot of its expression plus
+/// the data needed for classification and contraction.
+#[derive(Debug, Clone)]
+struct CompiledAtom {
+    root: usize,
+    admissible: Interval,
+    source: Constraint,
+}
+
+/// Joint feasibility of a clause (a conjunction of constraints) over a box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClauseFeasibility {
+    /// Every constraint holds at every point of the box.
+    Satisfied,
+    /// Some constraint holds at no point of the box.
+    Violated,
+    /// Interval reasoning cannot decide the box.
+    Undecided,
+}
+
+/// Reusable scratch buffers for evaluating and contracting a compiled
+/// clause.
+///
+/// Create one per worker with [`CompiledClause::scratch`] and pass it to
+/// every call; the buffers grow to a high-water mark on first use and are
+/// reused allocation-free afterwards.
+#[derive(Debug, Default, Clone)]
+pub struct ClauseScratch {
+    /// Forward interval value of every tape slot.
+    slots: Vec<Interval>,
+    /// Backward work stack of `(slot, required)` pairs.
+    stack: Vec<(usize, Interval)>,
+}
+
+/// A conjunction of constraints compiled to one shared evaluation tape.
+///
+/// # Examples
+///
+/// ```
+/// use nncps_deltasat::{CompiledClause, ClauseFeasibility, Constraint};
+/// use nncps_expr::Expr;
+/// use nncps_interval::IntervalBox;
+///
+/// let x = Expr::var(0);
+/// let clause = CompiledClause::compile(&[
+///     Constraint::le(x.clone().powi(2), 4.0),
+///     Constraint::ge(x, 0.0),
+/// ]);
+/// let mut scratch = clause.scratch();
+///
+/// // One shared sweep decides both constraints.
+/// let inside = IntervalBox::from_bounds(&[(0.5, 1.5)]);
+/// assert_eq!(clause.feasibility(&inside, &mut scratch), ClauseFeasibility::Satisfied);
+///
+/// // Contraction narrows x to [0, 2] (same fixpoint as the tree contractor).
+/// let mut region = IntervalBox::from_bounds(&[(-10.0, 10.0)]);
+/// assert!(clause.contract(&mut region, 4, &mut scratch));
+/// assert!(region[0].lo() >= -1e-9 && region[0].hi() <= 2.0 + 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledClause {
+    tape: Tape,
+    atoms: Vec<CompiledAtom>,
+}
+
+impl CompiledClause {
+    /// Compiles a conjunction of constraints into one shared tape.
+    pub fn compile(clause: &[Constraint]) -> Self {
+        let exprs: Vec<Expr> = clause.iter().map(|c| c.expr().clone()).collect();
+        let tape = Tape::compile_many(&exprs);
+        let atoms = clause
+            .iter()
+            .enumerate()
+            .map(|(k, c)| CompiledAtom {
+                root: tape.root_slot(k),
+                admissible: c.admissible_interval(),
+                source: c.clone(),
+            })
+            .collect();
+        CompiledClause { tape, atoms }
+    }
+
+    /// Number of constraints in the clause.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// The constraints the clause was compiled from, in order.
+    pub fn constraints(&self) -> impl Iterator<Item = &Constraint> {
+        self.atoms.iter().map(|a| &a.source)
+    }
+
+    /// The shared evaluation tape.
+    pub fn tape(&self) -> &Tape {
+        &self.tape
+    }
+
+    /// Creates a scratch buffer sized for this clause.
+    pub fn scratch(&self) -> ClauseScratch {
+        ClauseScratch {
+            slots: Vec::with_capacity(self.tape.num_slots()),
+            stack: Vec::with_capacity(16),
+        }
+    }
+
+    /// Classifies the whole clause over a box with **one** forward tape
+    /// sweep, deciding every constraint from its root slot.
+    ///
+    /// Bit-identical to calling [`Constraint::feasibility`] per constraint
+    /// (first certain violation wins), but shared subexpressions are
+    /// evaluated once instead of once per constraint.
+    pub fn feasibility(&self, region: &IntervalBox, scratch: &mut ClauseScratch) -> ClauseFeasibility {
+        self.tape.eval_interval_into(region, &mut scratch.slots);
+        let mut all_satisfied = true;
+        for atom in &self.atoms {
+            match atom.source.feasibility_of_value(scratch.slots[atom.root]) {
+                Feasibility::CertainlySatisfied => {}
+                Feasibility::CertainlyViolated => return ClauseFeasibility::Violated,
+                Feasibility::Unknown => all_satisfied = false,
+            }
+        }
+        if all_satisfied {
+            ClauseFeasibility::Satisfied
+        } else {
+            ClauseFeasibility::Undecided
+        }
+    }
+
+    /// Applies HC4-revise for every constraint repeatedly, up to `rounds`
+    /// sweeps or until a fixpoint is (approximately) reached — the compiled
+    /// counterpart of [`contract_clause`](crate::contract_clause), reaching
+    /// bit-identical fixpoints.
+    ///
+    /// Returns `false` as soon as any constraint is proven infeasible.
+    pub fn contract(
+        &self,
+        region: &mut IntervalBox,
+        rounds: usize,
+        scratch: &mut ClauseScratch,
+    ) -> bool {
+        for _ in 0..rounds {
+            let before = total_width(region);
+            for atom in &self.atoms {
+                if !self.revise(atom, region, scratch) {
+                    return false;
+                }
+            }
+            let after = total_width(region);
+            // Stop iterating once a sweep no longer makes meaningful progress.
+            if before - after <= 1e-12 * before.max(1.0) {
+                break;
+            }
+        }
+        true
+    }
+
+    /// One HC4-revise of a single constraint: forward sweep recording every
+    /// slot's enclosure, then a non-recursive backward walk from the
+    /// constraint's root using the recorded values.
+    ///
+    /// The backward walk visits shared slots once per *occurrence* (once per
+    /// incoming edge in the expression DAG), exactly mirroring the
+    /// tree-walking reference; requirements depend only on the recorded
+    /// forward values, so the accumulated variable narrowing is identical.
+    fn revise(&self, atom: &CompiledAtom, region: &mut IntervalBox, scratch: &mut ClauseScratch) -> bool {
+        // Topological slot order means the prefix up to the atom's root
+        // contains its whole dependency cone; later atoms' exclusive slots
+        // need no evaluation for this revise.
+        self.tape
+            .eval_interval_prefix_into(region, &mut scratch.slots, atom.root + 1);
+        scratch.stack.clear();
+        scratch.stack.push((atom.root, atom.admissible));
+        while let Some((slot, required)) = scratch.stack.pop() {
+            let narrowed = scratch.slots[slot].intersect(&required);
+            if narrowed.is_empty() {
+                return false;
+            }
+            match self.tape.instr(slot) {
+                // Variable-free slots (literal or folded constants) carry no
+                // domains to narrow.
+                TapeInstr::Const(..) => {}
+                TapeInstr::Var(i) => {
+                    let dom = region[i].intersect(&narrowed);
+                    if dom.is_empty() {
+                        return false;
+                    }
+                    region[i] = dom;
+                }
+                TapeInstr::Unary(op, a) => {
+                    let a_req = invert_unary(op, narrowed, scratch.slots[a]);
+                    scratch.stack.push((a, a_req));
+                }
+                TapeInstr::Binary(op, a, b) => {
+                    let (a_req, b_req) =
+                        invert_binary(op, narrowed, scratch.slots[a], scratch.slots[b]);
+                    // LIFO order makes the walk a depth-first pre-order:
+                    // push the right operand first so the left is processed
+                    // first, matching the recursive reference.
+                    scratch.stack.push((b, b_req));
+                    scratch.stack.push((a, a_req));
+                }
+                TapeInstr::Powi(a, n) => {
+                    let a_req = invert_powi(n, narrowed, scratch.slots[a]);
+                    scratch.stack.push((a, a_req));
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A formula compiled once — DNF conversion plus per-clause tape lowering —
+/// for repeated solving.
+///
+/// Build with [`CompiledFormula::compile`] and hand to
+/// [`DeltaSolver::solve_compiled`](crate::DeltaSolver::solve_compiled); the
+/// verification pipeline compiles each query up front so no per-solve
+/// lowering happens inside timed sections.
+///
+/// # Examples
+///
+/// ```
+/// use nncps_deltasat::{CompiledFormula, Constraint, DeltaSolver, Formula};
+/// use nncps_expr::Expr;
+/// use nncps_interval::IntervalBox;
+///
+/// let x = Expr::var(0);
+/// let query = CompiledFormula::compile(&Formula::atom(Constraint::ge(x.powi(2), 2.0)));
+/// let solver = DeltaSolver::new(1e-4);
+/// let domain = IntervalBox::from_bounds(&[(-3.0, 3.0)]);
+/// assert!(solver.solve_compiled(&query, &domain).is_delta_sat());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledFormula {
+    clauses: Vec<CompiledClause>,
+}
+
+impl CompiledFormula {
+    /// Converts the formula to DNF and compiles each clause.
+    pub fn compile(formula: &Formula) -> Self {
+        CompiledFormula {
+            clauses: formula.to_dnf().iter().map(|c| CompiledClause::compile(c)).collect(),
+        }
+    }
+
+    /// The compiled DNF clauses, in solver examination order.
+    pub fn clauses(&self) -> &[CompiledClause] {
+        &self.clauses
+    }
+}
+
+impl From<&Formula> for CompiledFormula {
+    fn from(formula: &Formula) -> Self {
+        CompiledFormula::compile(formula)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{contract_clause, hc4_revise};
+    use nncps_expr::Expr;
+
+    fn x() -> Expr {
+        Expr::var(0)
+    }
+
+    fn y() -> Expr {
+        Expr::var(1)
+    }
+
+    fn assert_boxes_bit_equal(a: &IntervalBox, b: &IntervalBox) {
+        assert_eq!(a.dim(), b.dim());
+        for k in 0..a.dim() {
+            assert_eq!(a[k].lo().to_bits(), b[k].lo().to_bits(), "dimension {k} lo");
+            assert_eq!(a[k].hi().to_bits(), b[k].hi().to_bits(), "dimension {k} hi");
+        }
+    }
+
+    #[test]
+    fn single_revise_matches_tree_reference_bitwise() {
+        let constraints = [
+            Constraint::le(x() + y(), 1.0),
+            Constraint::eq(Expr::constant(2.0) * x(), 6.0),
+            Constraint::ge(x().tanh() + y().powi(2), 0.5),
+            Constraint::le((x() * y()).exp() - y().sqrt(), 2.0),
+            Constraint::ge(x().abs().min(y().max(Expr::constant(0.5))), 0.25),
+        ];
+        for c in &constraints {
+            let clause = CompiledClause::compile(std::slice::from_ref(c));
+            let mut scratch = clause.scratch();
+            let mut tree_region = IntervalBox::from_bounds(&[(-4.0, 10.0), (0.0, 10.0)]);
+            let mut tape_region = tree_region.clone();
+            let tree_ok = hc4_revise(c, &mut tree_region);
+            // One round over a single atom is exactly one revise.
+            let tape_ok = clause.contract(&mut tape_region, 1, &mut scratch);
+            assert_eq!(tree_ok, tape_ok, "constraint {c}");
+            if tree_ok {
+                assert_boxes_bit_equal(&tree_region, &tape_region);
+            }
+        }
+    }
+
+    #[test]
+    fn clause_contraction_matches_tree_reference_bitwise() {
+        let clause_src = vec![
+            Constraint::eq(x() + y(), 4.0),
+            Constraint::eq(y(), 1.0),
+            Constraint::le(x() * y(), 10.0),
+        ];
+        let compiled = CompiledClause::compile(&clause_src);
+        let mut scratch = compiled.scratch();
+        for rounds in [1usize, 2, 10] {
+            let mut tree_region =
+                IntervalBox::from_bounds(&[(-100.0, 100.0), (-100.0, 100.0)]);
+            let mut tape_region = tree_region.clone();
+            let tree_ok = contract_clause(&clause_src, &mut tree_region, rounds);
+            let tape_ok = compiled.contract(&mut tape_region, rounds, &mut scratch);
+            assert_eq!(tree_ok, tape_ok);
+            assert_boxes_bit_equal(&tree_region, &tape_region);
+        }
+    }
+
+    #[test]
+    fn shared_subexpressions_are_deduplicated_across_atoms() {
+        let shared = (x() * 2.0 + y()).tanh();
+        let clause = vec![
+            Constraint::le(shared.clone() + y(), 1.0),
+            Constraint::ge(shared.clone() * x(), -1.0),
+            Constraint::eq(shared, 0.25),
+        ];
+        let compiled = CompiledClause::compile(&clause);
+        let separate: usize = clause.iter().map(|c| c.expr().node_count()).sum();
+        assert!(compiled.tape().num_slots() < separate);
+        assert_eq!(compiled.num_atoms(), 3);
+        assert_eq!(compiled.constraints().count(), 3);
+    }
+
+    #[test]
+    fn clause_feasibility_matches_per_constraint_classification() {
+        let clause = vec![
+            Constraint::le(x().powi(2) + y().powi(2), 1.0),
+            Constraint::ge(x(), 0.5),
+        ];
+        let compiled = CompiledClause::compile(&clause);
+        let mut scratch = compiled.scratch();
+        let boxes = [
+            IntervalBox::from_bounds(&[(0.55, 0.6), (0.0, 0.1)]),
+            IntervalBox::from_bounds(&[(2.0, 3.0), (0.0, 0.1)]),
+            IntervalBox::from_bounds(&[(0.0, 0.6), (0.0, 0.1)]),
+        ];
+        for region in &boxes {
+            let mut all = true;
+            let mut reference = ClauseFeasibility::Undecided;
+            let mut decided = false;
+            for c in &clause {
+                match c.feasibility(region) {
+                    Feasibility::CertainlySatisfied => {}
+                    Feasibility::CertainlyViolated => {
+                        reference = ClauseFeasibility::Violated;
+                        decided = true;
+                        break;
+                    }
+                    Feasibility::Unknown => all = false,
+                }
+            }
+            if !decided {
+                reference = if all {
+                    ClauseFeasibility::Satisfied
+                } else {
+                    ClauseFeasibility::Undecided
+                };
+            }
+            assert_eq!(compiled.feasibility(region, &mut scratch), reference, "{region}");
+        }
+    }
+
+    #[test]
+    fn compiled_formula_exposes_dnf_clauses() {
+        let f = Formula::and(vec![
+            Formula::atom(Constraint::le(x(), 1.0)),
+            Formula::or(vec![
+                Formula::atom(Constraint::ge(y(), 2.0)),
+                Formula::atom(Constraint::le(y(), -2.0)),
+            ]),
+        ]);
+        let compiled = CompiledFormula::compile(&f);
+        assert_eq!(compiled.clauses().len(), 2);
+        assert!(compiled.clauses().iter().all(|c| c.num_atoms() == 2));
+        let via_from: CompiledFormula = (&f).into();
+        assert_eq!(via_from.clauses().len(), 2);
+        assert!(CompiledFormula::compile(&Formula::falsum()).clauses().is_empty());
+    }
+}

@@ -133,59 +133,18 @@ impl Constraint {
     /// Checks whether the constraint can be decided on the given box by
     /// interval evaluation alone.
     pub fn feasibility(&self, region: &IntervalBox) -> Feasibility {
-        let value = self.expr.eval_box(region);
-        if value.is_empty() {
-            // The expression is undefined everywhere on the box (for example
-            // `ln` of a negative range); no point of the box satisfies it.
-            return Feasibility::CertainlyViolated;
-        }
-        match self.relation {
-            Relation::Le => {
-                if value.hi() <= self.bound {
-                    Feasibility::CertainlySatisfied
-                } else if value.lo() > self.bound {
-                    Feasibility::CertainlyViolated
-                } else {
-                    Feasibility::Unknown
-                }
-            }
-            Relation::Lt => {
-                if value.hi() < self.bound {
-                    Feasibility::CertainlySatisfied
-                } else if value.lo() >= self.bound {
-                    Feasibility::CertainlyViolated
-                } else {
-                    Feasibility::Unknown
-                }
-            }
-            Relation::Ge => {
-                if value.lo() >= self.bound {
-                    Feasibility::CertainlySatisfied
-                } else if value.hi() < self.bound {
-                    Feasibility::CertainlyViolated
-                } else {
-                    Feasibility::Unknown
-                }
-            }
-            Relation::Gt => {
-                if value.lo() > self.bound {
-                    Feasibility::CertainlySatisfied
-                } else if value.hi() <= self.bound {
-                    Feasibility::CertainlyViolated
-                } else {
-                    Feasibility::Unknown
-                }
-            }
-            Relation::Eq => {
-                if value.is_singleton() && value.lo() == self.bound {
-                    Feasibility::CertainlySatisfied
-                } else if !value.contains(self.bound) {
-                    Feasibility::CertainlyViolated
-                } else {
-                    Feasibility::Unknown
-                }
-            }
-        }
+        self.feasibility_of_value(self.expr.eval_box(region))
+    }
+
+    /// Classifies the constraint given a precomputed interval enclosure of
+    /// its expression over a box.
+    ///
+    /// This is the classification step of [`Constraint::feasibility`] split
+    /// out so the compiled-clause path — which obtains all expression values
+    /// of a clause from one shared tape sweep — decides exactly the same way
+    /// as the tree-walking path.
+    pub fn feasibility_of_value(&self, value: Interval) -> Feasibility {
+        classify(value, self.relation, self.bound)
     }
 
     /// Checks whether a concrete point satisfies the δ-weakening of the
@@ -211,6 +170,63 @@ impl Constraint {
             Relation::Le | Relation::Lt => (v - self.bound).max(0.0),
             Relation::Ge | Relation::Gt => (self.bound - v).max(0.0),
             Relation::Eq => (v - self.bound).abs(),
+        }
+    }
+}
+
+/// The three-valued classification shared by the tree and compiled
+/// evaluation paths.
+fn classify(value: Interval, relation: Relation, bound: f64) -> Feasibility {
+    if value.is_empty() {
+        // The expression is undefined everywhere on the box (for example
+        // `ln` of a negative range); no point of the box satisfies it.
+        return Feasibility::CertainlyViolated;
+    }
+    match relation {
+        Relation::Le => {
+            if value.hi() <= bound {
+                Feasibility::CertainlySatisfied
+            } else if value.lo() > bound {
+                Feasibility::CertainlyViolated
+            } else {
+                Feasibility::Unknown
+            }
+        }
+        Relation::Lt => {
+            if value.hi() < bound {
+                Feasibility::CertainlySatisfied
+            } else if value.lo() >= bound {
+                Feasibility::CertainlyViolated
+            } else {
+                Feasibility::Unknown
+            }
+        }
+        Relation::Ge => {
+            if value.lo() >= bound {
+                Feasibility::CertainlySatisfied
+            } else if value.hi() < bound {
+                Feasibility::CertainlyViolated
+            } else {
+                Feasibility::Unknown
+            }
+        }
+        Relation::Gt => {
+            if value.lo() > bound {
+                Feasibility::CertainlySatisfied
+            } else if value.hi() <= bound {
+                Feasibility::CertainlyViolated
+            } else {
+                Feasibility::Unknown
+            }
+        }
+        Relation::Eq => {
+            if value.is_singleton() && value.lo() == bound {
+                Feasibility::CertainlySatisfied
+            } else if !value.contains(bound) {
+                Feasibility::CertainlyViolated
+            } else {
+                Feasibility::Unknown
+            }
         }
     }
 }

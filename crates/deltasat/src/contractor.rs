@@ -1,10 +1,21 @@
-//! HC4-revise interval contraction.
+//! HC4-revise interval contraction (tree-walking reference implementation).
 //!
 //! Given a constraint `expr ⋈ bound` and a box of variable domains, the HC4
-//! algorithm performs a forward interval evaluation of the expression followed
-//! by a backward pass that propagates the admissible output range down to the
-//! leaves, narrowing variable domains on the way.  Narrowing is *sound*: no
-//! point of the box that satisfies the constraint is ever removed.
+//! algorithm performs a forward interval evaluation of the expression —
+//! recording the enclosure of every node — followed by a backward pass that
+//! propagates the admissible output range down to the leaves using the
+//! recorded values, narrowing variable domains on the way.  Narrowing is
+//! *sound*: no point of the box that satisfies the constraint is ever
+//! removed.
+//!
+//! Both passes visit each tree node once, so one revise is O(n) in the node
+//! count.  The recursive functions here are the readable *reference*
+//! implementation; the solver's hot loop runs the same algorithm — bit for
+//! bit — on compiled tapes via [`crate::CompiledClause`], which shares the
+//! inversion rules defined in this module.  Variable-free subtrees are
+//! treated atomically (their recorded enclosure is checked against the
+//! requirement, but they are not descended into), matching the tape's
+//! constant folding.
 
 use nncps_expr::{BinaryOp, Expr, ExprView, UnaryOp};
 use nncps_interval::{Interval, IntervalBox};
@@ -32,7 +43,13 @@ use crate::Constraint;
 /// assert!(region[1].hi() <= 1.0 + 1e-9);
 /// ```
 pub fn hc4_revise(constraint: &Constraint, region: &mut IntervalBox) -> bool {
-    backward(constraint.expr(), region, constraint.admissible_interval())
+    let forward = forward(constraint.expr(), region);
+    backward(
+        constraint.expr(),
+        &forward,
+        region,
+        constraint.admissible_interval(),
+    )
 }
 
 /// Applies HC4-revise for every constraint in `clause` repeatedly, up to
@@ -56,17 +73,81 @@ pub fn contract_clause(clause: &[Constraint], region: &mut IntervalBox, rounds: 
     true
 }
 
-fn total_width(region: &IntervalBox) -> f64 {
+pub(crate) fn total_width(region: &IntervalBox) -> f64 {
     region.iter().map(Interval::width).sum()
 }
 
-/// Recursive backward propagation: narrows `region` so that `expr` can still
-/// take a value in `required`.  Returns `false` if that is impossible.
-fn backward(expr: &Expr, region: &mut IntervalBox, required: Interval) -> bool {
-    let value = expr.eval_box(region);
-    let narrowed = value.intersect(&required);
+/// Recorded forward evaluation of one tree node: the node's interval
+/// enclosure, whether its subtree is variable-free (treated atomically by the
+/// backward pass), and the recorded children.
+struct Forward {
+    value: Interval,
+    constant: bool,
+    children: Vec<Forward>,
+}
+
+/// Forward pass: evaluates the expression bottom-up over the box, recording
+/// every node's enclosure for the backward pass.
+fn forward(expr: &Expr, region: &IntervalBox) -> Forward {
+    match expr.view() {
+        ExprView::Const(c) => Forward {
+            value: Interval::singleton(c),
+            constant: true,
+            children: Vec::new(),
+        },
+        ExprView::Var(i) => {
+            assert!(
+                i < region.dim(),
+                "expression references variable x{i} but the box has {} dimensions",
+                region.dim()
+            );
+            Forward {
+                value: region[i],
+                constant: false,
+                children: Vec::new(),
+            }
+        }
+        ExprView::Unary(op, a) => {
+            let a = forward(a, region);
+            Forward {
+                value: op.apply_interval(a.value),
+                constant: a.constant,
+                children: vec![a],
+            }
+        }
+        ExprView::Binary(op, a, b) => {
+            let a = forward(a, region);
+            let b = forward(b, region);
+            Forward {
+                value: op.apply_interval(a.value, b.value),
+                constant: a.constant && b.constant,
+                children: vec![a, b],
+            }
+        }
+        ExprView::Powi(a, n) => {
+            let a = forward(a, region);
+            Forward {
+                value: a.value.powi(n),
+                constant: a.constant,
+                children: vec![a],
+            }
+        }
+    }
+}
+
+/// Backward pass: narrows `region` so that `expr` can still take a value in
+/// `required`, using the node values recorded by [`forward`].  Returns
+/// `false` if that is impossible.
+fn backward(expr: &Expr, fwd: &Forward, region: &mut IntervalBox, required: Interval) -> bool {
+    let narrowed = fwd.value.intersect(&required);
     if narrowed.is_empty() {
         return false;
+    }
+    if fwd.constant {
+        // A variable-free subtree carries no domains to narrow; its recorded
+        // enclosure either meets the requirement (checked above) or the
+        // constraint is infeasible.
+        return true;
     }
     match expr.view() {
         ExprView::Const(_) => true,
@@ -79,20 +160,18 @@ fn backward(expr: &Expr, region: &mut IntervalBox, required: Interval) -> bool {
             true
         }
         ExprView::Unary(op, a) => {
-            let a_val = a.eval_box(region);
-            let a_req = invert_unary(op, narrowed, a_val);
-            backward(a, region, a_req)
+            let a_req = invert_unary(op, narrowed, fwd.children[0].value);
+            backward(a, &fwd.children[0], region, a_req)
         }
         ExprView::Binary(op, a, b) => {
-            let a_val = a.eval_box(region);
-            let b_val = b.eval_box(region);
-            let (a_req, b_req) = invert_binary(op, narrowed, a_val, b_val);
-            backward(a, region, a_req) && backward(b, region, b_req)
+            let (a_req, b_req) =
+                invert_binary(op, narrowed, fwd.children[0].value, fwd.children[1].value);
+            backward(a, &fwd.children[0], region, a_req)
+                && backward(b, &fwd.children[1], region, b_req)
         }
         ExprView::Powi(a, n) => {
-            let a_val = a.eval_box(region);
-            let a_req = invert_powi(n, narrowed, a_val);
-            backward(a, region, a_req)
+            let a_req = invert_powi(n, narrowed, fwd.children[0].value);
+            backward(a, &fwd.children[0], region, a_req)
         }
     }
 }
@@ -100,7 +179,7 @@ fn backward(expr: &Expr, region: &mut IntervalBox, required: Interval) -> bool {
 /// Computes a sound requirement on the operand of a unary operator, given the
 /// requirement `out` on the operator's result and the operand's current
 /// enclosure `operand`.
-fn invert_unary(op: UnaryOp, out: Interval, operand: Interval) -> Interval {
+pub(crate) fn invert_unary(op: UnaryOp, out: Interval, operand: Interval) -> Interval {
     match op {
         UnaryOp::Neg => -out,
         UnaryOp::Exp => out.ln(),
@@ -136,7 +215,7 @@ fn invert_unary(op: UnaryOp, out: Interval, operand: Interval) -> Interval {
 }
 
 /// Computes sound requirements on both operands of a binary operator.
-fn invert_binary(
+pub(crate) fn invert_binary(
     op: BinaryOp,
     out: Interval,
     a_val: Interval,
@@ -183,7 +262,7 @@ fn invert_binary(
 }
 
 /// Inverse of an integer power: a requirement on `a` given `a^n ∈ out`.
-fn invert_powi(n: i32, out: Interval, a_val: Interval) -> Interval {
+pub(crate) fn invert_powi(n: i32, out: Interval, a_val: Interval) -> Interval {
     if n <= 0 {
         // a^0 carries no information; negative powers are rare in our models
         // and skipping the narrowing is always sound.

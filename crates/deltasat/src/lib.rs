@@ -25,6 +25,19 @@
 //! `DeltaSat` answer provides a counterexample point used to refine the
 //! candidate.
 //!
+//! # Compiled evaluation
+//!
+//! The solver compiles every DNF clause of a query into a flat evaluation
+//! tape ([`CompiledClause`], built on [`nncps_expr::Tape`]) before searching:
+//! constraints of a clause share one tape (common subexpressions are
+//! evaluated once per box), the HC4 contractor runs forward/backward sweeps
+//! over recorded slot values in O(n), and all scratch state is reused so the
+//! per-box loop is allocation-free.  Verdicts, witnesses, and explored box
+//! trees are bit-identical to the recursive tree-walking evaluators, which
+//! remain available as a reference via [`DeltaSolver::with_tree_evaluator`].
+//! Queries can be pre-compiled once with [`CompiledFormula::compile`] and
+//! solved repeatedly with [`DeltaSolver::solve_compiled`].
+//!
 //! # Examples
 //!
 //! ```
@@ -56,12 +69,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod constraint;
 mod contractor;
 mod formula;
 mod solver;
 
+pub use compiled::{ClauseFeasibility, ClauseScratch, CompiledClause, CompiledFormula};
 pub use constraint::{Constraint, Feasibility, Relation};
-pub use contractor::hc4_revise;
+pub use contractor::{contract_clause, hc4_revise};
 pub use formula::Formula;
 pub use solver::{DeltaSolver, SatResult, SolverStats};

@@ -4,6 +4,7 @@ use std::fmt;
 
 use nncps_interval::IntervalBox;
 
+use crate::compiled::{ClauseFeasibility, ClauseScratch, CompiledClause, CompiledFormula};
 use crate::contractor::contract_clause;
 use crate::{Constraint, Feasibility, Formula};
 
@@ -65,6 +66,14 @@ pub struct SolverStats {
 /// A δ-complete decision procedure for existential nonlinear queries,
 /// implemented with interval constraint propagation and branch & prune.
 ///
+/// Queries are compiled to flat evaluation tapes
+/// ([`CompiledClause`]) before the search starts, so the per-box loop —
+/// contraction, feasibility classification, bisection — runs allocation-free
+/// over dense instruction arrays.  The pre-compilation is observable only as
+/// speed: verdicts, witnesses, and the explored box tree are bit-identical
+/// to the tree-walking reference evaluator (selectable with
+/// [`DeltaSolver::with_tree_evaluator`] for differential testing).
+///
 /// See the [crate-level documentation](crate) for the semantics of the
 /// returned verdicts and a usage example.
 #[derive(Debug, Clone)]
@@ -73,17 +82,74 @@ pub struct DeltaSolver {
     max_boxes: usize,
     contraction_rounds: usize,
     threads: usize,
+    tree_eval: bool,
 }
 
 /// What the branch-and-prune loop does with one box popped from the work
-/// stack (contraction, feasibility classification, δ-termination, or split).
+/// stack (the box itself is processed in place).
 enum BoxOutcome {
     /// The box was emptied by contraction or certainly violates a constraint.
     Pruned,
-    /// The box certifies the δ-weakened formula.
-    Sat(IntervalBox),
-    /// The box was bisected; explore both halves (left first).
-    Split(IntervalBox, IntervalBox),
+    /// The (contracted) box certifies the δ-weakened formula.
+    Sat,
+    /// The box is undecided and wide enough to bisect.
+    Split,
+}
+
+/// The clause evaluation backend: compiled tapes on the hot path, or the
+/// recursive tree walkers as the bit-identical reference.
+enum ClauseEngine<'a> {
+    Compiled(&'a CompiledClause),
+    Tree(&'a [Constraint]),
+}
+
+impl ClauseEngine<'_> {
+    fn atom_count(&self) -> usize {
+        match self {
+            ClauseEngine::Compiled(clause) => clause.num_atoms(),
+            ClauseEngine::Tree(clause) => clause.len(),
+        }
+    }
+
+    fn scratch(&self) -> ClauseScratch {
+        match self {
+            ClauseEngine::Compiled(clause) => clause.scratch(),
+            ClauseEngine::Tree(_) => ClauseScratch::default(),
+        }
+    }
+
+    fn contract(
+        &self,
+        region: &mut IntervalBox,
+        rounds: usize,
+        scratch: &mut ClauseScratch,
+    ) -> bool {
+        match self {
+            ClauseEngine::Compiled(clause) => clause.contract(region, rounds, scratch),
+            ClauseEngine::Tree(clause) => contract_clause(clause, region, rounds),
+        }
+    }
+
+    fn feasibility(&self, region: &IntervalBox, scratch: &mut ClauseScratch) -> ClauseFeasibility {
+        match self {
+            ClauseEngine::Compiled(clause) => clause.feasibility(region, scratch),
+            ClauseEngine::Tree(clause) => {
+                let mut all_satisfied = true;
+                for constraint in *clause {
+                    match constraint.feasibility(region) {
+                        Feasibility::CertainlySatisfied => {}
+                        Feasibility::CertainlyViolated => return ClauseFeasibility::Violated,
+                        Feasibility::Unknown => all_satisfied = false,
+                    }
+                }
+                if all_satisfied {
+                    ClauseFeasibility::Satisfied
+                } else {
+                    ClauseFeasibility::Undecided
+                }
+            }
+        }
+    }
 }
 
 impl DeltaSolver {
@@ -105,6 +171,7 @@ impl DeltaSolver {
             max_boxes: Self::DEFAULT_MAX_BOXES,
             contraction_rounds: Self::DEFAULT_CONTRACTION_ROUNDS,
             threads: 1,
+            tree_eval: false,
         }
     }
 
@@ -153,6 +220,36 @@ impl DeltaSolver {
         self
     }
 
+    /// Switches the solver to the recursive tree-walking evaluators
+    /// ([`crate::hc4_revise`] / [`Constraint::feasibility`]) instead of
+    /// compiled tapes.
+    ///
+    /// This is the slow reference path: it produces bit-identical verdicts,
+    /// witnesses, and box statistics, and exists for differential testing
+    /// and benchmarking of the compiled evaluation layer.  Queries handed to
+    /// [`DeltaSolver::solve_compiled`] always run compiled.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nncps_deltasat::{Constraint, DeltaSolver, Formula};
+    /// use nncps_expr::Expr;
+    /// use nncps_interval::IntervalBox;
+    ///
+    /// let query = Formula::atom(Constraint::ge(Expr::var(0).powi(2), 2.0));
+    /// let domain = IntervalBox::from_bounds(&[(-3.0, 3.0)]);
+    /// let (fast, fast_stats) = DeltaSolver::new(1e-4).solve_with_stats(&query, &domain);
+    /// let (reference, reference_stats) = DeltaSolver::new(1e-4)
+    ///     .with_tree_evaluator()
+    ///     .solve_with_stats(&query, &domain);
+    /// assert_eq!(fast.witness(), reference.witness());
+    /// assert_eq!(fast_stats, reference_stats);
+    /// ```
+    pub fn with_tree_evaluator(mut self) -> Self {
+        self.tree_eval = true;
+        self
+    }
+
     /// The configured precision `δ`.
     pub fn precision(&self) -> f64 {
         self.precision
@@ -174,15 +271,44 @@ impl DeltaSolver {
         formula: &Formula,
         domain: &IntervalBox,
     ) -> (SatResult, SolverStats) {
-        let mut stats = SolverStats::default();
-        let clauses = formula.to_dnf();
-        if clauses.is_empty() {
-            return (SatResult::Unsat, stats);
+        if self.tree_eval {
+            let clauses = formula.to_dnf();
+            self.solve_clauses(clauses.iter().map(|c| ClauseEngine::Tree(c)), domain)
+        } else {
+            self.solve_compiled_with_stats(&CompiledFormula::compile(formula), domain)
         }
+    }
+
+    /// Decides a query pre-compiled with [`CompiledFormula::compile`].
+    ///
+    /// Equivalent to [`DeltaSolver::solve`] on the source formula, but the
+    /// DNF conversion and tape lowering happened up front — callers that
+    /// construct a query once and solve it (or hold it across solver
+    /// configurations) skip the per-solve compilation cost.
+    pub fn solve_compiled(&self, query: &CompiledFormula, domain: &IntervalBox) -> SatResult {
+        self.solve_compiled_with_stats(query, domain).0
+    }
+
+    /// Decides a pre-compiled query and also returns search statistics.
+    pub fn solve_compiled_with_stats(
+        &self,
+        query: &CompiledFormula,
+        domain: &IntervalBox,
+    ) -> (SatResult, SolverStats) {
+        self.solve_clauses(query.clauses().iter().map(ClauseEngine::Compiled), domain)
+    }
+
+    /// Examines DNF clauses in order: the first δ-SAT clause wins, Unknown is
+    /// remembered, and an empty clause list (the formula `false`) is UNSAT.
+    fn solve_clauses<'a, I>(&self, engines: I, domain: &IntervalBox) -> (SatResult, SolverStats)
+    where
+        I: Iterator<Item = ClauseEngine<'a>>,
+    {
+        let mut stats = SolverStats::default();
         let mut any_unknown = None;
-        for clause in &clauses {
+        for engine in engines {
             stats.clauses_examined += 1;
-            match self.solve_clause(clause, domain, &mut stats) {
+            match self.solve_clause(&engine, domain, &mut stats) {
                 SatResult::DeltaSat(region) => return (SatResult::DeltaSat(region), stats),
                 SatResult::Unsat => {}
                 SatResult::Unknown(reason) => any_unknown = Some(reason),
@@ -204,19 +330,24 @@ impl DeltaSolver {
             clauses_examined: 1,
             ..SolverStats::default()
         };
-        let result = self.solve_clause(constraints, domain, &mut stats);
+        let result = if self.tree_eval {
+            self.solve_clause(&ClauseEngine::Tree(constraints), domain, &mut stats)
+        } else {
+            let compiled = CompiledClause::compile(constraints);
+            self.solve_clause(&ClauseEngine::Compiled(&compiled), domain, &mut stats)
+        };
         (result, stats)
     }
 
     fn solve_clause(
         &self,
-        clause: &[Constraint],
+        engine: &ClauseEngine<'_>,
         domain: &IntervalBox,
         stats: &mut SolverStats,
     ) -> SatResult {
         // An empty conjunction is trivially satisfied by any point of a
         // non-empty domain.
-        if clause.is_empty() {
+        if engine.atom_count() == 0 {
             return if domain.is_empty() {
                 SatResult::Unsat
             } else {
@@ -229,17 +360,22 @@ impl DeltaSolver {
 
         let threads = nncps_parallel::effective_threads(self.threads);
         if threads > 1 {
-            self.solve_clause_batched(clause, domain, stats, threads)
+            self.solve_clause_batched(engine, domain, stats, threads)
         } else {
-            self.solve_clause_sequential(clause, domain, stats)
+            self.solve_clause_sequential(engine, domain, stats)
         }
     }
 
-    /// Contracts and classifies one box: the body of the branch-and-prune
-    /// loop, shared by the sequential and batched searches.
-    fn process_box(&self, clause: &[Constraint], mut region: IntervalBox) -> BoxOutcome {
+    /// Contracts and classifies one box **in place**: the body of the
+    /// branch-and-prune loop, shared by the sequential and batched searches.
+    fn process_box(
+        &self,
+        engine: &ClauseEngine<'_>,
+        scratch: &mut ClauseScratch,
+        region: &mut IntervalBox,
+    ) -> BoxOutcome {
         // Prune with the contractor.
-        if !contract_clause(clause, &mut region, self.contraction_rounds) {
+        if !engine.contract(region, self.contraction_rounds, scratch) {
             return BoxOutcome::Pruned;
         }
         if region.is_empty() {
@@ -247,36 +383,35 @@ impl DeltaSolver {
         }
 
         // Classify the contracted box.
-        let mut all_satisfied = true;
-        for constraint in clause {
-            match constraint.feasibility(&region) {
-                Feasibility::CertainlySatisfied => {}
-                Feasibility::CertainlyViolated => return BoxOutcome::Pruned,
-                Feasibility::Unknown => all_satisfied = false,
-            }
-        }
-        if all_satisfied {
-            return BoxOutcome::Sat(region);
+        match engine.feasibility(region, scratch) {
+            ClauseFeasibility::Violated => return BoxOutcome::Pruned,
+            ClauseFeasibility::Satisfied => return BoxOutcome::Sat,
+            ClauseFeasibility::Undecided => {}
         }
 
         // δ-termination: the box can no longer be refuted by splitting at
         // the configured precision, so report the δ-weakened SAT verdict.
         if region.max_width() <= self.precision {
-            return BoxOutcome::Sat(region);
+            return BoxOutcome::Sat;
         }
 
-        let (left, right) = region.bisect_widest();
-        BoxOutcome::Split(left, right)
+        BoxOutcome::Split
     }
 
     fn solve_clause_sequential(
         &self,
-        clause: &[Constraint],
+        engine: &ClauseEngine<'_>,
         domain: &IntervalBox,
         stats: &mut SolverStats,
     ) -> SatResult {
+        let mut scratch = engine.scratch();
         let mut stack = vec![domain.clone()];
-        while let Some(region) = stack.pop() {
+        // Pruned boxes are recycled as the upper halves of later splits, so
+        // the steady-state loop allocates nothing: popping moves a box out
+        // of the stack, contraction narrows it in place, and
+        // `split_widest_into` reuses pooled storage.
+        let mut pool: Vec<IntervalBox> = Vec::new();
+        while let Some(mut region) = stack.pop() {
             stats.boxes_explored += 1;
             if stats.boxes_explored > self.max_boxes {
                 return SatResult::Unknown(format!(
@@ -284,16 +419,21 @@ impl DeltaSolver {
                     self.max_boxes
                 ));
             }
-            match self.process_box(clause, region) {
-                BoxOutcome::Pruned => stats.boxes_pruned += 1,
-                BoxOutcome::Sat(region) => return SatResult::DeltaSat(region),
-                BoxOutcome::Split(left, right) => {
+            match self.process_box(engine, &mut scratch, &mut region) {
+                BoxOutcome::Pruned => {
+                    stats.boxes_pruned += 1;
+                    pool.push(region);
+                }
+                BoxOutcome::Sat => return SatResult::DeltaSat(region),
+                BoxOutcome::Split => {
                     stats.bisections += 1;
+                    let mut right = pool.pop().unwrap_or_default();
+                    region.split_widest_into(&mut right);
                     // Depth-first exploration; pushing the halves in this
                     // order keeps the search biased toward the lower corner,
                     // which is as good as any deterministic choice.
                     stack.push(right);
-                    stack.push(left);
+                    stack.push(region);
                 }
             }
         }
@@ -335,7 +475,7 @@ impl DeltaSolver {
     /// a single item) and never pay for parallelism.
     fn solve_clause_batched(
         &self,
-        clause: &[Constraint],
+        engine: &ClauseEngine<'_>,
         domain: &IntervalBox,
         stats: &mut SolverStats,
         threads: usize,
@@ -364,7 +504,7 @@ impl DeltaSolver {
             // `split_off` keeps order: `roots` runs bottom → top of stack.
             let roots = stack.split_off(stack.len() - workers);
             let results = nncps_parallel::parallel_map_owned(roots, threads, |root| {
-                self.explore_subtree(clause, root, cap)
+                self.explore_subtree(engine, root, cap)
             });
             // Merge bottom → top: the last δ-SAT outcome seen is the one
             // with the highest depth-first priority (closest to the top of
@@ -395,26 +535,37 @@ impl DeltaSolver {
     /// Depth-first exploration of one subtree, stopping at a δ-SAT box or
     /// after `cap` boxes; the unexplored remainder is returned as `leftover`
     /// (bottom → top, i.e. ready to be pushed back onto the main stack).
+    ///
+    /// Each call owns its scratch buffers and box pool, so workers never
+    /// contend; within the (up to `cap`-box) subtree walk the loop is
+    /// allocation-free just like the sequential search.
     fn explore_subtree(
         &self,
-        clause: &[Constraint],
+        engine: &ClauseEngine<'_>,
         root: IntervalBox,
         cap: usize,
     ) -> SubtreeResult {
         let mut result = SubtreeResult::default();
+        let mut scratch = engine.scratch();
         let mut stack = vec![root];
-        while let Some(region) = stack.pop() {
+        let mut pool: Vec<IntervalBox> = Vec::new();
+        while let Some(mut region) = stack.pop() {
             result.explored += 1;
-            match self.process_box(clause, region) {
-                BoxOutcome::Pruned => result.pruned += 1,
-                BoxOutcome::Sat(region) => {
+            match self.process_box(engine, &mut scratch, &mut region) {
+                BoxOutcome::Pruned => {
+                    result.pruned += 1;
+                    pool.push(region);
+                }
+                BoxOutcome::Sat => {
                     result.sat = Some(region);
                     break;
                 }
-                BoxOutcome::Split(left, right) => {
+                BoxOutcome::Split => {
                     result.bisections += 1;
+                    let mut right = pool.pop().unwrap_or_default();
+                    region.split_widest_into(&mut right);
                     stack.push(right);
-                    stack.push(left);
+                    stack.push(region);
                 }
             }
             if result.explored >= cap {
@@ -570,6 +721,80 @@ mod tests {
         assert_eq!(stats.clauses_examined, 1);
         let w = result.witness().unwrap();
         assert!((w[0] - w[1]).abs() < 1e-2);
+    }
+
+    /// The queries the equivalence tests sweep: a mix of SAT, UNSAT, and
+    /// deep-search shapes over the operators the pipeline uses.
+    fn differential_queries() -> Vec<(Formula, IntervalBox)> {
+        vec![
+            (
+                Formula::all_of([
+                    Constraint::le(x().powi(2) + y().powi(2), 1.0),
+                    Constraint::ge(x(), 0.5),
+                ]),
+                square_domain(2.0),
+            ),
+            (
+                Formula::all_of([
+                    Constraint::le(x().powi(2) + y().powi(2), 0.25),
+                    Constraint::ge(x(), 1.0),
+                ]),
+                square_domain(2.0),
+            ),
+            (
+                Formula::atom(Constraint::eq(x().powi(2), 2.0)),
+                IntervalBox::from_bounds(&[(0.0, 2.0), (0.0, 1.0)]),
+            ),
+            (
+                Formula::atom(Constraint::ge(
+                    (x().clone().tanh() * 2.0 + (y() * 0.5).sigmoid()).min(x() + y()),
+                    0.75,
+                )),
+                square_domain(3.0),
+            ),
+            (
+                Formula::any_of([
+                    Constraint::le((x() * 3.0).sin() + y().powi(3), -4.0),
+                    Constraint::ge(x().abs().sqrt() - y().exp(), 1.0),
+                ]),
+                square_domain(1.5),
+            ),
+        ]
+    }
+
+    #[test]
+    fn compiled_and_tree_evaluators_explore_identical_box_trees() {
+        // The compiled-tape engine must be observationally indistinguishable
+        // from the tree-walking reference: same verdict, same witness box
+        // (bitwise), same statistics — i.e. the same search tree.
+        for (formula, domain) in differential_queries() {
+            let fast = DeltaSolver::new(1e-4);
+            let reference = DeltaSolver::new(1e-4).with_tree_evaluator();
+            let (fast_result, fast_stats) = fast.solve_with_stats(&formula, &domain);
+            let (ref_result, ref_stats) = reference.solve_with_stats(&formula, &domain);
+            assert_eq!(fast_stats, ref_stats, "stats diverge on {formula}");
+            match (&fast_result, &ref_result) {
+                (SatResult::DeltaSat(a), SatResult::DeltaSat(b)) => {
+                    assert_eq!(a, b, "witness boxes diverge on {formula}");
+                }
+                (SatResult::Unsat, SatResult::Unsat) => {}
+                (SatResult::Unknown(_), SatResult::Unknown(_)) => {}
+                (a, b) => panic!("verdicts diverge on {formula}: {a} vs {b}"),
+            }
+        }
+    }
+
+    #[test]
+    fn precompiled_queries_solve_identically() {
+        for (formula, domain) in differential_queries() {
+            let solver = DeltaSolver::new(1e-4);
+            let compiled = CompiledFormula::compile(&formula);
+            let (a, sa) = solver.solve_with_stats(&formula, &domain);
+            let (b, sb) = solver.solve_compiled_with_stats(&compiled, &domain);
+            assert_eq!(sa, sb);
+            assert_eq!(a.witness(), b.witness());
+            assert_eq!(a.is_unsat(), b.is_unsat());
+        }
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //! `min`/`max`.  Variables are identified by index into a [`VarSet`], which
 //! maps human-readable names (such as `d_err`, `theta_err`) to indices.
 //!
+//! Hot paths (the δ-SAT solver's per-box loop in particular) should not walk
+//! the tree repeatedly: [`Tape`] lowers one or more expressions into a flat,
+//! CSE-deduplicated instruction program whose scalar and interval evaluation
+//! is bit-identical to the tree's but allocation-free and cache-friendly.
+//!
 //! # Examples
 //!
 //! ```
@@ -39,8 +44,10 @@ mod eval;
 mod expr;
 mod ops;
 mod simplify;
+mod tape;
 mod vars;
 
 pub use expr::{Expr, ExprView};
 pub use ops::{BinaryOp, UnaryOp};
+pub use tape::{Tape, TapeInstr};
 pub use vars::VarSet;

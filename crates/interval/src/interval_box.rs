@@ -24,9 +24,23 @@ use crate::Interval;
 /// assert!(left.max_width() <= 1.0 + 1e-12);
 /// assert!(right.max_width() <= 1.0 + 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, PartialEq, Default)]
 pub struct IntervalBox {
     dims: Vec<Interval>,
+}
+
+impl Clone for IntervalBox {
+    fn clone(&self) -> Self {
+        IntervalBox {
+            dims: self.dims.clone(),
+        }
+    }
+
+    /// Clones into existing storage, reusing the destination's capacity —
+    /// this is what keeps the branch-and-prune box pool allocation-free.
+    fn clone_from(&mut self, source: &Self) {
+        self.dims.clone_from(&source.dims);
+    }
 }
 
 impl IntervalBox {
@@ -193,6 +207,42 @@ impl IntervalBox {
         self.bisect_dimension(dim)
     }
 
+    /// Splits the box along its widest dimension **in place**: `self` becomes
+    /// the lower half and `right` is overwritten with the upper half, reusing
+    /// `right`'s existing storage.
+    ///
+    /// The halves are identical to those of [`IntervalBox::bisect_widest`],
+    /// but no allocation occurs when `right` already has capacity for
+    /// [`IntervalBox::dim`] intervals — the δ-SAT branch-and-prune loop
+    /// recycles pruned boxes through this method to keep its steady state
+    /// allocation-free.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nncps_interval::IntervalBox;
+    ///
+    /// let mut left = IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 4.0)]);
+    /// let (want_left, want_right) = left.bisect_widest();
+    /// let mut right = IntervalBox::default();
+    /// left.split_widest_into(&mut right);
+    /// assert_eq!(left, want_left);
+    /// assert_eq!(right, want_right);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the box is zero-dimensional.
+    pub fn split_widest_into(&mut self, right: &mut IntervalBox) {
+        let dim = self
+            .widest_dimension()
+            .expect("cannot bisect a zero-dimensional box");
+        right.dims.clone_from(&self.dims);
+        let (lo_half, hi_half) = self.dims[dim].bisect();
+        self.dims[dim] = lo_half;
+        right.dims[dim] = hi_half;
+    }
+
     /// Returns the corner points (vertices) of the box.
     ///
     /// The number of corners is `2^dim`; this is intended for low-dimensional
@@ -338,6 +388,22 @@ mod tests {
         let (l0, r0) = b.bisect_dimension(0);
         assert_eq!(l0[0], Interval::new(0.0, 0.5));
         assert_eq!(r0[0], Interval::new(0.5, 1.0));
+    }
+
+    #[test]
+    fn in_place_split_matches_bisect_widest() {
+        let b = IntervalBox::from_bounds(&[(0.0, 1.0), (0.0, 4.0), (-2.0, -1.0)]);
+        let (want_l, want_r) = b.bisect_widest();
+        let mut left = b.clone();
+        // A stale box of the wrong dimension must be fully overwritten.
+        let mut right = IntervalBox::from_bounds(&[(9.0, 10.0)]);
+        left.split_widest_into(&mut right);
+        assert_eq!(left, want_l);
+        assert_eq!(right, want_r);
+        // clone_from reuses storage and copies values exactly.
+        let mut reused = IntervalBox::from_bounds(&[(0.0, 0.0), (0.0, 0.0), (0.0, 0.0)]);
+        reused.clone_from(&b);
+        assert_eq!(reused, b);
     }
 
     #[test]
