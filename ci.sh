@@ -1,17 +1,29 @@
 #!/usr/bin/env bash
 # CI gate for the workspace. Run from the repository root:
 #
-#   ./ci.sh          # full gate: build, tests, docs, lints
-#   ./ci.sh quick    # skip the release build (debug tests + docs + lints)
+#   ./ci.sh          # full gate: fmt, build, tests, docs, lints,
+#                    # scenario-regression, bench smoke + bench-regression
+#   ./ci.sh quick    # skip the release build, the scenario-regression run,
+#                    # and the bench stages (debug tests + docs + lints)
 #
 # Every step must pass with zero warnings.
 set -euo pipefail
 
 quick="${1:-}"
 
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
 echo "==> cargo build --release"
 if [ "$quick" != "quick" ]; then
     cargo build --release
+fi
+
+echo "==> cargo build --examples"
+if [ "$quick" != "quick" ]; then
+    cargo build --release --examples
+else
+    cargo build --examples
 fi
 
 echo "==> cargo test -q (unit + integration + doc tests)"
@@ -23,9 +35,42 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 echo "==> cargo clippy --all-targets (warnings are errors)"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> bench smoke: tape vs tree microbenches (substrate/tape_vs_tree)"
+# --- scenario-regression ----------------------------------------------------
+# Run the batch verifier over the whole scenario registry and diff verdicts
+# and witness/certificate fingerprints against the checked-in baseline.  Any
+# drift fails the gate; after an *intended* semantic change, regenerate with:
+#
+#   cargo run --release --bin nncps-batch -- --write-expected SCENARIOS_expected.json
 if [ "$quick" != "quick" ]; then
+    echo "==> scenario-regression: nncps-batch --check SCENARIOS_expected.json"
+    cargo run --release --bin nncps-batch -- --quiet --check SCENARIOS_expected.json
+else
+    echo "==> scenario-regression: (skipped in quick mode)"
+fi
+
+if [ "$quick" != "quick" ]; then
+    echo "==> bench smoke: tape vs tree microbenches (substrate/tape_vs_tree)"
     cargo bench --bench substrate_micro -- substrate/tape_vs_tree
+else
+    echo "==> bench smoke: (skipped in quick mode)"
+fi
+
+# --- bench-regression -------------------------------------------------------
+# Re-measure the headline solver bench and fail if its median regresses more
+# than 25% against the BENCH_pr2.json record (tolerance overridable via
+# NNCPS_BENCH_TOLERANCE_PCT for noisy hosts).
+if [ "$quick" != "quick" ]; then
+    echo "==> bench-regression: substrate/deltasat/decrease_query/50 vs BENCH_pr2.json"
+    # Absolute path: cargo runs bench binaries with the *package* directory
+    # as cwd, so a relative CRITERION_JSON would land in crates/bench/.
+    bench_json="$PWD/target/bench_current.jsonl"
+    rm -f "$bench_json"
+    CRITERION_JSON="$bench_json" \
+        cargo bench --bench substrate_micro -- "substrate/deltasat/decrease_query/50"
+    cargo run --release -p nncps_bench --bin bench-compare -- \
+        "$bench_json" BENCH_pr2.json
+else
+    echo "==> bench-regression: (skipped in quick mode)"
 fi
 
 echo "==> ci.sh: all green"

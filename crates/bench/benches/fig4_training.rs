@@ -76,14 +76,22 @@ fn fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4/policy_search_threads");
     group.sample_size(10);
     for &threads in &[1usize, 0] {
-        let label = if threads == 1 { "1".to_string() } else { format!("{}_cores", nncps_sim::effective_threads(0)) };
-        group.bench_with_input(BenchmarkId::from_parameter(label), &threads, |b, &threads| {
-            let options = TrainingOptions {
-                threads,
-                ..fig4_training_options(3)
-            };
-            b.iter(|| train_controller(fig4_path(), &options).best_cost);
-        });
+        let label = if threads == 1 {
+            "1".to_string()
+        } else {
+            format!("{}_cores", nncps_sim::effective_threads(0))
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &threads,
+            |b, &threads| {
+                let options = TrainingOptions {
+                    threads,
+                    ..fig4_training_options(3)
+                };
+                b.iter(|| train_controller(fig4_path(), &options).best_cost);
+            },
+        );
     }
     group.finish();
 }

@@ -3,7 +3,7 @@
 //! network forward pass, and the ODE integrators.  These locate where the
 //! Table 1 time goes as the controller grows.
 
-use criterion::{criterion_group, criterion_main, black_box, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use nncps_deltasat::{
     contract_clause, CompiledClause, CompiledFormula, Constraint, DeltaSolver, Formula,
 };
@@ -88,10 +88,9 @@ fn deltasat_bench(c: &mut Criterion) {
     {
         let dynamics = ErrorDynamics::new(reference_controller(50), 1.0);
         let field = dynamics.symbolic_vector_field();
-        let w = (x.clone().powi(2) * 0.02
-            + (x.clone() * y.clone()) * 0.01
-            + y.clone().powi(2) * 0.13)
-            .simplified();
+        let w =
+            (x.clone().powi(2) * 0.02 + (x.clone() * y.clone()) * 0.01 + y.clone().powi(2) * 0.13)
+                .simplified();
         let lie = (w.differentiate(0) * field[0].clone() + w.differentiate(1) * field[1].clone())
             .simplified();
         let query = Formula::atom(Constraint::ge(lie, -1e-6));
@@ -190,7 +189,11 @@ fn nn_bench(c: &mut Criterion) {
     }
     let network = reference_controller(100);
     group.bench_function("symbolic_export_100", |b| {
-        b.iter(|| network.forward_symbolic(&[Expr::var(0), Expr::var(1)]).len());
+        b.iter(|| {
+            network
+                .forward_symbolic(&[Expr::var(0), Expr::var(1)])
+                .len()
+        });
     });
     group.finish();
 }

@@ -1,0 +1,148 @@
+//! `bench-compare` — the CI bench-regression comparator.
+//!
+//! Reads the JSON-lines file the criterion shim writes when `CRITERION_JSON`
+//! is set, looks the same benchmark up in a checked-in baseline record
+//! (`BENCH_pr2.json`), and fails when the current median per-iteration time
+//! regresses beyond the tolerance.
+//!
+//! ```text
+//! CRITERION_JSON=target/bench_current.jsonl \
+//!     cargo bench --bench substrate_micro -- substrate/deltasat/decrease_query/50
+//! cargo run --release -p nncps_bench --bin bench-compare -- \
+//!     target/bench_current.jsonl BENCH_pr2.json
+//! ```
+//!
+//! Defaults: benchmark `substrate/deltasat/decrease_query/50` (the
+//! workspace's headline solver bench), tolerance 25%.  Override with
+//! `--bench NAME` / `--tolerance PCT` or the `NNCPS_BENCH_TOLERANCE_PCT`
+//! environment variable (flag wins).
+
+use std::process::ExitCode;
+
+use nncps_scenarios::Json;
+
+const DEFAULT_BENCH: &str = "substrate/deltasat/decrease_query/50";
+const DEFAULT_TOLERANCE_PCT: f64 = 25.0;
+
+const USAGE: &str =
+    "usage: bench-compare CURRENT.jsonl BASELINE.json [--bench NAME] [--tolerance PCT]";
+
+fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run() {
+        Ok(message) => {
+            println!("{message}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("bench-compare: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<String, String> {
+    let mut positional = Vec::new();
+    let mut bench = DEFAULT_BENCH.to_string();
+    let mut tolerance_pct = match std::env::var("NNCPS_BENCH_TOLERANCE_PCT") {
+        Ok(value) => value
+            .parse::<f64>()
+            .map_err(|e| format!("invalid NNCPS_BENCH_TOLERANCE_PCT: {e}"))?,
+        Err(_) => DEFAULT_TOLERANCE_PCT,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--bench" => bench = argv.next().ok_or_else(|| USAGE.to_string())?,
+            "--tolerance" => {
+                tolerance_pct = argv
+                    .next()
+                    .ok_or_else(|| USAGE.to_string())?
+                    .parse()
+                    .map_err(|e| format!("invalid --tolerance: {e}"))?
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [current_path, baseline_path] = positional.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+    if !(0.0..1000.0).contains(&tolerance_pct) {
+        return Err(format!("tolerance {tolerance_pct}% is not sane"));
+    }
+
+    let current_s = read_current_median(current_path, &bench)?;
+    let baseline_s = read_baseline_median(baseline_path, &bench)?;
+
+    let limit_s = baseline_s * (1.0 + tolerance_pct / 100.0);
+    let ratio = current_s / baseline_s;
+    let summary = format!(
+        "`{bench}`: current median {:.3} ms vs baseline {:.3} ms ({}{:.1}% {}, limit +{tolerance_pct}%)",
+        current_s * 1e3,
+        baseline_s * 1e3,
+        if ratio >= 1.0 { "+" } else { "-" },
+        (ratio - 1.0).abs() * 100.0,
+        if ratio >= 1.0 { "slower" } else { "faster" },
+    );
+    if current_s > limit_s {
+        Err(format!("REGRESSION: {summary}"))
+    } else {
+        Ok(format!("bench-compare: OK: {summary}"))
+    }
+}
+
+/// Reads the median of `bench` from the shim's JSON-lines output.  When a
+/// benchmark was sampled several times (e.g. the stage is re-run without
+/// clearing the file), the **last** record wins.
+fn read_current_median(path: &str, bench: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read current results {path}: {e}"))?;
+    let mut median = None;
+    for (index, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let record =
+            Json::parse(line).map_err(|e| format!("{path}:{}: invalid record: {e}", index + 1))?;
+        if record.get("bench").and_then(Json::as_str) == Some(bench) {
+            median = Some(
+                record
+                    .get("median_s")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("{path}:{}: record has no median_s", index + 1))?,
+            );
+        }
+    }
+    median.ok_or_else(|| {
+        format!(
+            "no record for `{bench}` in {path} — did the bench run with \
+             CRITERION_JSON set and a filter matching it?"
+        )
+    })
+}
+
+/// Looks `bench` up in a checked-in baseline record (`BENCH_pr2.json`
+/// layout): the `seed_comparison` array is scanned for an entry whose
+/// `bench` matches, and its `pr2_median_s` is the baseline.
+fn read_baseline_median(path: &str, bench: &str) -> Result<f64, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let entries = json
+        .get("seed_comparison")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path} has no seed_comparison array"))?;
+    for entry in entries {
+        if entry.get("bench").and_then(Json::as_str) == Some(bench) {
+            return entry
+                .get("pr2_median_s")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{path}: entry for `{bench}` has no pr2_median_s"));
+        }
+    }
+    Err(format!("{path} has no baseline entry for `{bench}`"))
+}

@@ -35,8 +35,7 @@ use nncps_dubins::{reference_controller, ErrorDynamics, Path, TrainingOptions};
 use nncps_interval::IntervalBox;
 
 /// The hidden-layer widths reported in Table 1 of the paper.
-pub const PAPER_TABLE1_WIDTHS: [usize; 12] =
-    [10, 20, 40, 50, 70, 80, 90, 100, 300, 500, 700, 1000];
+pub const PAPER_TABLE1_WIDTHS: [usize; 12] = [10, 20, 40, 50, 70, 80, 90, 100, 300, 500, 700, 1000];
 
 /// The subset of Table 1 widths the benches run by default (the full sweep is
 /// enabled by setting the environment variable `NNCPS_FULL_TABLE1=1`).

@@ -104,7 +104,9 @@ impl CmaEs {
 
     /// Best candidate and fitness seen so far, if any generation completed.
     pub fn best(&self) -> Option<(&[f64], f64)> {
-        self.best_candidate.as_ref().map(|(x, f)| (x.as_slice(), *f))
+        self.best_candidate
+            .as_ref()
+            .map(|(x, f)| (x.as_slice(), *f))
     }
 
     /// Samples a population of `λ` candidate solutions.
@@ -117,7 +119,9 @@ impl CmaEs {
                 let z = Vector::from_fn(n, |_| standard_normal(rng));
                 let scaled = Vector::from_fn(n, |i| self.eigen_scale[i] * z[i]);
                 let step = self.eigen_basis.mat_vec(&scaled);
-                (0..n).map(|i| self.mean[i] + self.sigma * step[i]).collect()
+                (0..n)
+                    .map(|i| self.mean[i] + self.sigma * step[i])
+                    .collect()
             })
             .collect()
     }

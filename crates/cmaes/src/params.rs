@@ -71,14 +71,12 @@ impl CmaesParams {
         let mu_eff = 1.0 / weights.iter().map(|w| w * w).sum::<f64>();
 
         let c_sigma = (mu_eff + 2.0) / (n + mu_eff + 5.0);
-        let d_sigma = 1.0
-            + 2.0 * (0.0_f64).max(((mu_eff - 1.0) / (n + 1.0)).sqrt() - 1.0)
-            + c_sigma;
+        let d_sigma =
+            1.0 + 2.0 * (0.0_f64).max(((mu_eff - 1.0) / (n + 1.0)).sqrt() - 1.0) + c_sigma;
         let c_c = (4.0 + mu_eff / n) / (n + 4.0 + 2.0 * mu_eff / n);
         let c_1 = 2.0 / ((n + 1.3).powi(2) + mu_eff);
-        let c_mu = (1.0 - c_1).min(
-            2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((n + 2.0).powi(2) + mu_eff),
-        );
+        let c_mu =
+            (1.0 - c_1).min(2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((n + 2.0).powi(2) + mu_eff));
         let chi_n = n.sqrt() * (1.0 - 1.0 / (4.0 * n) + 1.0 / (21.0 * n * n));
 
         CmaesParams {

@@ -190,11 +190,7 @@ mod tests {
         // W = x^2 + y^2, level 4: contains X0 (max 0.5), avoids U (starts at 9),
         // and strictly decreases along the stable flow.
         let cert = circle_certificate(4.0);
-        let violations = cert.count_violations(
-            &spec(),
-            |p| vec![-p[0], -p[1]],
-            21,
-        );
+        let violations = cert.count_violations(&spec(), |p| vec![-p[0], -p[1]], 21);
         assert_eq!(violations, 0);
     }
 

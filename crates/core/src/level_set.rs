@@ -1,7 +1,7 @@
 //! Level-set selection: finding `ℓ` such that `X0 ⊆ {W ≤ ℓ}` and
 //! `{W ≤ ℓ} ∩ U = ∅`.
 
-use nncps_deltasat::{CompiledFormula, DeltaSolver};
+use nncps_deltasat::{CompiledFormula, DeltaSolver, SolverStats};
 use nncps_linalg::{Matrix, Vector};
 
 use crate::{GeneratorFunction, QueryBuilder, SafetySpec};
@@ -62,11 +62,7 @@ impl LevelSetSelector {
     /// Geometric bracket `(ℓ_min, ℓ_max)` of admissible levels, or `None` when
     /// the generator function cannot separate `X0` from `U` (bracket empty or
     /// quadratic part not positive definite).
-    pub fn bracket(
-        &self,
-        generator: &GeneratorFunction,
-        spec: &SafetySpec,
-    ) -> Option<(f64, f64)> {
+    pub fn bracket(&self, generator: &GeneratorFunction, spec: &SafetySpec) -> Option<(f64, f64)> {
         if !generator.is_positive_definite(1e-12) {
             return None;
         }
@@ -107,11 +103,28 @@ impl LevelSetSelector {
         queries: &QueryBuilder<'_>,
         solver: &DeltaSolver,
     ) -> LevelSetResult {
+        self.select_with_stats(generator, spec, queries, solver).0
+    }
+
+    /// Like [`LevelSetSelector::select`], but also returns the accumulated
+    /// δ-SAT search statistics of all confirmation queries (6) and (7), so
+    /// the pipeline can surface the total solver effort in its run report.
+    pub fn select_with_stats(
+        &self,
+        generator: &GeneratorFunction,
+        spec: &SafetySpec,
+        queries: &QueryBuilder<'_>,
+        solver: &DeltaSolver,
+    ) -> (LevelSetResult, SolverStats) {
+        let mut stats = SolverStats::default();
         let Some((mut low, mut high)) = self.bracket(generator, spec) else {
-            return LevelSetResult::NotFound {
-                reason: "no admissible level separates X0 from the unsafe set".to_string(),
-                iterations: 0,
-            };
+            return (
+                LevelSetResult::NotFound {
+                    reason: "no admissible level separates X0 from the unsafe set".to_string(),
+                    iterations: 0,
+                },
+                stats,
+            );
         };
         // Start in the middle of the bracket: maximal slack on both sides.
         for iteration in 1..=self.max_iterations {
@@ -121,8 +134,9 @@ impl LevelSetSelector {
             // before solving, like every other query the pipeline issues.
             let (q6, x0_domain) = queries.initial_containment_query(generator, level);
             let q6 = CompiledFormula::compile(&q6);
-            let initial_ok = solver.solve_compiled(&q6, &x0_domain).is_unsat();
-            if !initial_ok {
+            let (q6_result, q6_stats) = solver.solve_compiled_with_stats(&q6, &x0_domain);
+            stats.merge(&q6_stats);
+            if !q6_result.is_unsat() {
                 // Level too small: move up.
                 low = level;
                 continue;
@@ -130,30 +144,40 @@ impl LevelSetSelector {
             // Query (7): does the sublevel set intersect the unsafe region?
             let Some((q7, unsafe_domain)) = queries.unsafe_disjointness_query(generator, level)
             else {
-                return LevelSetResult::NotFound {
-                    reason: "sublevel sets of the candidate are unbounded".to_string(),
-                    iterations: iteration,
-                };
+                return (
+                    LevelSetResult::NotFound {
+                        reason: "sublevel sets of the candidate are unbounded".to_string(),
+                        iterations: iteration,
+                    },
+                    stats,
+                );
             };
             let q7 = CompiledFormula::compile(&q7);
-            let unsafe_ok = solver.solve_compiled(&q7, &unsafe_domain).is_unsat();
-            if !unsafe_ok {
+            let (q7_result, q7_stats) = solver.solve_compiled_with_stats(&q7, &unsafe_domain);
+            stats.merge(&q7_stats);
+            if !q7_result.is_unsat() {
                 // Level too large: move down.
                 high = level;
                 continue;
             }
-            return LevelSetResult::Found {
-                level,
-                iterations: iteration,
-            };
+            return (
+                LevelSetResult::Found {
+                    level,
+                    iterations: iteration,
+                },
+                stats,
+            );
         }
-        LevelSetResult::NotFound {
-            reason: format!(
-                "no level confirmed within {} bisection iterations",
-                self.max_iterations
-            ),
-            iterations: self.max_iterations,
-        }
+        (
+            LevelSetResult::NotFound {
+                reason: format!(
+                    "no level confirmed within {} bisection iterations",
+                    self.max_iterations
+                ),
+                iterations: self.max_iterations,
+            },
+            stats,
+        )
     }
 }
 
@@ -266,11 +290,8 @@ mod tests {
         let queries = QueryBuilder::new(&system, 1e-6);
         let solver = DeltaSolver::new(1e-3);
         let selector = LevelSetSelector::new(5);
-        let shifted = GeneratorFunction::new(
-            Matrix::identity(2),
-            Vector::from_slice(&[-8.0, 0.0]),
-            0.0,
-        );
+        let shifted =
+            GeneratorFunction::new(Matrix::identity(2), Vector::from_slice(&[-8.0, 0.0]), 0.0);
         let result = selector.select(&shifted, system.spec(), &queries, &solver);
         assert!(matches!(result, LevelSetResult::NotFound { .. }));
         assert_eq!(result.level(), None);

@@ -3,8 +3,8 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use nncps_deltasat::{DeltaSolver, SatResult};
-use nncps_sim::{Integrator, Simulator};
+use nncps_deltasat::{DeltaSolver, SatResult, SolverStats};
+use nncps_sim::{Integrator, Simulator, SymbolicDynamics};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
@@ -139,6 +139,14 @@ pub struct VerificationStats {
     pub counterexamples: usize,
     /// Number of level-set bisection iterations.
     pub level_iterations: usize,
+    /// Aggregated δ-SAT search statistics over every query the run issued
+    /// (the decrease checks (5) and the level-set confirmations (6)/(7)).
+    pub solver: SolverStats,
+    /// Midpoints of the δ-SAT witness boxes returned by failed decrease
+    /// checks, in the order they were fed back into the LP.  Deterministic
+    /// for a fixed seed and solver thread count, so batch reports can
+    /// fingerprint the counterexample trail.
+    pub counterexample_witnesses: Vec<Vec<f64>>,
     /// Stage timings.
     pub timings: StageTimings,
 }
@@ -243,6 +251,45 @@ impl Verifier {
         &self.config
     }
 
+    /// Runs the full procedure on any plant that exports its vector field
+    /// symbolically, pairing it with the given safety specification.
+    ///
+    /// This is the scenario-generic entry point: the registry hands plants
+    /// behind the [`SymbolicDynamics`] trait (the Dubins error dynamics, the
+    /// pendulum, manifest-loaded systems) and the verifier closes the loop
+    /// itself.  Equivalent to building the [`ClosedLoopSystem`] by hand and
+    /// calling [`Verifier::verify`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plant dimension differs from the specification
+    /// dimension.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nncps_barrier::{SafetySpec, VerificationConfig, Verifier};
+    /// use nncps_expr::Expr;
+    /// use nncps_interval::IntervalBox;
+    /// use nncps_sim::ExprDynamics;
+    ///
+    /// let plant = ExprDynamics::new(vec![-Expr::var(0), -Expr::var(1)]);
+    /// let spec = SafetySpec::rectangular(
+    ///     IntervalBox::from_bounds(&[(-0.5, 0.5), (-0.5, 0.5)]),
+    ///     IntervalBox::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]),
+    /// );
+    /// let outcome = Verifier::default().verify_dynamics(&plant, &spec);
+    /// assert!(outcome.is_certified());
+    /// ```
+    pub fn verify_dynamics<D: SymbolicDynamics>(
+        &self,
+        plant: &D,
+        spec: &crate::SafetySpec,
+    ) -> VerificationOutcome {
+        let system = ClosedLoopSystem::new(plant.symbolic_vector_field(), spec.clone());
+        self.verify(&system)
+    }
+
     /// Runs the full procedure on a closed-loop system.
     pub fn verify(&self, system: &ClosedLoopSystem) -> VerificationOutcome {
         let start = Instant::now();
@@ -256,8 +303,7 @@ impl Verifier {
             .with_max_boxes(cfg.max_smt_boxes)
             .with_threads(cfg.smt_threads);
         let queries = QueryBuilder::new(system, cfg.gamma);
-        let mut synthesizer =
-            CandidateSynthesizer::with_options(spec.clone(), cfg.synthesis);
+        let mut synthesizer = CandidateSynthesizer::with_options(spec.clone(), cfg.synthesis);
 
         // --- Seed traces Φs -------------------------------------------------
         // The initial states are drawn sequentially from the seeded RNG (so
@@ -308,9 +354,11 @@ impl Verifier {
             // pre-lowered clauses without per-solve setup.
             let (compiled_query, query_domain) = queries.compiled_decrease_query(&candidate);
             let smt_start = Instant::now();
-            let result = solver.solve_compiled(&compiled_query, &query_domain);
+            let (result, solve_stats) =
+                solver.solve_compiled_with_stats(&compiled_query, &query_domain);
             stats.timings.smt_decrease += smt_start.elapsed();
             stats.smt_decrease_checks += 1;
+            stats.solver.merge(&solve_stats);
 
             match result {
                 SatResult::Unsat => {
@@ -320,6 +368,7 @@ impl Verifier {
                 SatResult::DeltaSat(witness_box) => {
                     stats.counterexamples += 1;
                     let witness = witness_box.midpoint();
+                    stats.counterexample_witnesses.push(witness.clone());
                     // Cut the failing candidate out of the LP feasible set by
                     // requiring the Lie derivative to decrease at the witness
                     // (the row is linear in the template coefficients).
@@ -328,9 +377,8 @@ impl Verifier {
                     // Simulate from the counterexample (Φf) and refine the LP
                     // with the downstream behaviour as well.
                     let sim_start = Instant::now();
-                    let trace = simulator.simulate_until(&dynamics, &witness, |_, s| {
-                        !domain.contains_point(s)
-                    });
+                    let trace = simulator
+                        .simulate_until(&dynamics, &witness, |_, s| !domain.contains_point(s));
                     stats.timings.simulation += sim_start.elapsed();
                     synthesizer.add_trace(&trace.downsampled(cfg.max_samples_per_trace));
                 }
@@ -358,7 +406,9 @@ impl Verifier {
         // --- Level-set selection: queries (6) and (7) ------------------------
         let level_start = Instant::now();
         let selector = LevelSetSelector::new(cfg.max_level_iterations);
-        let level_result = selector.select(&generator, &spec, &queries, &solver);
+        let (level_result, level_stats) =
+            selector.select_with_stats(&generator, &spec, &queries, &solver);
+        stats.solver.merge(&level_stats);
         stats.timings.level_set = level_start.elapsed();
 
         stats.timings.total = start.elapsed();
@@ -434,10 +484,11 @@ mod tests {
         }
         assert!(!certificate.contains(&[3.0, 3.0]));
         assert_eq!(
-            certificate.count_violations(&spec, |p| vec![
-                -p[0] + 0.2 * p[1],
-                -p[1] - 0.2 * p[0]
-            ], 25),
+            certificate.count_violations(
+                &spec,
+                |p| vec![-p[0] + 0.2 * p[1], -p[1] - 0.2 * p[0]],
+                25
+            ),
             0
         );
         let stats = outcome.stats();

@@ -254,7 +254,9 @@ mod tests {
             Vector::zeros(2),
             0.0,
         );
-        assert!(builder.unsafe_disjointness_query(&indefinite, 1.0).is_none());
+        assert!(builder
+            .unsafe_disjointness_query(&indefinite, 1.0)
+            .is_none());
     }
 
     #[test]

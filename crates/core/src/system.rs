@@ -1,7 +1,7 @@
 //! The closed-loop system model handed to the verifier.
 
 use nncps_expr::Expr;
-use nncps_sim::{Dynamics, ExprDynamics};
+use nncps_sim::{Dynamics, ExprDynamics, SymbolicDynamics};
 
 use crate::SafetySpec;
 
@@ -58,6 +58,34 @@ impl ClosedLoopSystem {
             );
         }
         ClosedLoopSystem { vector_field, spec }
+    }
+
+    /// Builds the closed loop from any symbolic plant and a safety spec —
+    /// the constructor the scenario registry uses for every registered
+    /// plant, regardless of its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ClosedLoopSystem::new`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nncps_barrier::{ClosedLoopSystem, SafetySpec};
+    /// use nncps_expr::Expr;
+    /// use nncps_interval::IntervalBox;
+    /// use nncps_sim::ExprDynamics;
+    ///
+    /// let plant = ExprDynamics::new(vec![-Expr::var(0)]);
+    /// let spec = SafetySpec::rectangular(
+    ///     IntervalBox::from_bounds(&[(-0.5, 0.5)]),
+    ///     IntervalBox::from_bounds(&[(-2.0, 2.0)]),
+    /// );
+    /// let system = ClosedLoopSystem::from_dynamics(&plant, spec);
+    /// assert_eq!(system.dim(), 1);
+    /// ```
+    pub fn from_dynamics<D: SymbolicDynamics>(plant: &D, spec: SafetySpec) -> Self {
+        ClosedLoopSystem::new(plant.symbolic_vector_field(), spec)
     }
 
     /// State dimension.

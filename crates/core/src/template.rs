@@ -253,8 +253,7 @@ impl GeneratorFunction {
             }
             for j in 0..n {
                 if self.p[(i, j)] != 0.0 {
-                    expr = expr
-                        + Expr::constant(self.p[(i, j)]) * Expr::var(i) * Expr::var(j);
+                    expr = expr + Expr::constant(self.p[(i, j)]) * Expr::var(i) * Expr::var(j);
                 }
             }
         }
@@ -422,11 +421,7 @@ mod tests {
     #[test]
     fn shifted_generator_minimizer() {
         // W(x) = (x-1)^2 + (y+2)^2 = x^2 + y^2 - 2x + 4y + 5
-        let w = GeneratorFunction::new(
-            Matrix::identity(2),
-            Vector::from_slice(&[-2.0, 4.0]),
-            5.0,
-        );
+        let w = GeneratorFunction::new(Matrix::identity(2), Vector::from_slice(&[-2.0, 4.0]), 5.0);
         let m = w.minimizer().unwrap();
         assert!((m[0] - 1.0).abs() < 1e-9);
         assert!((m[1] + 2.0).abs() < 1e-9);

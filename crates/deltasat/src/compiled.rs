@@ -146,7 +146,11 @@ impl CompiledClause {
     /// Bit-identical to calling [`Constraint::feasibility`] per constraint
     /// (first certain violation wins), but shared subexpressions are
     /// evaluated once instead of once per constraint.
-    pub fn feasibility(&self, region: &IntervalBox, scratch: &mut ClauseScratch) -> ClauseFeasibility {
+    pub fn feasibility(
+        &self,
+        region: &IntervalBox,
+        scratch: &mut ClauseScratch,
+    ) -> ClauseFeasibility {
         self.tape.eval_interval_into(region, &mut scratch.slots);
         let mut all_satisfied = true;
         for atom in &self.atoms {
@@ -199,7 +203,12 @@ impl CompiledClause {
     /// incoming edge in the expression DAG), exactly mirroring the
     /// tree-walking reference; requirements depend only on the recorded
     /// forward values, so the accumulated variable narrowing is identical.
-    fn revise(&self, atom: &CompiledAtom, region: &mut IntervalBox, scratch: &mut ClauseScratch) -> bool {
+    fn revise(
+        &self,
+        atom: &CompiledAtom,
+        region: &mut IntervalBox,
+        scratch: &mut ClauseScratch,
+    ) -> bool {
         // Topological slot order means the prefix up to the atom's root
         // contains its whole dependency cone; later atoms' exclusive slots
         // need no evaluation for this revise.
@@ -276,7 +285,11 @@ impl CompiledFormula {
     /// Converts the formula to DNF and compiles each clause.
     pub fn compile(formula: &Formula) -> Self {
         CompiledFormula {
-            clauses: formula.to_dnf().iter().map(|c| CompiledClause::compile(c)).collect(),
+            clauses: formula
+                .to_dnf()
+                .iter()
+                .map(|c| CompiledClause::compile(c))
+                .collect(),
         }
     }
 
@@ -348,8 +361,7 @@ mod tests {
         let compiled = CompiledClause::compile(&clause_src);
         let mut scratch = compiled.scratch();
         for rounds in [1usize, 2, 10] {
-            let mut tree_region =
-                IntervalBox::from_bounds(&[(-100.0, 100.0), (-100.0, 100.0)]);
+            let mut tree_region = IntervalBox::from_bounds(&[(-100.0, 100.0), (-100.0, 100.0)]);
             let mut tape_region = tree_region.clone();
             let tree_ok = contract_clause(&clause_src, &mut tree_region, rounds);
             let tape_ok = compiled.contract(&mut tape_region, rounds, &mut scratch);
@@ -408,7 +420,11 @@ mod tests {
                     ClauseFeasibility::Undecided
                 };
             }
-            assert_eq!(compiled.feasibility(region, &mut scratch), reference, "{region}");
+            assert_eq!(
+                compiled.feasibility(region, &mut scratch),
+                reference,
+                "{region}"
+            );
         }
     }
 
@@ -426,6 +442,8 @@ mod tests {
         assert!(compiled.clauses().iter().all(|c| c.num_atoms() == 2));
         let via_from: CompiledFormula = (&f).into();
         assert_eq!(via_from.clauses().len(), 2);
-        assert!(CompiledFormula::compile(&Formula::falsum()).clauses().is_empty());
+        assert!(CompiledFormula::compile(&Formula::falsum())
+            .clauses()
+            .is_empty());
     }
 }

@@ -259,7 +259,9 @@ mod tests {
     fn admissible_intervals() {
         assert_eq!(Constraint::le(x(), 2.0).admissible_interval().hi(), 2.0);
         assert_eq!(Constraint::ge(x(), 2.0).admissible_interval().lo(), 2.0);
-        assert!(Constraint::eq(x(), 2.0).admissible_interval().is_singleton());
+        assert!(Constraint::eq(x(), 2.0)
+            .admissible_interval()
+            .is_singleton());
         assert_eq!(Constraint::lt(x(), 2.0).admissible_interval().hi(), 2.0);
         assert_eq!(Constraint::gt(x(), 2.0).admissible_interval().lo(), 2.0);
     }

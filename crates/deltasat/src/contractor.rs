@@ -512,10 +512,7 @@ mod tests {
         // y = 1 pins y in the first sweep; the second sweep then propagates
         // through x + y = 4 and pins x near 3, demonstrating that repeated
         // sweeps reach a tighter fixpoint than a single pass.
-        let clause = vec![
-            Constraint::eq(x() + y(), 4.0),
-            Constraint::eq(y(), 1.0),
-        ];
+        let clause = vec![Constraint::eq(x() + y(), 4.0), Constraint::eq(y(), 1.0)];
         let mut region = IntervalBox::from_bounds(&[(-100.0, 100.0), (-100.0, 100.0)]);
         assert!(contract_clause(&clause, &mut region, 10));
         assert!(region[0].width() < 1e-6, "x width {}", region[0].width());
@@ -539,10 +536,7 @@ mod tests {
 
     #[test]
     fn clause_contraction_detects_conflict() {
-        let clause = vec![
-            Constraint::ge(x(), 5.0),
-            Constraint::le(x(), 1.0),
-        ];
+        let clause = vec![Constraint::ge(x(), 5.0), Constraint::le(x(), 1.0)];
         let mut region = IntervalBox::from_bounds(&[(-100.0, 100.0)]);
         assert!(!contract_clause(&clause, &mut region, 10));
     }

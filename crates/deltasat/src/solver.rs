@@ -63,6 +63,31 @@ pub struct SolverStats {
     pub clauses_examined: usize,
 }
 
+impl SolverStats {
+    /// Accumulates another solve's statistics into this one, so callers that
+    /// issue many queries (the verification pipeline, the batch runner) can
+    /// report search effort per run instead of per query.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nncps_deltasat::SolverStats;
+    ///
+    /// let mut total = SolverStats::default();
+    /// let one = SolverStats { boxes_explored: 7, clauses_examined: 1, ..Default::default() };
+    /// total.merge(&one);
+    /// total.merge(&one);
+    /// assert_eq!(total.boxes_explored, 14);
+    /// assert_eq!(total.clauses_examined, 2);
+    /// ```
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.boxes_explored += other.boxes_explored;
+        self.boxes_pruned += other.boxes_pruned;
+        self.bisections += other.bisections;
+        self.clauses_examined += other.clauses_examined;
+    }
+}
+
 /// A δ-complete decision procedure for existential nonlinear queries,
 /// implemented with interval constraint propagation and branch & prune.
 ///
@@ -414,10 +439,7 @@ impl DeltaSolver {
         while let Some(mut region) = stack.pop() {
             stats.boxes_explored += 1;
             if stats.boxes_explored > self.max_boxes {
-                return SatResult::Unknown(format!(
-                    "box budget of {} exhausted",
-                    self.max_boxes
-                ));
+                return SatResult::Unknown(format!("box budget of {} exhausted", self.max_boxes));
             }
             match self.process_box(engine, &mut scratch, &mut region) {
                 BoxOutcome::Pruned => {
@@ -492,10 +514,7 @@ impl DeltaSolver {
             let remaining_budget = self.max_boxes.saturating_sub(stats.boxes_explored);
             if remaining_budget == 0 {
                 stats.boxes_explored += 1; // the pop that broke the budget
-                return SatResult::Unknown(format!(
-                    "box budget of {} exhausted",
-                    self.max_boxes
-                ));
+                return SatResult::Unknown(format!("box budget of {} exhausted", self.max_boxes));
             }
             let workers = threads.min(stack.len());
             let cap = Self::BOXES_PER_WORKER
@@ -679,9 +698,7 @@ mod tests {
         assert!(solver.solve(&Formula::falsum(), &domain).is_unsat());
         assert!(solver.solve(&Formula::verum(), &domain).is_delta_sat());
         let empty_domain = IntervalBox::from_bounds(&[(1.0, -1.0), (0.0, 1.0)]);
-        assert!(solver
-            .solve(&Formula::verum(), &empty_domain)
-            .is_unsat());
+        assert!(solver.solve(&Formula::verum(), &empty_domain).is_unsat());
     }
 
     #[test]
@@ -855,13 +872,9 @@ mod tests {
         // 30–70× more boxes than the sequential search and turning tight
         // budgets into spurious Unknowns.  The speculative-DFS search must
         // stay within the documented `threads ×` bound.
-        let formula = Formula::atom(Constraint::eq(
-            (x() * 4.0).sin() * (y() * 4.0).cos(),
-            0.25,
-        ));
+        let formula = Formula::atom(Constraint::eq((x() * 4.0).sin() * (y() * 4.0).cos(), 0.25));
         let domain = square_domain(3.0);
-        let (seq_result, seq_stats) =
-            DeltaSolver::new(1e-6).solve_with_stats(&formula, &domain);
+        let (seq_result, seq_stats) = DeltaSolver::new(1e-6).solve_with_stats(&formula, &domain);
         assert!(seq_result.is_delta_sat());
         for threads in [2usize, 4] {
             let budget = threads * seq_stats.boxes_explored + threads * 64;

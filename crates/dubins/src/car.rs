@@ -59,19 +59,14 @@ impl DubinsCar {
     /// Time derivative of the state `[x, y, θ]` for steering input `u`.
     pub fn derivative(&self, state: [f64; 3], steering: f64) -> [f64; 3] {
         let [_, _, theta] = state;
-        [
-            self.speed * theta.sin(),
-            self.speed * theta.cos(),
-            steering,
-        ]
+        [self.speed * theta.sin(), self.speed * theta.cos(), steering]
     }
 
     /// Advances the state by `dt` using one classic RK4 step with the steering
     /// input held constant over the step (zero-order hold).
     pub fn step(&self, state: [f64; 3], steering: f64, dt: f64) -> [f64; 3] {
-        let add = |a: [f64; 3], s: f64, b: [f64; 3]| {
-            [a[0] + s * b[0], a[1] + s * b[1], a[2] + s * b[2]]
-        };
+        let add =
+            |a: [f64; 3], s: f64, b: [f64; 3]| [a[0] + s * b[0], a[1] + s * b[1], a[2] + s * b[2]];
         let k1 = self.derivative(state, steering);
         let k2 = self.derivative(add(state, dt / 2.0, k1), steering);
         let k3 = self.derivative(add(state, dt / 2.0, k2), steering);
@@ -152,7 +147,14 @@ mod tests {
     #[test]
     fn pose_conversion() {
         let p = DubinsCar::pose([1.0, 2.0, 0.5]);
-        assert_eq!(p, Pose { x: 1.0, y: 2.0, theta: 0.5 });
+        assert_eq!(
+            p,
+            Pose {
+                x: 1.0,
+                y: 2.0,
+                theta: 0.5
+            }
+        );
         assert_eq!(Pose::default().x, 0.0);
     }
 

@@ -2,7 +2,7 @@
 
 use nncps_expr::Expr;
 use nncps_nn::FeedforwardNetwork;
-use nncps_sim::{Dynamics, ExprDynamics};
+use nncps_sim::{Dynamics, ExprDynamics, SymbolicDynamics};
 
 /// The closed-loop error dynamics of Section 4.1.3–4.1.4.
 ///
@@ -131,6 +131,12 @@ impl ErrorDynamics {
     }
 }
 
+impl SymbolicDynamics for ErrorDynamics {
+    fn symbolic_vector_field(&self) -> Vec<Expr> {
+        ErrorDynamics::symbolic_vector_field(self)
+    }
+}
+
 impl Dynamics for ErrorDynamics {
     fn dim(&self) -> usize {
         2
@@ -217,8 +223,7 @@ mod tests {
     fn nonzero_path_angle_matches_paper_formula() {
         let theta_r = 0.6;
         let v = 1.2;
-        let dynamics =
-            ErrorDynamics::with_path_angle(random_controller(4, 5), v, theta_r);
+        let dynamics = ErrorDynamics::with_path_angle(random_controller(4, 5), v, theta_r);
         let theta_err = -0.25;
         let dx = dynamics.derivative(&[0.1, theta_err]);
         let expected = -v * (theta_r - theta_err).sin() * theta_r.cos()

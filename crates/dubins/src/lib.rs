@@ -42,7 +42,5 @@ mod training;
 pub use car::{DubinsCar, Pose};
 pub use error_dynamics::ErrorDynamics;
 pub use path::{Path, PathErrors};
-pub use reference::{
-    reference_controller, REFERENCE_DISTANCE_GAIN, REFERENCE_HEADING_GAIN,
-};
+pub use reference::{reference_controller, REFERENCE_DISTANCE_GAIN, REFERENCE_HEADING_GAIN};
 pub use training::{train_controller, TrainingEnv, TrainingOptions, TrainingOutcome};

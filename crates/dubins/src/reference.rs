@@ -95,7 +95,13 @@ mod tests {
     #[test]
     fn control_law_is_consistent_across_widths() {
         let widths = [10usize, 50, 200];
-        let probes = [[0.0, 0.0], [2.0, 0.5], [-3.0, -1.0], [5.0, 1.5], [1.0, -0.3]];
+        let probes = [
+            [0.0, 0.0],
+            [2.0, 0.5],
+            [-3.0, -1.0],
+            [5.0, 1.5],
+            [1.0, -0.3],
+        ];
         let baseline = reference_controller(widths[0]);
         for &w in &widths[1..] {
             let other = reference_controller(w);

@@ -46,9 +46,7 @@ impl Expr {
                     // d/dx tanh = 1 - tanh^2
                     UnaryOp::Tanh => Expr::one() - a.clone().tanh().powi(2),
                     // d/dx sigmoid = sigmoid * (1 - sigmoid)
-                    UnaryOp::Sigmoid => {
-                        a.clone().sigmoid() * (Expr::one() - a.clone().sigmoid())
-                    }
+                    UnaryOp::Sigmoid => a.clone().sigmoid() * (Expr::one() - a.clone().sigmoid()),
                     UnaryOp::Atan => Expr::one() / (Expr::one() + a.clone().powi(2)),
                 };
                 outer * da
@@ -60,9 +58,7 @@ impl Expr {
                     BinaryOp::Add => da + db,
                     BinaryOp::Sub => da - db,
                     BinaryOp::Mul => da * b.clone() + a.clone() * db,
-                    BinaryOp::Div => {
-                        (da * b.clone() - a.clone() * db) / b.clone().powi(2)
-                    }
+                    BinaryOp::Div => (da * b.clone() - a.clone() * db) / b.clone().powi(2),
                     // Piecewise: pick the branch that is currently active.
                     // d/dx min(a,b) = a' where a <= b, else b'. We encode the
                     // selector with min/max so interval evaluation stays sound

@@ -137,7 +137,10 @@ mod tests {
         assert_eq!(format!("{}", (x.clone() / 1.0).simplified()), "x0");
         assert_eq!((x.clone() * 0.0).simplified().as_constant(), Some(0.0));
         assert_eq!((0.0 * x.clone()).simplified().as_constant(), Some(0.0));
-        assert_eq!((0.0 / (x.clone() + 5.0)).simplified().as_constant(), Some(0.0));
+        assert_eq!(
+            (0.0 / (x.clone() + 5.0)).simplified().as_constant(),
+            Some(0.0)
+        );
         assert_eq!(format!("{}", x.clone().powi(1).simplified()), "x0");
         assert_eq!(x.clone().powi(0).simplified().as_constant(), Some(1.0));
         assert_eq!(format!("{}", (0.0 - x.clone()).simplified()), "(-x0)");

@@ -319,7 +319,8 @@ impl Builder {
                     let new = *const_map.entry(old).or_insert_with(|| {
                         let idx = tape.const_scalars.len() as u32;
                         tape.const_scalars.push(self.const_scalars[old as usize]);
-                        tape.const_intervals.push(self.const_intervals[old as usize]);
+                        tape.const_intervals
+                            .push(self.const_intervals[old as usize]);
                         idx
                     });
                     (new, 0)
@@ -484,9 +485,7 @@ impl Tape {
                 OpCode::Const => self.const_intervals[lhs],
                 OpCode::Var => region[lhs],
                 OpCode::Unary(op) => op.apply_interval(slots[lhs]),
-                OpCode::Binary(op) => {
-                    op.apply_interval(slots[lhs], slots[self.rhs[i] as usize])
-                }
+                OpCode::Binary(op) => op.apply_interval(slots[lhs], slots[self.rhs[i] as usize]),
                 OpCode::Powi => slots[lhs].powi(self.rhs[i] as i32),
             };
             slots.push(v);
@@ -596,8 +595,14 @@ mod tests {
         tape.eval_interval_into(&region, &mut slots);
         let lit_val = slots[tape.root_slot(0)];
         let fold_val = slots[tape.root_slot(1)];
-        assert_eq!(lit_val.lo().to_bits(), literal.eval_box(&region).lo().to_bits());
-        assert_eq!(fold_val.lo().to_bits(), folded.eval_box(&region).lo().to_bits());
+        assert_eq!(
+            lit_val.lo().to_bits(),
+            literal.eval_box(&region).lo().to_bits()
+        );
+        assert_eq!(
+            fold_val.lo().to_bits(),
+            folded.eval_box(&region).lo().to_bits()
+        );
         assert_ne!(lit_val.lo().to_bits(), fold_val.lo().to_bits());
     }
 

@@ -303,10 +303,7 @@ impl Interval {
         if self.is_empty() {
             return Interval::EMPTY;
         }
-        Interval::new(
-            down(self.lo.tanh()).max(-1.0),
-            up(self.hi.tanh()).min(1.0),
-        )
+        Interval::new(down(self.lo.tanh()).max(-1.0), up(self.hi.tanh()).min(1.0))
     }
 
     /// Logistic sigmoid `1 / (1 + e^{-x})` (monotone).
@@ -532,7 +529,10 @@ mod tests {
         assert!(Interval::new(2.0, 1.0).is_empty());
         assert!(Interval::new(f64::NAN, 1.0).is_empty());
         assert!(Interval::singleton(3.0).is_singleton());
-        assert_eq!(Interval::from_unordered(5.0, -1.0), Interval::new(-1.0, 5.0));
+        assert_eq!(
+            Interval::from_unordered(5.0, -1.0),
+            Interval::new(-1.0, 5.0)
+        );
         assert_eq!(Interval::from(2.5), Interval::singleton(2.5));
         assert_eq!(Interval::default(), Interval::singleton(0.0));
     }

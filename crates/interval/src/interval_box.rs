@@ -52,7 +52,10 @@ impl IntervalBox {
     /// Creates a box from `(lo, hi)` bound pairs.
     pub fn from_bounds(bounds: &[(f64, f64)]) -> Self {
         IntervalBox {
-            dims: bounds.iter().map(|&(lo, hi)| Interval::new(lo, hi)).collect(),
+            dims: bounds
+                .iter()
+                .map(|&(lo, hi)| Interval::new(lo, hi))
+                .collect(),
         }
     }
 

@@ -241,12 +241,7 @@ impl CholeskyDecomposition {
 
     /// Log-determinant of `A` (twice the sum of the logs of the diagonal of `L`).
     pub fn log_determinant(&self) -> f64 {
-        2.0 * self
-            .l
-            .diagonal()
-            .iter()
-            .map(|x| x.ln())
-            .sum::<f64>()
+        2.0 * self.l.diagonal().iter().map(|x| x.ln()).sum::<f64>()
     }
 }
 

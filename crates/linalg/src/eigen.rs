@@ -165,9 +165,8 @@ impl SymmetricEigen {
     /// Reconstructs `A^{1/2} = V Λ^{1/2} Vᵀ`, clamping negative eigenvalues to zero.
     pub fn sqrt_matrix(&self) -> Matrix {
         let n = self.eigenvalues.len();
-        let sqrt_diag = Matrix::from_diagonal(&Vector::from_fn(n, |i| {
-            self.eigenvalues[i].max(0.0).sqrt()
-        }));
+        let sqrt_diag =
+            Matrix::from_diagonal(&Vector::from_fn(n, |i| self.eigenvalues[i].max(0.0).sqrt()));
         self.eigenvectors
             .mat_mul(&sqrt_diag)
             .mat_mul(&self.eigenvectors.transpose())
@@ -241,11 +240,7 @@ mod tests {
 
     #[test]
     fn reconstruction_matches_original() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, 0.2],
-            &[0.5, 0.2, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]]);
         let eig = SymmetricEigen::new(&a).unwrap();
         let recon = eig.spectral_map(|x| x);
         assert!((&recon - &a).norm_frobenius() < 1e-10);
@@ -256,11 +251,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Matrix::from_rows(&[
-            &[6.0, 2.0, 1.0],
-            &[2.0, 5.0, 2.0],
-            &[1.0, 2.0, 4.0],
-        ]);
+        let a = Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]);
         let eig = SymmetricEigen::new(&a).unwrap();
         let v = eig.eigenvectors();
         let vtv = v.transpose().mat_mul(v);

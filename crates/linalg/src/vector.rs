@@ -345,7 +345,10 @@ mod tests {
         assert_eq!(Vector::filled(2, 3.5).as_slice(), &[3.5, 3.5]);
         assert_eq!(Vector::from_slice(&[1.0]).as_slice(), &[1.0]);
         assert_eq!(Vector::from_vec(vec![2.0]).as_slice(), &[2.0]);
-        assert_eq!(Vector::from_fn(3, |i| i as f64).as_slice(), &[0.0, 1.0, 2.0]);
+        assert_eq!(
+            Vector::from_fn(3, |i| i as f64).as_slice(),
+            &[0.0, 1.0, 2.0]
+        );
     }
 
     #[test]

@@ -110,8 +110,7 @@ fn run_simplex(
             // Entering variable: Bland's rule takes the lowest eligible
             // index, Dantzig's the most negative reduced cost.
             let entering = if use_bland {
-                (0..tableau.cols)
-                    .find(|&c| allowed_cols[c] && !skipped[c] && costs[c] < -EPS)
+                (0..tableau.cols).find(|&c| allowed_cols[c] && !skipped[c] && costs[c] < -EPS)
             } else {
                 let mut best: Option<(usize, f64)> = None;
                 for c in 0..tableau.cols {
@@ -299,9 +298,7 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
         // Drive any remaining artificial variables out of the basis.
         for r in 0..m {
             if tableau.basis[r] >= artificial_start && tableau.rhs(r).abs() <= 1e-7 {
-                if let Some(col) = (0..artificial_start)
-                    .find(|&c| tableau.at(r, c).abs() > 1e-7)
-                {
+                if let Some(col) = (0..artificial_start).find(|&c| tableau.at(r, c).abs() > 1e-7) {
                     tableau.pivot(r, col);
                 }
             }
@@ -439,10 +436,7 @@ mod tests {
         let err = solve_lp(
             1,
             &[1.0],
-            &[
-                (&[1.0], Comparison::Ge, 5.0),
-                (&[1.0], Comparison::Le, 1.0),
-            ],
+            &[(&[1.0], Comparison::Ge, 5.0), (&[1.0], Comparison::Le, 1.0)],
         )
         .unwrap_err();
         assert_eq!(err, LpError::Infeasible);
@@ -563,9 +557,8 @@ mod tests {
         // constraint system below is built around the known feasible point
         // w = (0.02, 0.01, 0.13, 0, 0, 0.01, t=0).
         let w = [0.02, 0.01, 0.13, 0.0, 0.0, 0.01, 0.0];
-        let eval = |coeffs: &[f64]| -> f64 {
-            coeffs.iter().zip(w.iter()).map(|(a, b)| a * b).sum()
-        };
+        let eval =
+            |coeffs: &[f64]| -> f64 { coeffs.iter().zip(w.iter()).map(|(a, b)| a * b).sum() };
         let mut lp = LpProblem::new(7);
         lp.set_objective(&[0.0, 0.0, 0.0, 0.0, 0.0, 0.0, -1.0]);
         for k in 0..400 {

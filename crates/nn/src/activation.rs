@@ -93,6 +93,49 @@ impl fmt::Display for Activation {
     }
 }
 
+/// Error returned when parsing an unknown activation name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseActivationError(String);
+
+impl fmt::Display for ParseActivationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown activation `{}` (expected tanh/tansig, sigmoid/logsig, relu/poslin, \
+             or linear/purelin)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseActivationError {}
+
+impl std::str::FromStr for Activation {
+    type Err = ParseActivationError;
+
+    /// Parses both the Rust-style and the MATLAB-style names, so scenario
+    /// manifests can say either `activation = "tanh"` or `"tansig"`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nncps_nn::Activation;
+    ///
+    /// assert_eq!("tanh".parse::<Activation>().unwrap(), Activation::Tanh);
+    /// assert_eq!("logsig".parse::<Activation>().unwrap(), Activation::Sigmoid);
+    /// assert!("softplus".parse::<Activation>().is_err());
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "tanh" | "tansig" => Ok(Activation::Tanh),
+            "sigmoid" | "logsig" => Ok(Activation::Sigmoid),
+            "relu" | "poslin" => Ok(Activation::Relu),
+            "linear" | "purelin" | "identity" => Ok(Activation::Linear),
+            other => Err(ParseActivationError(other.to_string())),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,6 +37,6 @@ mod activation;
 mod layer;
 mod network;
 
-pub use activation::Activation;
+pub use activation::{Activation, ParseActivationError};
 pub use layer::Layer;
 pub use network::{network_from_weights, FeedforwardNetwork, NetworkBuilder};

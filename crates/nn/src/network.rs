@@ -115,11 +115,7 @@ impl FeedforwardNetwork {
     ///
     /// Panics if `input.len() != self.input_dim()`.
     pub fn forward(&self, input: &[f64]) -> Vec<f64> {
-        assert_eq!(
-            input.len(),
-            self.input_dim,
-            "network input length mismatch"
-        );
+        assert_eq!(input.len(), self.input_dim, "network input length mismatch");
         let mut activation = input.to_vec();
         for layer in &self.layers {
             activation = layer.forward(&activation);

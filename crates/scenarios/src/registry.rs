@@ -1,0 +1,413 @@
+//! The scenario registry: the enumerable set of verification problems the
+//! batch runner (and CI) sweeps.
+
+use nncps_barrier::{SafetySpec, VerificationConfig};
+use nncps_interval::IntervalBox;
+use nncps_nn::Activation;
+
+use crate::scenario::{ExpectedVerdict, ManifestError, PlantSpec, Scenario};
+use crate::toml;
+
+/// An ordered, name-keyed collection of [`Scenario`]s.
+///
+/// The order is part of the contract: batch reports list scenarios in
+/// registry order, so a fixed registry yields byte-identical reports.
+///
+/// # Examples
+///
+/// ```
+/// use nncps_scenarios::Registry;
+///
+/// let registry = Registry::builtin();
+/// assert!(registry.len() >= 6);
+/// assert!(registry.get("dubins-paper").is_some());
+/// let names: Vec<&str> = registry.names().collect();
+/// assert!(names.contains(&"pendulum-tanh-16"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    scenarios: Vec<Scenario>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The built-in registry: the paper's Dubins case study, the pendulum
+    /// and train-controller case studies, and parameterized variants
+    /// (perturbed initial set, tightened unsafe region, alternative
+    /// controller widths and activations), plus an expected-inconclusive
+    /// canary that guards the drift detector itself.
+    pub fn builtin() -> Self {
+        let mut registry = Registry::new();
+        for scenario in builtin_scenarios() {
+            registry
+                .push(scenario)
+                .expect("built-in scenario names are unique");
+        }
+        registry
+    }
+
+    /// Loads a registry from TOML manifest text (a sequence of
+    /// `[[scenario]]` tables; see `scenarios/extra.toml` in the repository
+    /// for the format).
+    pub fn from_toml_str(text: &str) -> Result<Self, ManifestError> {
+        let doc = toml::parse(text).map_err(|e| ManifestError::new(e.to_string()))?;
+        let tables = doc.tables("scenario");
+        if tables.is_empty() {
+            return Err(ManifestError::new(
+                "manifest defines no [[scenario]] tables",
+            ));
+        }
+        let mut registry = Registry::new();
+        for table in tables {
+            registry.push(Scenario::from_toml(table)?)?;
+        }
+        Ok(registry)
+    }
+
+    /// Loads a registry from a TOML manifest file.
+    pub fn from_toml_file(path: impl AsRef<std::path::Path>) -> Result<Self, ManifestError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            ManifestError::new(format!("cannot read manifest {}: {e}", path.display()))
+        })?;
+        Self::from_toml_str(&text)
+    }
+
+    /// Adds a scenario, rejecting duplicate names.
+    pub fn push(&mut self, scenario: Scenario) -> Result<(), ManifestError> {
+        if self.get(scenario.name()).is_some() {
+            return Err(ManifestError::new(format!(
+                "duplicate scenario name `{}`",
+                scenario.name()
+            )));
+        }
+        self.scenarios.push(scenario);
+        Ok(())
+    }
+
+    /// Looks a scenario up by name.
+    pub fn get(&self, name: &str) -> Option<&Scenario> {
+        self.scenarios.iter().find(|s| s.name() == name)
+    }
+
+    /// The scenarios in registry order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Scenario> {
+        self.scenarios.iter()
+    }
+
+    /// The scenario names in registry order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.scenarios.iter().map(Scenario::name)
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// A copy with only the scenarios whose name contains `pattern`.
+    pub fn filtered(&self, pattern: &str) -> Registry {
+        Registry {
+            scenarios: self
+                .scenarios
+                .iter()
+                .filter(|s| s.name().contains(pattern))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Registry {
+    type Item = &'a Scenario;
+    type IntoIter = std::slice::Iter<'a, Scenario>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// A tiny two-scenario linear manifest (one certified spiral, one
+/// expected-inconclusive unstable system) shared by this crate's unit and
+/// integration tests, so the fixture exists exactly once.
+#[doc(hidden)]
+pub const SMOKE_MANIFEST: &str = r#"
+[[scenario]]
+name = "smoke-stable-spiral"
+expected = "certified"
+[scenario.plant]
+kind = "linear"
+matrix = [[-1.0, 0.2], [-0.2, -1.0]]
+[scenario.spec]
+initial_set = [[-0.5, 0.5], [-0.5, 0.5]]
+safe_region = [[-3.0, 3.0], [-3.0, 3.0]]
+[scenario.config]
+num_seed_traces = 8
+sim_duration = 5.0
+
+[[scenario]]
+name = "smoke-unstable"
+expected = "inconclusive"
+[scenario.plant]
+kind = "linear"
+matrix = [[0.4, 0.0], [0.0, 0.4]]
+[scenario.spec]
+initial_set = [[-0.5, 0.5], [-0.5, 0.5]]
+safe_region = [[-3.0, 3.0], [-3.0, 3.0]]
+[scenario.config]
+num_seed_traces = 4
+sim_duration = 2.0
+max_candidate_iterations = 2
+"#;
+
+/// The paper's Section 4.3 safety specification for the Dubins error
+/// dynamics, optionally with a perturbed initial set or a tightened safe
+/// region.
+fn dubins_spec(initial: [(f64, f64); 2], safe: [(f64, f64); 2]) -> SafetySpec {
+    SafetySpec::rectangular(
+        IntervalBox::from_bounds(&initial),
+        IntervalBox::from_bounds(&safe),
+    )
+}
+
+fn builtin_scenarios() -> Vec<Scenario> {
+    let pi = std::f64::consts::PI;
+    let eps = 0.01;
+    let paper_initial = [(-1.0, 1.0), (-pi / 16.0, pi / 16.0)];
+    let paper_safe = [(-5.0, 5.0), (-(pi / 2.0 - eps), pi / 2.0 - eps)];
+    let pendulum_spec = SafetySpec::rectangular(
+        IntervalBox::from_bounds(&[(-0.2, 0.2), (-0.2, 0.2)]),
+        IntervalBox::from_bounds(&[(-0.8, 0.8), (-2.0, 2.0)]),
+    );
+    let pendulum_config = VerificationConfig {
+        num_seed_traces: 15,
+        sim_duration: 6.0,
+        ..VerificationConfig::default()
+    };
+    let pendulum_plant = |activation: Activation| PlantSpec::Pendulum {
+        hidden_neurons: 16,
+        activation,
+        k_theta: 1.2,
+        k_omega: 0.5,
+        max_torque: 20.0,
+        damping: 0.5,
+    };
+
+    vec![
+        // --- The three case studies --------------------------------------
+        Scenario::new(
+            "dubins-paper",
+            "The paper's Section 4 case study: Dubins path-following error \
+             dynamics with the 2-10-1 tanh reference controller",
+            PlantSpec::Dubins {
+                hidden_neurons: 10,
+                speed: 1.0,
+            },
+            dubins_spec(paper_initial, paper_safe),
+            VerificationConfig::default(),
+            ExpectedVerdict::Certified,
+        ),
+        Scenario::new(
+            "pendulum-tanh-16",
+            "Torque-limited inverted pendulum stabilized by a 2-16-1 tanh \
+             PD-like controller",
+            pendulum_plant(Activation::Tanh),
+            pendulum_spec.clone(),
+            pendulum_config.clone(),
+            ExpectedVerdict::Certified,
+        ),
+        Scenario::new(
+            "train-speed-control",
+            "Train speed controller: headway error and relative speed under \
+             a force-limited 2-12-1 tanh PD-like controller",
+            PlantSpec::Train {
+                hidden_neurons: 12,
+                k_position: 1.0,
+                k_velocity: 2.0,
+                max_force: 5.0,
+                drag: 0.5,
+                mass: 1.0,
+            },
+            SafetySpec::rectangular(
+                IntervalBox::from_bounds(&[(-0.3, 0.3), (-0.3, 0.3)]),
+                IntervalBox::from_bounds(&[(-2.0, 2.0), (-2.0, 2.0)]),
+            ),
+            VerificationConfig {
+                num_seed_traces: 12,
+                sim_duration: 8.0,
+                ..VerificationConfig::default()
+            },
+            ExpectedVerdict::Certified,
+        ),
+        // --- Parameterized variants --------------------------------------
+        Scenario::new(
+            "dubins-perturbed-x0",
+            "Dubins case study with an asymmetrically perturbed initial set \
+             (shifted and widened relative to the paper's X0)",
+            PlantSpec::Dubins {
+                hidden_neurons: 10,
+                speed: 1.0,
+            },
+            dubins_spec([(-0.6, 1.2), (-pi / 12.0, pi / 16.0)], paper_safe),
+            VerificationConfig::default(),
+            ExpectedVerdict::Certified,
+        ),
+        Scenario::new(
+            "dubins-tight-unsafe",
+            "Dubins case study with a tightened unsafe region (the safe \
+             corridor shrinks from ±5 m to ±3 m and the angle bound from \
+             ±(π/2 − 0.01) to ±(π/2 − 0.2))",
+            PlantSpec::Dubins {
+                hidden_neurons: 10,
+                speed: 1.0,
+            },
+            dubins_spec(
+                paper_initial,
+                [(-3.0, 3.0), (-(pi / 2.0 - 0.2), pi / 2.0 - 0.2)],
+            ),
+            VerificationConfig::default(),
+            ExpectedVerdict::Certified,
+        ),
+        Scenario::new(
+            "dubins-wide-20",
+            "Dubins case study with a doubled controller width (2-20-1), the \
+             first step of the paper's Table 1 sweep",
+            PlantSpec::Dubins {
+                hidden_neurons: 20,
+                speed: 1.0,
+            },
+            dubins_spec(paper_initial, paper_safe),
+            VerificationConfig::default(),
+            ExpectedVerdict::Certified,
+        ),
+        Scenario::new(
+            "pendulum-logsig-16",
+            "Pendulum case study with the controller re-expressed through \
+             logistic-sigmoid activations (same control law via \
+             tanh(z) = 2·sigmoid(2z) − 1, different symbolic closed loop)",
+            pendulum_plant(Activation::Sigmoid),
+            pendulum_spec,
+            pendulum_config,
+            ExpectedVerdict::Certified,
+        ),
+        // --- Canary -------------------------------------------------------
+        Scenario::new(
+            "linear-unstable-canary",
+            "Unstable linear system that must stay inconclusive — guards the \
+             regression gate against silently certifying everything",
+            PlantSpec::Linear {
+                matrix: vec![vec![0.3, 0.0], vec![0.0, 0.3]],
+            },
+            SafetySpec::rectangular(
+                IntervalBox::from_bounds(&[(-0.5, 0.5), (-0.5, 0.5)]),
+                IntervalBox::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]),
+            ),
+            VerificationConfig {
+                num_seed_traces: 6,
+                sim_duration: 3.0,
+                max_candidate_iterations: 3,
+                ..VerificationConfig::default()
+            },
+            ExpectedVerdict::Inconclusive,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_shape() {
+        let registry = Registry::builtin();
+        assert!(registry.len() >= 6, "acceptance floor: 6 scenarios");
+        assert!(!registry.is_empty());
+        // The three case studies plus at least three parameterized variants.
+        for name in [
+            "dubins-paper",
+            "pendulum-tanh-16",
+            "train-speed-control",
+            "dubins-perturbed-x0",
+            "dubins-tight-unsafe",
+            "dubins-wide-20",
+            "pendulum-logsig-16",
+            "linear-unstable-canary",
+        ] {
+            assert!(registry.get(name).is_some(), "missing {name}");
+        }
+        // Names are unique.
+        let mut names: Vec<&str> = registry.names().collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), registry.len());
+        // Every scenario builds a consistent closed loop.
+        for scenario in &registry {
+            let system = scenario.build_system();
+            assert_eq!(system.dim(), scenario.spec().dim(), "{}", scenario.name());
+        }
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut registry = Registry::builtin();
+        let copy = registry.get("dubins-paper").unwrap().clone();
+        let err = registry.push(copy).unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn filtering_by_name() {
+        let registry = Registry::builtin();
+        let dubins = registry.filtered("dubins");
+        assert_eq!(dubins.len(), 4);
+        assert!(dubins.names().all(|n| n.contains("dubins")));
+        assert!(registry.filtered("no-such-scenario").is_empty());
+    }
+
+    #[test]
+    fn manifest_registry_rejects_duplicates_and_empties() {
+        assert!(Registry::from_toml_str("title = \"no scenarios\"\n")
+            .unwrap_err()
+            .to_string()
+            .contains("no [[scenario]]"));
+        let duplicated = r#"
+            [[scenario]]
+            name = "twice"
+            expected = "certified"
+            [scenario.plant]
+            kind = "linear"
+            matrix = [[-1.0]]
+            [scenario.spec]
+            initial_set = [[-0.5, 0.5]]
+            safe_region = [[-2.0, 2.0]]
+            [[scenario]]
+            name = "twice"
+            expected = "certified"
+            [scenario.plant]
+            kind = "linear"
+            matrix = [[-1.0]]
+            [scenario.spec]
+            initial_set = [[-0.5, 0.5]]
+            safe_region = [[-2.0, 2.0]]
+        "#;
+        assert!(Registry::from_toml_str(duplicated)
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn missing_manifest_file_errors_cleanly() {
+        let err = Registry::from_toml_file("/nonexistent/scenarios.toml").unwrap_err();
+        assert!(err.to_string().contains("cannot read"));
+    }
+}

@@ -1,0 +1,492 @@
+//! A TOML subset parser for scenario manifests.
+//!
+//! The build environment is offline, so instead of the `toml` crate this
+//! module implements exactly the grammar the scenario manifests use:
+//!
+//! * comments (`# ...`),
+//! * `key = value` pairs with string, integer, float, boolean, and
+//!   (arbitrarily nested) inline-array values,
+//! * `[table]` and `[table.subtable]` headers,
+//! * `[[array-of-tables]]` headers (with standard TOML semantics: a
+//!   `[scenario.plant]` header after a `[[scenario]]` header nests into the
+//!   most recent `scenario` element).
+//!
+//! Dates, multi-line strings, and inline tables are not supported; the
+//! manifest loader does not need them.
+
+use std::fmt;
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// A basic `"..."` string.
+    String(String),
+    /// An integer literal.
+    Integer(i64),
+    /// A float literal.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// An inline array `[a, b, ...]`, possibly nested.
+    Array(Vec<TomlValue>),
+    /// A (sub)table, from `[header]` / `[[header]]` sections.
+    Table(TomlTable),
+}
+
+impl TomlValue {
+    /// Numeric payload, accepting both integer and float literals.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            TomlValue::Integer(n) => Some(*n as f64),
+            TomlValue::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer payload.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            TomlValue::Integer(n) if *n >= 0 => Some(*n as usize),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            TomlValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array payload.
+    pub fn as_array(&self) -> Option<&[TomlValue]> {
+        match self {
+            TomlValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Table payload.
+    pub fn as_table(&self) -> Option<&TomlTable> {
+        match self {
+            TomlValue::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// An insertion-ordered table of keys to values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TomlTable {
+    entries: Vec<(String, TomlValue)>,
+}
+
+impl TomlTable {
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&TomlValue> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// All `(key, value)` pairs in insertion order.
+    pub fn entries(&self) -> &[(String, TomlValue)] {
+        &self.entries
+    }
+
+    /// String value for a key.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(TomlValue::as_str)
+    }
+
+    /// Numeric value for a key (integer or float literal).
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(TomlValue::as_f64)
+    }
+
+    /// Non-negative integer value for a key.
+    pub fn get_usize(&self, key: &str) -> Option<usize> {
+        self.get(key).and_then(TomlValue::as_usize)
+    }
+
+    /// Sub-table for a key.
+    pub fn get_table(&self, key: &str) -> Option<&TomlTable> {
+        self.get(key).and_then(TomlValue::as_table)
+    }
+
+    /// The elements of an array-of-tables key (`[[key]]` sections), or an
+    /// empty slice if the key is absent.
+    pub fn tables(&self, key: &str) -> Vec<&TomlTable> {
+        match self.get(key) {
+            Some(TomlValue::Array(items)) => items.iter().filter_map(TomlValue::as_table).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn get_mut(&mut self, key: &str) -> Option<&mut TomlValue> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    fn insert(&mut self, key: String, value: TomlValue) -> bool {
+        if self.get(&key).is_some() {
+            return false;
+        }
+        self.entries.push((key, value));
+        true
+    }
+}
+
+/// Error from [`parse`], with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line the error was found on.
+    pub line: usize,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TOML parse error on line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+/// Parses a manifest into its root table.
+///
+/// # Examples
+///
+/// ```
+/// use nncps_scenarios::toml;
+///
+/// let doc = toml::parse(
+///     r#"
+///     title = "demo"                # comment
+///     [[scenario]]
+///     name = "a"
+///     bounds = [[-1.0, 1.0], [0, 2]]
+///     [scenario.config]
+///     seed = 2018
+///     [[scenario]]
+///     name = "b"
+///     "#,
+/// )
+/// .unwrap();
+/// assert_eq!(doc.get_str("title"), Some("demo"));
+/// let scenarios = doc.tables("scenario");
+/// assert_eq!(scenarios.len(), 2);
+/// assert_eq!(scenarios[0].get_table("config").unwrap().get_usize("seed"), Some(2018));
+/// ```
+pub fn parse(text: &str) -> Result<TomlTable, TomlError> {
+    let mut root = TomlTable::default();
+    // Path of the currently open `[section]`, as (key, index-into-array)
+    // steps; key-value lines attach to the table this path points at.
+    let mut current_path: Vec<String> = Vec::new();
+
+    for (line_index, raw_line) in text.lines().enumerate() {
+        let line_no = line_index + 1;
+        let err = |message: String| TomlError {
+            message,
+            line: line_no,
+        };
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[") {
+            let Some(header) = header.strip_suffix("]]") else {
+                return Err(err("unterminated `[[` header".to_string()));
+            };
+            let path = parse_key_path(header).map_err(&err)?;
+            append_array_element(&mut root, &path).map_err(&err)?;
+            current_path = path;
+        } else if let Some(header) = line.strip_prefix('[') {
+            let Some(header) = header.strip_suffix(']') else {
+                return Err(err("unterminated `[` header".to_string()));
+            };
+            let path = parse_key_path(header).map_err(&err)?;
+            open_table(&mut root, &path).map_err(&err)?;
+            current_path = path;
+        } else {
+            let Some(eq) = find_unquoted(line, '=') else {
+                return Err(err(format!("expected `key = value`, got `{line}`")));
+            };
+            let key = line[..eq].trim();
+            if key.is_empty() {
+                return Err(err("empty key".to_string()));
+            }
+            let (value, rest) = parse_value(line[eq + 1..].trim()).map_err(&err)?;
+            if !rest.trim().is_empty() {
+                return Err(err(format!("trailing characters `{}`", rest.trim())));
+            }
+            let table = navigate_mut(&mut root, &current_path)
+                .expect("section headers always create their tables");
+            if !table.insert(key.to_string(), value) {
+                return Err(err(format!("duplicate key `{key}`")));
+            }
+        }
+    }
+    Ok(root)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match find_unquoted(line, '#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Finds `needle` outside of any double-quoted string.
+fn find_unquoted(line: &str, needle: char) -> Option<usize> {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+        } else if c == '"' {
+            in_string = true;
+        } else if c == needle {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn parse_key_path(header: &str) -> Result<Vec<String>, String> {
+    let path: Vec<String> = header
+        .split('.')
+        .map(|part| part.trim().to_string())
+        .collect();
+    if path.iter().any(|part| {
+        part.is_empty()
+            || !part
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    }) {
+        return Err(format!("invalid table header `{header}`"));
+    }
+    Ok(path)
+}
+
+/// Walks `path` from the root, stepping into the last element of
+/// arrays-of-tables, without creating anything.
+fn navigate_mut<'a>(root: &'a mut TomlTable, path: &[String]) -> Option<&'a mut TomlTable> {
+    let mut table = root;
+    for key in path {
+        let value = table.get_mut(key)?;
+        table = match value {
+            TomlValue::Table(t) => t,
+            TomlValue::Array(items) => match items.last_mut() {
+                Some(TomlValue::Table(t)) => t,
+                _ => return None,
+            },
+            _ => return None,
+        };
+    }
+    Some(table)
+}
+
+/// Ensures the `[header]` path exists, creating intermediate tables.
+fn open_table(root: &mut TomlTable, path: &[String]) -> Result<(), String> {
+    let mut table = root;
+    for (depth, key) in path.iter().enumerate() {
+        if table.get(key).is_none() {
+            table.insert(key.clone(), TomlValue::Table(TomlTable::default()));
+        }
+        let value = table.get_mut(key).expect("just inserted");
+        table = match value {
+            TomlValue::Table(t) => t,
+            TomlValue::Array(items) if depth + 1 < path.len() => match items.last_mut() {
+                Some(TomlValue::Table(t)) => t,
+                _ => return Err(format!("`{key}` is not a table")),
+            },
+            _ => return Err(format!("`{key}` is not a table")),
+        };
+    }
+    Ok(())
+}
+
+/// Appends a fresh element for a `[[header]]` path.
+fn append_array_element(root: &mut TomlTable, path: &[String]) -> Result<(), String> {
+    let (last, prefix) = path.split_last().expect("headers are non-empty");
+    let parent = if prefix.is_empty() {
+        root
+    } else {
+        open_table(root, prefix)?;
+        navigate_mut(root, prefix).ok_or_else(|| "invalid header path".to_string())?
+    };
+    if parent.get(last).is_none() {
+        parent.insert(last.clone(), TomlValue::Array(Vec::new()));
+    }
+    match parent.get_mut(last) {
+        Some(TomlValue::Array(items)) => {
+            items.push(TomlValue::Table(TomlTable::default()));
+            Ok(())
+        }
+        _ => Err(format!("`{last}` is not an array of tables")),
+    }
+}
+
+/// Parses one value, returning it and the unconsumed remainder of the line.
+fn parse_value(text: &str) -> Result<(TomlValue, &str), String> {
+    let text = text.trim_start();
+    if let Some(rest) = text.strip_prefix('"') {
+        let mut out = String::new();
+        let mut chars = rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => return Ok((TomlValue::String(out), &rest[i + 1..])),
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'r')) => out.push('\r'),
+                    other => return Err(format!("unsupported escape `\\{other:?}`")),
+                },
+                c => out.push(c),
+            }
+        }
+        return Err("unterminated string".to_string());
+    }
+    if let Some(mut rest) = text.strip_prefix('[') {
+        let mut items = Vec::new();
+        loop {
+            rest = rest.trim_start();
+            if let Some(after) = rest.strip_prefix(']') {
+                return Ok((TomlValue::Array(items), after));
+            }
+            let (item, after) = parse_value(rest)?;
+            items.push(item);
+            rest = after.trim_start();
+            if let Some(after) = rest.strip_prefix(',') {
+                rest = after;
+            } else if !rest.starts_with(']') {
+                return Err(format!("expected `,` or `]` in array, got `{rest}`"));
+            }
+        }
+    }
+    if let Some(rest) = text.strip_prefix("true") {
+        return Ok((TomlValue::Bool(true), rest));
+    }
+    if let Some(rest) = text.strip_prefix("false") {
+        return Ok((TomlValue::Bool(false), rest));
+    }
+    // A number: consume the longest prefix of number-ish characters.
+    let end = text
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '+' | '-' | '.' | 'e' | 'E' | '_')))
+        .unwrap_or(text.len());
+    let (number, rest) = text.split_at(end);
+    let cleaned: String = number.chars().filter(|&c| c != '_').collect();
+    if cleaned.is_empty() {
+        return Err(format!("expected a value, got `{text}`"));
+    }
+    if !cleaned.contains(['.', 'e', 'E']) {
+        if let Ok(n) = cleaned.parse::<i64>() {
+            return Ok((TomlValue::Integer(n), rest));
+        }
+    }
+    cleaned
+        .parse::<f64>()
+        .map(|x| (TomlValue::Float(x), rest))
+        .map_err(|_| format!("invalid number `{number}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_comments() {
+        let doc =
+            parse("a = 1\nb = -2.5  # trailing comment\nc = \"x # not a comment\"\nd = true\n")
+                .unwrap();
+        assert_eq!(doc.get_usize("a"), Some(1));
+        assert_eq!(doc.get_f64("b"), Some(-2.5));
+        assert_eq!(doc.get_str("c"), Some("x # not a comment"));
+        assert_eq!(doc.get("d"), Some(&TomlValue::Bool(true)));
+        assert_eq!(doc.get_f64("a"), Some(1.0), "integers read as numbers too");
+    }
+
+    #[test]
+    fn nested_inline_arrays() {
+        let doc = parse("m = [[-1.0, 1], [0.5, 2.5]]\nempty = []\n").unwrap();
+        let m = doc.get("m").unwrap().as_array().unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].as_array().unwrap()[1].as_f64(), Some(1.0));
+        assert_eq!(doc.get("empty").unwrap().as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn array_of_tables_with_subtables() {
+        let doc = parse(
+            r#"
+            [[scenario]]
+            name = "first"
+            [scenario.plant]
+            kind = "linear"
+            [[scenario]]
+            name = "second"
+            [scenario.plant]
+            kind = "dubins"
+            width = 20
+            "#,
+        )
+        .unwrap();
+        let scenarios = doc.tables("scenario");
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0].get_str("name"), Some("first"));
+        assert_eq!(
+            scenarios[0].get_table("plant").unwrap().get_str("kind"),
+            Some("linear")
+        );
+        assert_eq!(
+            scenarios[1].get_table("plant").unwrap().get_usize("width"),
+            Some(20)
+        );
+    }
+
+    #[test]
+    fn plain_tables_nest() {
+        let doc = parse("[outer]\na = 1\n[outer.inner]\nb = 2\n").unwrap();
+        let outer = doc.get_table("outer").unwrap();
+        assert_eq!(outer.get_usize("a"), Some(1));
+        assert_eq!(outer.get_table("inner").unwrap().get_usize("b"), Some(2));
+        assert_eq!(doc.entries().len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("a = 1\nb = \n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(parse("a = 1\na = 2\n")
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate"));
+        assert!(parse("[unclosed\n").is_err());
+        assert!(parse("nonsense\n").is_err());
+        assert!(parse("x = [1, \n").is_err());
+        assert!(parse("x = \"abc\n").is_err());
+    }
+
+    #[test]
+    fn underscored_numbers_and_signs() {
+        let doc = parse("big = 2_000_000\nneg = -4\nexp = 1e-6\n").unwrap();
+        assert_eq!(doc.get_usize("big"), Some(2_000_000));
+        assert_eq!(doc.get_f64("neg"), Some(-4.0));
+        assert_eq!(doc.get_f64("exp"), Some(1e-6));
+        assert_eq!(doc.get("neg").unwrap().as_usize(), None);
+    }
+}

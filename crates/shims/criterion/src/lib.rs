@@ -113,8 +113,8 @@ impl Bencher {
         }
         let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
         let total_budget = self.measurement_time.as_secs_f64();
-        let iters_per_sample = ((total_budget / self.samples as f64 / per_iter.max(1e-9)) as u64)
-            .clamp(1, 1_000_000);
+        let iters_per_sample =
+            ((total_budget / self.samples as f64 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
 
         let mut sample_nanos: Vec<f64> = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
@@ -129,6 +129,46 @@ impl Bencher {
         let min = sample_nanos[0];
         let max = sample_nanos[sample_nanos.len() - 1];
         self.result = Some((median, min, max));
+    }
+}
+
+/// Appends one JSON-lines record of per-iteration seconds to the file named
+/// by the `CRITERION_JSON` environment variable, when set.  The real
+/// criterion crate persists estimates as JSON under `target/criterion/`;
+/// this is the shim's equivalent, consumed by the CI bench-regression
+/// comparator (`bench-compare`).
+fn append_json_record(label: &str, median_nanos: f64, min_nanos: f64, max_nanos: f64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    // JSON string escaping (escape_default would emit Rust-only escapes
+    // like \u{b5} that a JSON parser rejects).
+    let mut escaped = String::with_capacity(label.len());
+    for c in label.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    let record = format!(
+        "{{\"bench\": \"{escaped}\", \"min_s\": {:?}, \"median_s\": {:?}, \"max_s\": {:?}}}\n",
+        min_nanos / 1e9,
+        median_nanos / 1e9,
+        max_nanos / 1e9,
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| file.write_all(record.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("criterion shim: cannot append to CRITERION_JSON={path}: {e}");
     }
 }
 
@@ -209,6 +249,7 @@ impl Criterion {
                 format_nanos(median),
                 format_nanos(max)
             );
+            append_json_record(label, median, min, max);
         }
     }
 
@@ -277,12 +318,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmarks a routine that receives a borrowed input value.
-    pub fn bench_with_input<I, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),
@@ -370,7 +406,9 @@ mod tests {
     fn groups_compose_labels_and_settings() {
         let mut criterion = quiet_criterion(Mode::Once);
         let mut group = criterion.benchmark_group("g");
-        group.sample_size(5).measurement_time(Duration::from_millis(10));
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10));
         let mut seen = 0;
         group.bench_with_input(BenchmarkId::new("f", 3), &3, |b, &x| {
             b.iter(|| black_box(x * 2));

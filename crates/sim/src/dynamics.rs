@@ -56,7 +56,9 @@ impl<F: Fn(&[f64]) -> Vec<f64>> Dynamics for FnDynamics<F> {
 
 impl<F> std::fmt::Debug for FnDynamics<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FnDynamics").field("dim", &self.dim).finish()
+        f.debug_struct("FnDynamics")
+            .field("dim", &self.dim)
+            .finish()
     }
 }
 
@@ -115,6 +117,43 @@ impl Dynamics for ExprDynamics {
 
     fn derivative(&self, state: &[f64]) -> Vec<f64> {
         self.components.iter().map(|c| c.eval(state)).collect()
+    }
+}
+
+/// A plant (or closed loop) that can export its vector field symbolically.
+///
+/// This is the common interface the scenario registry uses to register
+/// heterogeneous plants — the Dubins error dynamics, the pendulum, the train
+/// speed controller — behind one trait: the same object simulates (via
+/// [`Dynamics`]) and produces the `f(x)` expressions that appear inside the
+/// δ-SAT queries, so the simulated and verified models provably coincide.
+///
+/// # Examples
+///
+/// ```
+/// use nncps_expr::Expr;
+/// use nncps_sim::{ExprDynamics, SymbolicDynamics};
+///
+/// let decay = ExprDynamics::new(vec![-Expr::var(0)]);
+/// let field = decay.symbolic_vector_field();
+/// assert_eq!(field.len(), 1);
+/// assert_eq!(field[0].eval(&[2.0]), -2.0);
+/// ```
+pub trait SymbolicDynamics: Dynamics {
+    /// The symbolic vector field, one expression per state component, using
+    /// variable indices `0..self.dim()`.
+    fn symbolic_vector_field(&self) -> Vec<Expr>;
+}
+
+impl SymbolicDynamics for ExprDynamics {
+    fn symbolic_vector_field(&self) -> Vec<Expr> {
+        self.components.clone()
+    }
+}
+
+impl<D: SymbolicDynamics + ?Sized> SymbolicDynamics for &D {
+    fn symbolic_vector_field(&self) -> Vec<Expr> {
+        (**self).symbolic_vector_field()
     }
 }
 

@@ -9,8 +9,7 @@ use crate::Dynamics;
 /// until its local error estimate meets the tolerance, which makes it a good
 /// default when the neural controller saturates and produces stiff-ish
 /// transients.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Integrator {
     /// Explicit (forward) Euler — first order, used mainly in tests and as the
     /// discrete-time model for controller training.
@@ -27,7 +26,6 @@ pub enum Integrator {
         tolerance: f64,
     },
 }
-
 
 impl Integrator {
     /// Advances the state by one step of size `dt`.
@@ -124,18 +122,10 @@ fn rkf45_step<D: Dynamics + ?Sized>(
 
 /// One embedded RKF45 step returning the 5th-order estimate and an error
 /// estimate (max-norm difference between the 4th- and 5th-order solutions).
-fn rkf45_embedded<D: Dynamics + ?Sized>(
-    dynamics: &D,
-    state: &[f64],
-    h: f64,
-) -> (Vec<f64>, f64) {
+fn rkf45_embedded<D: Dynamics + ?Sized>(dynamics: &D, state: &[f64], h: f64) -> (Vec<f64>, f64) {
     let k1 = dynamics.derivative(state);
     let k2 = dynamics.derivative(&combine(state, h, &[(0.25, &k1)]));
-    let k3 = dynamics.derivative(&combine(
-        state,
-        h,
-        &[(3.0 / 32.0, &k1), (9.0 / 32.0, &k2)],
-    ));
+    let k3 = dynamics.derivative(&combine(state, h, &[(3.0 / 32.0, &k1), (9.0 / 32.0, &k2)]));
     let k4 = dynamics.derivative(&combine(
         state,
         h,
@@ -236,9 +226,7 @@ mod tests {
         assert!(decay_error(Integrator::Euler, 1000) < 1e-3);
         assert!(decay_error(Integrator::Midpoint, 1000) < 1e-6);
         assert!(decay_error(Integrator::RungeKutta4, 100) < 1e-9);
-        assert!(
-            decay_error(Integrator::RungeKuttaFehlberg45 { tolerance: 1e-10 }, 10) < 1e-8
-        );
+        assert!(decay_error(Integrator::RungeKuttaFehlberg45 { tolerance: 1e-10 }, 10) < 1e-8);
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod integrator;
 mod simulator;
 mod trace;
 
-pub use dynamics::{Dynamics, ExprDynamics, FnDynamics};
+pub use dynamics::{Dynamics, ExprDynamics, FnDynamics, SymbolicDynamics};
 pub use integrator::Integrator;
 pub use nncps_parallel::{effective_threads, parallel_map};
 pub use simulator::Simulator;

@@ -47,10 +47,7 @@ fn main() {
     // --- Query 3: a decrease query like the paper's condition (5) -------------
     // System: x' = -x + 0.5 y, y' = -y; candidate W = x^2 + y^2.
     // Ask the negation: exists state outside X0 with dW/dt >= -gamma.
-    let f = [
-        -x.clone() + y.clone() * 0.5,
-        -y.clone(),
-    ];
+    let f = [-x.clone() + y.clone() * 0.5, -y.clone()];
     let w = x.clone().powi(2) + y.clone().powi(2);
     let lie = w.differentiate(0) * f[0].clone() + w.differentiate(1) * f[1].clone();
     let gamma = 1e-6;

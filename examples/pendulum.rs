@@ -3,18 +3,12 @@
 //!
 //! The paper's procedure is not tied to the Dubins car — any closed loop of
 //! the form `ẋ = f_p(x, h(g(x)))` with a smooth neural controller `h` can be
-//! verified.  This example builds a torque-limited inverted pendulum
-//!
-//! ```text
-//! θ̇ = ω
-//! ω̇ = (g/l)·sin θ − (b/(m l²))·ω + u/(m l²),   u = saturation · h(θ, ω)
-//! ```
-//!
-//! with a single-hidden-layer tanh controller that implements a smooth
-//! PD-like law, and proves that from the initial set
-//! `X0 = [−0.2, 0.2] × [−0.2, 0.2]` the pendulum never leaves the safe band
-//! `|θ| < 0.8 rad`, `|ω| < 2.0 rad/s` (the complement of that box is the
-//! unsafe set).
+//! verified.  The pendulum problem (torque-limited plant, 2-16-1 tanh PD-like
+//! controller, safe band `|θ| < 0.8 rad`, `|ω| < 2.0 rad/s`) is registered in
+//! the scenario registry as `pendulum-tanh-16`, so this example is a lookup
+//! plus a run — and it also reruns the sibling `pendulum-logsig-16` variant,
+//! whose controller realises the same control law through logistic-sigmoid
+//! activations (`tanh(z) = 2σ(2z) − 1`).
 //!
 //! Run with:
 //!
@@ -22,95 +16,34 @@
 //! cargo run --release --example pendulum
 //! ```
 
-use nncps_barrier::{ClosedLoopSystem, SafetySpec, VerificationConfig, Verifier};
-use nncps_expr::Expr;
-use nncps_interval::IntervalBox;
-use nncps_linalg::{Matrix, Vector};
-use nncps_nn::{network_from_weights, Activation, FeedforwardNetwork};
-
-/// Builds a 2 → `hidden` → 1 tanh controller implementing a smooth PD law
-/// `u ≈ −(k_theta·θ + k_omega·ω)`, spread across the hidden neurons the same
-/// way the Dubins reference controller is.
-fn pendulum_controller(hidden: usize, k_theta: f64, k_omega: f64) -> FeedforwardNetwork {
-    let mut hidden_weights = Matrix::zeros(hidden, 2);
-    let hidden_biases = Vector::zeros(hidden);
-    let mut output_weights = Matrix::zeros(1, hidden);
-    for i in 0..hidden {
-        let phase = (i as f64 + 1.0) * 2.399_963;
-        let scale = 1.0 + 0.1 * phase.sin();
-        hidden_weights[(i, 0)] = -k_theta * scale;
-        hidden_weights[(i, 1)] = -k_omega * scale;
-        output_weights[(0, i)] = 1.0 / (scale * hidden as f64);
-    }
-    network_from_weights(
-        2,
-        vec![
-            (hidden_weights, hidden_biases, Activation::Tanh),
-            (output_weights, Vector::zeros(1), Activation::Linear),
-        ],
-    )
-}
+use nncps_scenarios::{run_scenario, Registry};
 
 fn main() {
-    // Plant parameters.
-    let gravity = 9.81;
-    let length = 1.0;
-    let mass = 1.0;
-    let damping = 0.5;
-    let max_torque = 20.0;
+    let registry = Registry::builtin();
+    for name in ["pendulum-tanh-16", "pendulum-logsig-16"] {
+        let scenario = registry.get(name).expect("pendulum scenarios are built in");
+        println!("scenario : {name}");
+        println!("           {}", scenario.description());
 
-    // The learning-enabled component: a 2 -> 16 -> 1 tanh network.
-    let controller = pendulum_controller(16, 1.2, 0.5);
-    println!(
-        "controller: 16 hidden tanh neurons, {} parameters",
-        controller.num_params()
-    );
-
-    // Closed-loop vector field, symbolically: u = max_torque * h(theta, omega).
-    let theta = Expr::var(0);
-    let omega = Expr::var(1);
-    let u = controller.forward_symbolic(&[theta.clone(), omega.clone()])[0].clone();
-    let inertia = mass * length * length;
-    let vector_field = vec![
-        omega.clone(),
-        theta.clone().sin() * (gravity / length) - omega * (damping / inertia)
-            + u * (max_torque / inertia),
-    ];
-
-    // Safety specification.
-    let spec = SafetySpec::rectangular(
-        IntervalBox::from_bounds(&[(-0.2, 0.2), (-0.2, 0.2)]),
-        IntervalBox::from_bounds(&[(-0.8, 0.8), (-2.0, 2.0)]),
-    );
-    let system = ClosedLoopSystem::new(vector_field, spec.clone());
-
-    // Verify.
-    let config = VerificationConfig {
-        num_seed_traces: 15,
-        sim_duration: 6.0,
-        ..VerificationConfig::default()
-    };
-    let verifier = Verifier::new(config);
-    let outcome = verifier.verify(&system);
-
-    match outcome.certificate() {
-        Some(certificate) => {
-            println!("PENDULUM IS SAFE");
-            println!("  {certificate}");
-            println!("  invariant level  : {:.6}", certificate.level());
-            // Cheap numeric cross-check of the three barrier conditions.
-            let violations = certificate.count_violations(
-                &spec,
-                |p| system.derivative(p),
-                41,
-            );
-            println!("  grid spot check  : {violations} violations");
+        let result = run_scenario(scenario);
+        match result.verdict.as_str() {
+            "certified" => {
+                println!("PENDULUM IS SAFE");
+                println!("  invariant level  : {:.6}", result.level.unwrap());
+                println!("  generator coeffs : {:?}", result.generator_coefficients);
+            }
+            _ => println!(
+                "verification inconclusive: {}",
+                result.reason.as_deref().unwrap_or("(no reason)")
+            ),
         }
-        None => println!("verification inconclusive: {outcome}"),
+        println!(
+            "  iterations {}, counterexamples {}, {} delta-SAT boxes, {:.3}s total",
+            result.stats.generator_iterations,
+            result.stats.counterexamples,
+            result.stats.boxes_explored,
+            result.wall_time_s + result.build_time_s,
+        );
+        println!();
     }
-    let stats = outcome.stats();
-    println!(
-        "  iterations {}, counterexamples {}, total {:?}",
-        stats.generator_iterations, stats.counterexamples, stats.timings.total
-    );
 }

@@ -2,8 +2,10 @@
 //! closed loop with the initial set, the unsafe set, sample trajectories, and
 //! the barrier-certificate level set.
 //!
-//! The output is CSV with a `kind` column so the figure can be reproduced with
-//! any plotting tool:
+//! The closed loop and its specification come from the scenario registry
+//! (`dubins-paper`), so this example stays in lock-step with what the batch
+//! runner and CI verify.  The output is CSV with a `kind` column so the
+//! figure can be reproduced with any plotting tool:
 //!
 //! * `x0_corner` — corners of the initial set rectangle,
 //! * `unsafe_bound` — the rectangle whose complement is the unsafe set,
@@ -16,24 +18,21 @@
 //! cargo run --release --example phase_portrait > figure5.csv
 //! ```
 
-use nncps_barrier::{ClosedLoopSystem, SafetySpec, VerificationConfig, Verifier};
-use nncps_dubins::{reference_controller, ErrorDynamics};
-use nncps_interval::IntervalBox;
+use nncps_barrier::Verifier;
+use nncps_scenarios::Registry;
 use nncps_sim::{Integrator, Simulator};
 
 fn main() {
-    let eps = 0.01;
-    let pi = std::f64::consts::PI;
-    let initial_set = IntervalBox::from_bounds(&[(-1.0, 1.0), (-pi / 16.0, pi / 16.0)]);
-    let safe_region = IntervalBox::from_bounds(&[
-        (-5.0, 5.0),
-        (-(pi / 2.0 - eps), pi / 2.0 - eps),
-    ]);
-    let spec = SafetySpec::rectangular(initial_set.clone(), safe_region.clone());
+    let registry = Registry::builtin();
+    let scenario = registry
+        .get("dubins-paper")
+        .expect("dubins-paper is built in");
+    let spec = scenario.spec().clone();
+    let initial_set = spec.initial_set().clone();
+    let safe_region = spec.domain().clone();
 
-    let dynamics = ErrorDynamics::new(reference_controller(10), 1.0);
-    let system = ClosedLoopSystem::new(dynamics.symbolic_vector_field(), spec);
-    let verifier = Verifier::new(VerificationConfig::default());
+    let system = scenario.build_system();
+    let verifier = Verifier::new(scenario.config().clone());
     let outcome = verifier.verify(&system);
 
     println!("kind,x,y");
@@ -59,9 +58,8 @@ fn main() {
         [-4.5, 0.5],
     ];
     for (id, start) in starts.iter().enumerate() {
-        let trace = simulator.simulate_until(&expr_dynamics, start, |_, s| {
-            !safe_region.contains_point(s)
-        });
+        let trace =
+            simulator.simulate_until(&expr_dynamics, start, |_, s| !safe_region.contains_point(s));
         for (_, state) in trace.iter().step_by(4) {
             println!("trace{id},{},{}", state[0], state[1]);
         }
@@ -72,12 +70,14 @@ fn main() {
         Some(certificate) => {
             eprintln!("certified with level {:.6}", certificate.level());
             let steps = 400;
+            let (x_lo, x_hi) = (safe_region[0].lo(), safe_region[0].hi());
+            let (y_lo, y_hi) = (safe_region[1].lo(), safe_region[1].hi());
             for i in 0..=steps {
-                let x = -5.0 + 10.0 * i as f64 / steps as f64;
-                // For each x, find theta values where W(x, theta) = l by a fine scan.
+                let x = x_lo + (x_hi - x_lo) * i as f64 / steps as f64;
+                // For each x, find y values where W(x, y) = l by a fine scan.
                 let mut previous: Option<(f64, f64)> = None;
                 for j in 0..=steps {
-                    let y = -(pi / 2.0) + pi * j as f64 / steps as f64;
+                    let y = y_lo + (y_hi - y_lo) * j as f64 / steps as f64;
                     let value = certificate.value(&[x, y]);
                     if let Some((py, pv)) = previous {
                         if pv.signum() != value.signum() {

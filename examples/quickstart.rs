@@ -1,64 +1,53 @@
 //! Quickstart: verify safety of an NN-controlled Dubins car in one page.
 //!
-//! This example builds the paper's case study end to end:
+//! The verification problem itself — plant, controller, safety
+//! specification, pipeline configuration, expected verdict — lives in the
+//! scenario registry (`nncps_scenarios`), so this example is a thin lookup:
 //!
-//! 1. construct a path-following neural-network controller,
-//! 2. form the closed-loop error dynamics symbolically,
-//! 3. state the safety specification (initial set `X0`, unsafe set `U`),
-//! 4. run the simulation-guided barrier-certificate procedure, and
-//! 5. print the certificate and the per-stage timing breakdown.
+//! 1. fetch the paper's case study from the built-in registry,
+//! 2. instantiate the closed-loop system it describes,
+//! 3. run the simulation-guided barrier-certificate procedure, and
+//! 4. print the certificate and the per-stage timing breakdown.
 //!
 //! Run with:
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! To sweep *every* registered scenario and emit a JSON report, use the
+//! batch runner instead: `cargo run --release --bin nncps-batch`.
 
-use nncps_barrier::{ClosedLoopSystem, SafetySpec, VerificationConfig, Verifier};
-use nncps_dubins::{reference_controller, ErrorDynamics};
-use nncps_interval::IntervalBox;
+use nncps_barrier::Verifier;
+use nncps_scenarios::Registry;
 
 fn main() {
-    // --- 1. The learning-enabled component: a 2 -> 10 -> 1 tanh network. ----
-    let hidden_neurons = 10;
-    let controller = reference_controller(hidden_neurons);
-    println!(
-        "controller: {} hidden tanh neurons, {} parameters",
-        hidden_neurons,
-        controller.num_params()
-    );
+    // --- 1. The scenario: the paper's Section 4 case study. ----------------
+    let registry = Registry::builtin();
+    let scenario = registry
+        .get("dubins-paper")
+        .expect("dubins-paper is built in");
+    println!("scenario : {}", scenario.name());
+    println!("           {}", scenario.description());
 
-    // --- 2. Closed-loop error dynamics (d_err, theta_err). -----------------
-    let speed = 1.0;
-    let dynamics = ErrorDynamics::new(controller, speed);
-    let vector_field = dynamics.symbolic_vector_field();
-
-    // --- 3. Safety specification from Section 4.3 of the paper. ------------
-    let eps = 0.01;
-    let pi = std::f64::consts::PI;
-    let initial_set = IntervalBox::from_bounds(&[(-1.0, 1.0), (-pi / 16.0, pi / 16.0)]);
-    let safe_region = IntervalBox::from_bounds(&[
-        (-5.0, 5.0),
-        (-(pi / 2.0 - eps), pi / 2.0 - eps),
-    ]);
-    let spec = SafetySpec::rectangular(initial_set, safe_region);
-    let system = ClosedLoopSystem::new(vector_field, spec);
-
-    // --- 4. Run the verification procedure (Figure 1). ---------------------
-    let config = VerificationConfig::default();
+    // --- 2. Closed-loop system (error dynamics + 2-10-1 tanh controller). --
+    let system = scenario.build_system();
+    let config = scenario.config().clone();
     println!(
         "verifying with gamma = {:e}, delta = {:e}, {} seed traces ...",
         config.gamma, config.delta, config.num_seed_traces
     );
+
+    // --- 3. Run the verification procedure (Figure 1). ---------------------
     let verifier = Verifier::new(config);
     let outcome = verifier.verify(&system);
 
-    // --- 5. Report. ----------------------------------------------------------
+    // --- 4. Report. --------------------------------------------------------
     let stats = outcome.stats();
     println!();
     match outcome.certificate() {
         Some(certificate) => {
-            println!("SYSTEM IS SAFE");
+            println!("SYSTEM IS SAFE (expected: {})", scenario.expected());
             println!("  {certificate}");
             println!("  invariant level  : {:.6}", certificate.level());
         }
@@ -70,6 +59,7 @@ fn main() {
     println!("statistics (cf. Table 1 of the paper):");
     println!("  generator iterations : {}", stats.generator_iterations);
     println!("  counterexamples      : {}", stats.counterexamples);
+    println!("  delta-SAT boxes      : {}", stats.solver.boxes_explored);
     println!("  avg LP solve         : {:?}", stats.avg_lp_time());
     println!("  avg SMT check (5)    : {:?}", stats.avg_smt_time());
     println!("  level-set selection  : {:?}", stats.timings.level_set);

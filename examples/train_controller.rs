@@ -16,10 +16,7 @@ use nncps_dubins::{train_controller, Path, TrainingEnv, TrainingOptions};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let hidden_neurons: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(10);
+    let hidden_neurons: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
     let generations: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(25);
 
     let options = TrainingOptions {

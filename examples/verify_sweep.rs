@@ -1,10 +1,11 @@
 //! Reproduces the Table 1 sweep: verification effort versus controller size.
 //!
-//! For every hidden-layer width the example builds the case-study closed loop,
-//! runs the full barrier-certificate procedure, and prints one row with the
-//! same quantities as Table 1 of the paper: the number of generator
-//! iterations, the average LP and SMT times, the time spent in the remaining
-//! steps, and the total time.
+//! For every hidden-layer width the example derives a parameterized variant
+//! of the registry's `dubins-paper` scenario (same specification and
+//! configuration, wider controller), runs the full barrier-certificate
+//! procedure, and prints one row with the same quantities as Table 1 of the
+//! paper: the number of generator iterations, the average LP and SMT times,
+//! the time spent in the remaining steps, and the total time.
 //!
 //! Run with:
 //!
@@ -13,18 +14,8 @@
 //! # default widths: 10 20 40 50 70 80 90 100
 //! ```
 
-use nncps_barrier::{ClosedLoopSystem, SafetySpec, VerificationConfig, Verifier};
-use nncps_dubins::{reference_controller, ErrorDynamics};
-use nncps_interval::IntervalBox;
-
-fn paper_spec() -> SafetySpec {
-    let eps = 0.01;
-    let pi = std::f64::consts::PI;
-    SafetySpec::rectangular(
-        IntervalBox::from_bounds(&[(-1.0, 1.0), (-pi / 16.0, pi / 16.0)]),
-        IntervalBox::from_bounds(&[(-5.0, 5.0), (-(pi / 2.0 - eps), pi / 2.0 - eps)]),
-    )
-}
+use nncps_barrier::Verifier;
+use nncps_scenarios::{PlantSpec, Registry, Scenario};
 
 fn main() {
     let widths: Vec<usize> = {
@@ -39,6 +30,11 @@ fn main() {
         }
     };
 
+    let registry = Registry::builtin();
+    let base = registry
+        .get("dubins-paper")
+        .expect("dubins-paper is built in");
+
     println!(
         "{:>8} | {:>10} | {:>10} | {:>12} | {:>10} | {:>10} | {:>9}",
         "neurons", "iterations", "LP (s)", "SMT (5) (s)", "other (s)", "total (s)", "result"
@@ -46,10 +42,21 @@ fn main() {
     println!("{}", "-".repeat(88));
 
     for &width in &widths {
-        let controller = reference_controller(width);
-        let dynamics = ErrorDynamics::new(controller, 1.0);
-        let system = ClosedLoopSystem::new(dynamics.symbolic_vector_field(), paper_spec());
-        let verifier = Verifier::new(VerificationConfig::default());
+        // The sweep point: the paper scenario with the controller width as
+        // the free parameter.
+        let scenario = Scenario::new(
+            format!("dubins-sweep-{width}"),
+            format!("Table 1 sweep point: 2-{width}-1 controller"),
+            PlantSpec::Dubins {
+                hidden_neurons: width,
+                speed: 1.0,
+            },
+            base.spec().clone(),
+            base.config().clone(),
+            base.expected(),
+        );
+        let system = scenario.build_system();
+        let verifier = Verifier::new(scenario.config().clone());
         let outcome = verifier.verify(&system);
         let stats = outcome.stats();
         println!(
@@ -60,7 +67,11 @@ fn main() {
             stats.avg_smt_time().as_secs_f64(),
             stats.timings.other().as_secs_f64(),
             stats.timings.total.as_secs_f64(),
-            if outcome.is_certified() { "safe" } else { "unknown" },
+            if outcome.is_certified() {
+                "safe"
+            } else {
+                "unknown"
+            },
         );
     }
 }

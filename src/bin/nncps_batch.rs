@@ -1,0 +1,211 @@
+//! `nncps-batch` — run the falsify→verify pipeline over a scenario registry
+//! and emit a machine-readable JSON report.
+//!
+//! ```text
+//! cargo run --release --bin nncps-batch                       # run + print report
+//! cargo run --release --bin nncps-batch -- --list             # list scenarios
+//! cargo run --release --bin nncps-batch -- --filter dubins    # name substring filter
+//! cargo run --release --bin nncps-batch -- --manifest f.toml  # TOML registry
+//! cargo run --release --bin nncps-batch -- --out report.json  # write full report
+//! cargo run --release --bin nncps-batch -- --check SCENARIOS_expected.json
+//! cargo run --release --bin nncps-batch -- --write-expected SCENARIOS_expected.json
+//! ```
+//!
+//! `--check` exits nonzero on any verdict or witness-fingerprint drift
+//! against the baseline; it is the CI scenario-regression gate.
+
+use std::process::ExitCode;
+
+use nncps_scenarios::{run_batch, BatchOptions, Registry};
+
+struct Args {
+    manifest: Option<String>,
+    filter: Option<String>,
+    threads: usize,
+    out: Option<String>,
+    check: Option<String>,
+    write_expected: Option<String>,
+    list: bool,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: nncps-batch [--manifest FILE.toml] [--filter SUBSTRING] \
+                     [--threads N] [--out REPORT.json] [--check EXPECTED.json] \
+                     [--write-expected EXPECTED.json] [--list] [--quiet]";
+
+/// Parses the CLI; `Ok(None)` means `--help` was requested.
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        manifest: None,
+        filter: None,
+        threads: 0,
+        out: None,
+        check: None,
+        write_expected: None,
+        list: false,
+        quiet: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--manifest" => args.manifest = Some(value("--manifest")?),
+            "--filter" => args.filter = Some(value("--filter")?),
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("invalid --threads: {e}"))?
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--check" => args.check = Some(value("--check")?),
+            "--write-expected" => args.write_expected = Some(value("--write-expected")?),
+            "--list" => args.list = true,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let registry = match &args.manifest {
+        Some(path) => match Registry::from_toml_file(path) {
+            Ok(registry) => registry,
+            Err(e) => {
+                eprintln!("nncps-batch: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Registry::builtin(),
+    };
+    let registry = match &args.filter {
+        Some(pattern) => registry.filtered(pattern),
+        None => registry,
+    };
+    if registry.is_empty() {
+        eprintln!("nncps-batch: no scenarios selected");
+        return ExitCode::FAILURE;
+    }
+
+    if args.list {
+        for scenario in &registry {
+            println!(
+                "{:<24} {:<10} expect {:<13} {}",
+                scenario.name(),
+                scenario.plant().kind(),
+                scenario.expected(),
+                scenario.description()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if !args.quiet {
+        eprintln!(
+            "nncps-batch: running {} scenario(s) over {} worker thread(s)...",
+            registry.len(),
+            if args.threads == 0 {
+                "per-core".to_string()
+            } else {
+                args.threads.to_string()
+            }
+        );
+    }
+    let report = run_batch(
+        &registry,
+        &BatchOptions {
+            threads: args.threads,
+        },
+    );
+    if !args.quiet {
+        for result in &report.results {
+            eprintln!(
+                "  {:<24} {:<13} ({}, {:.2}s) {}",
+                result.name,
+                result.verdict,
+                if result.matches_expected {
+                    "as expected"
+                } else {
+                    "UNEXPECTED"
+                },
+                result.wall_time_s + result.build_time_s,
+                result.fingerprint(),
+            );
+        }
+    }
+
+    if let Some(path) = &args.write_expected {
+        if let Err(e) = std::fs::write(path, report.expected_json()) {
+            eprintln!("nncps-batch: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !args.quiet {
+            eprintln!("nncps-batch: baseline written to {path}");
+        }
+    }
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, report.to_json(true)) {
+            eprintln!("nncps-batch: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else if args.check.is_none() && args.write_expected.is_none() {
+        print!("{}", report.to_json(true));
+    }
+
+    let mut failed = false;
+    if let Some(path) = &args.check {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("nncps-batch: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match report.check_against_expected(&baseline) {
+            Ok(()) => {
+                if !args.quiet {
+                    eprintln!(
+                        "nncps-batch: no drift against {path} ({} scenario(s))",
+                        report.results.len()
+                    );
+                }
+            }
+            Err(findings) => {
+                for finding in &findings {
+                    eprintln!("nncps-batch: DRIFT: {finding}");
+                }
+                failed = true;
+            }
+        }
+    }
+    if !report.all_match_expected() {
+        for result in report.results.iter().filter(|r| !r.matches_expected) {
+            eprintln!(
+                "nncps-batch: UNEXPECTED VERDICT: `{}` expected {}, got {}",
+                result.name, result.expected, result.verdict
+            );
+        }
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -38,4 +38,5 @@ pub use nncps_interval as interval;
 pub use nncps_linalg as linalg;
 pub use nncps_lp as lp;
 pub use nncps_nn as nn;
+pub use nncps_scenarios as scenarios;
 pub use nncps_sim as sim;

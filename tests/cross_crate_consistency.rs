@@ -156,7 +156,12 @@ fn synthesized_candidate_generalizes_and_refines_with_fresh_traces() {
     let simulator = Simulator::new(Integrator::RungeKutta4, 0.05, 4.0);
     let training = simulator.simulate_batch(
         &dynamics,
-        &[vec![2.5, 1.0], vec![-2.0, 2.0], vec![1.0, -2.5], vec![-2.0, -2.0]],
+        &[
+            vec![2.5, 1.0],
+            vec![-2.0, 2.0],
+            vec![1.0, -2.5],
+            vec![-2.0, -2.0],
+        ],
     );
     let mut synthesizer = CandidateSynthesizer::new(spec.clone());
     synthesizer.add_traces(&training);

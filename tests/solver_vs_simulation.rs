@@ -6,9 +6,7 @@
 //! midpoint must (approximately) satisfy the query.  These tests check both
 //! directions on the queries the barrier pipeline actually issues.
 
-use nncps_barrier::{
-    ClosedLoopSystem, QueryBuilder, SafetySpec, VerificationConfig, Verifier,
-};
+use nncps_barrier::{ClosedLoopSystem, QueryBuilder, SafetySpec, VerificationConfig, Verifier};
 use nncps_deltasat::{Constraint, DeltaSolver, Formula, SatResult};
 use nncps_dubins::{reference_controller, ErrorDynamics};
 use nncps_expr::Expr;
@@ -171,7 +169,10 @@ fn solver_verdicts_match_sampling_on_hand_written_queries() {
         solver.solve(&sat_query, &domain),
         SatResult::DeltaSat(_)
     ));
-    assert!(matches!(solver.solve(&unsat_query, &domain), SatResult::Unsat));
+    assert!(matches!(
+        solver.solve(&unsat_query, &domain),
+        SatResult::Unsat
+    ));
 
     let mut sampled_max = f64::NEG_INFINITY;
     for i in 0..=200 {

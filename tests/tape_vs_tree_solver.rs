@@ -22,12 +22,7 @@ fn paper_spec() -> SafetySpec {
     )
 }
 
-fn assert_identical(
-    what: &str,
-    formula: &Formula,
-    domain: &IntervalBox,
-    solver: DeltaSolver,
-) {
+fn assert_identical(what: &str, formula: &Formula, domain: &IntervalBox, solver: DeltaSolver) {
     let reference = solver.clone().with_tree_evaluator();
     let (fast_result, fast_stats) = solver.solve_with_stats(formula, domain);
     let (ref_result, ref_stats) = reference.solve_with_stats(formula, domain);
@@ -58,7 +53,12 @@ fn decrease_queries_explore_identical_box_trees() {
 
     let plausible = template.instantiate(&[0.02, 0.01, 0.13, 0.0, 0.0, 0.0]);
     let (formula, domain) = queries.decrease_query(&plausible);
-    assert_identical("decrease/plausible", &formula, &domain, DeltaSolver::new(1e-4));
+    assert_identical(
+        "decrease/plausible",
+        &formula,
+        &domain,
+        DeltaSolver::new(1e-4),
+    );
 
     let upside_down = template.instantiate(&[-1.0, 0.0, -1.0, 0.0, 0.0, 0.0]);
     let (formula, domain) = queries.decrease_query(&upside_down);
