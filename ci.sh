@@ -49,26 +49,34 @@ else
 fi
 
 if [ "$quick" != "quick" ]; then
-    echo "==> bench smoke: tape vs tree microbenches (substrate/tape_vs_tree)"
+    echo "==> bench smoke: tape-vs-tree + specialization microbenches"
     cargo bench --bench substrate_micro -- substrate/tape_vs_tree
+    cargo bench --bench substrate_micro -- substrate/specialize/eval_box
 else
     echo "==> bench smoke: (skipped in quick mode)"
 fi
 
 # --- bench-regression -------------------------------------------------------
-# Re-measure the headline solver bench and fail if its median regresses more
-# than 25% against the BENCH_pr2.json record (tolerance overridable via
+# Re-measure the two headline solver benches — the default decrease query
+# (region specialization + derivative-guided cuts on) and the pre-compiled
+# specialized+newton path — and fail if either median regresses more than
+# 25% against the BENCH_pr4.json record (tolerance overridable via
 # NNCPS_BENCH_TOLERANCE_PCT for noisy hosts).
 if [ "$quick" != "quick" ]; then
-    echo "==> bench-regression: substrate/deltasat/decrease_query/50 vs BENCH_pr2.json"
+    echo "==> bench-regression: decrease-query headlines vs BENCH_pr4.json"
     # Absolute path: cargo runs bench binaries with the *package* directory
     # as cwd, so a relative CRITERION_JSON would land in crates/bench/.
     bench_json="$PWD/target/bench_current.jsonl"
     rm -f "$bench_json"
     CRITERION_JSON="$bench_json" \
         cargo bench --bench substrate_micro -- "substrate/deltasat/decrease_query/50"
+    CRITERION_JSON="$bench_json" \
+        cargo bench --bench substrate_micro -- "substrate/specialize/decrease_query_50"
     cargo run --release -p nncps_bench --bin bench-compare -- \
-        "$bench_json" BENCH_pr2.json
+        "$bench_json" BENCH_pr4.json
+    cargo run --release -p nncps_bench --bin bench-compare -- \
+        --bench "substrate/specialize/decrease_query_50/specialized_newton" \
+        "$bench_json" BENCH_pr4.json
 else
     echo "==> bench-regression: (skipped in quick mode)"
 fi

@@ -177,6 +177,136 @@ fn tape_vs_tree_bench(c: &mut Criterion) {
     group.finish();
 }
 
+/// A width-`width` clamped ("hardtanh") controller exported symbolically:
+/// each neuron is `max(min(a·x + b·y + d, 1), −1)`.  This is the
+/// `min`/`max`-rich workload region specialization thrives on — on regions
+/// away from the switching surfaces the saturated neurons decide their
+/// choices and their affine cones die.
+fn clamped_lie_derivative(width: usize) -> Expr {
+    let x = Expr::var(0);
+    let y = Expr::var(1);
+    let mut u = Expr::constant(0.0);
+    for j in 0..width {
+        let t = j as f64 / width as f64;
+        let z =
+            x.clone() * (2.0 * (t - 0.5)) + y.clone() * (1.5 * (0.5 - t).abs() + 0.1) + (t - 0.3);
+        let neuron = z.min(Expr::constant(1.0)).max(Expr::constant(-1.0));
+        u = u + neuron * (0.8 * (1.0 - t));
+    }
+    let w_dx = x.clone() * 0.04 + y.clone() * 0.01;
+    let w_dy = x.clone() * 0.01 + y.clone() * 0.26;
+    let f0 = y.clone();
+    let f1 = u - y.clone() * 0.5;
+    (w_dx * f0 + w_dy * f1).simplified()
+}
+
+/// Microbenches of the region-specialization layer: what one specialization
+/// pass costs, what a shortened view saves per sweep, and the end-to-end
+/// effect of specialization and derivative-guided cuts on the headline
+/// decrease query.
+fn specialize_bench(c: &mut Criterion) {
+    use nncps_expr::SpecializeScratch;
+
+    let mut group = c.benchmark_group("substrate/specialize");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    let clamped = clamped_lie_derivative(50);
+    let tape = Tape::compile(&clamped);
+    // A region away from the clamp switching surfaces: most neurons are
+    // saturated, so their choices are decided and the view shrinks hard.
+    let region = IntervalBox::from_bounds(&[(3.0, 3.5), (1.0, 1.25)]);
+    let mut scratch = SpecializeScratch::default();
+    let view = tape.specialize(&region, &mut scratch);
+    assert!(
+        view.len() < tape.num_slots(),
+        "saturated clamps must shorten the tape ({} of {} slots left)",
+        view.len(),
+        tape.num_slots()
+    );
+
+    // Cost of one specialization pass (forward values precomputed, the
+    // output view pooled — exactly the solver's steady-state shape).
+    group.bench_function("derive_view", |b| {
+        let mut slots = Vec::new();
+        tape.eval_interval_into(&region, &mut slots);
+        let keep = vec![true; tape.num_roots()];
+        let mut out = nncps_expr::TapeView::default();
+        b.iter(|| {
+            black_box(tape.specialize_from_slots(&slots, &keep, &mut scratch, &mut out));
+            black_box(out.len())
+        });
+    });
+
+    group.bench_function("eval_box/full", |b| {
+        let mut slots = Vec::new();
+        b.iter(|| {
+            tape.eval_interval_into(&region, &mut slots);
+            black_box(slots[tape.root_slot(0)])
+        });
+    });
+    group.bench_function("eval_box/specialized", |b| {
+        let mut slots = Vec::new();
+        let root = view.root_slot(0).expect("root kept");
+        b.iter(|| {
+            view.eval_interval_into(&tape, &region, &mut slots);
+            black_box(slots[root])
+        });
+    });
+
+    // The headline decrease query (width-50 tanh controller), solved with
+    // the evaluation-layer accelerations peeled apart: full tape only,
+    // + region specialization, + derivative-guided cuts (the default).
+    let query = Formula::atom(Constraint::ge(lie_derivative(50), -1e-6));
+    let compiled = CompiledFormula::compile(&query);
+    compiled.ensure_gradients();
+    let domain = IntervalBox::from_bounds(&[(-5.0, 5.0), (-1.6, 1.6)]);
+    let configs: [(&str, DeltaSolver); 3] = [
+        (
+            "decrease_query_50/full",
+            DeltaSolver::new(1e-4)
+                .with_tape_specialization(false)
+                .with_newton_cuts(false),
+        ),
+        (
+            "decrease_query_50/specialized",
+            DeltaSolver::new(1e-4).with_newton_cuts(false),
+        ),
+        (
+            "decrease_query_50/specialized_newton",
+            DeltaSolver::new(1e-4),
+        ),
+    ];
+    for (name, solver) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| solver.solve_compiled(&compiled, &domain));
+        });
+    }
+
+    // The same ablation on the clamped controller, where specialization has
+    // choices to decide on every descent.
+    let clamped_query = Formula::atom(Constraint::ge(clamped_lie_derivative(50), 0.05));
+    let clamped_compiled = CompiledFormula::compile(&clamped_query);
+    clamped_compiled.ensure_gradients();
+    for (name, solver) in [
+        (
+            "clamped_query_50/full",
+            DeltaSolver::new(1e-4)
+                .with_tape_specialization(false)
+                .with_newton_cuts(false),
+        ),
+        (
+            "clamped_query_50/specialized",
+            DeltaSolver::new(1e-4).with_newton_cuts(false),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| solver.solve_compiled(&clamped_compiled, &domain));
+        });
+    }
+    group.finish();
+}
+
 fn nn_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate/nn");
     for width in [10usize, 100, 1000] {
@@ -220,6 +350,6 @@ fn sim_bench(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(8));
-    targets = lp_bench, deltasat_bench, tape_vs_tree_bench, nn_bench, sim_bench
+    targets = lp_bench, deltasat_bench, tape_vs_tree_bench, specialize_bench, nn_bench, sim_bench
 }
 criterion_main!(benches);

@@ -2,14 +2,16 @@
 //!
 //! Reads the JSON-lines file the criterion shim writes when `CRITERION_JSON`
 //! is set, looks the same benchmark up in a checked-in baseline record
-//! (`BENCH_pr2.json`), and fails when the current median per-iteration time
-//! regresses beyond the tolerance.
+//! (`BENCH_pr4.json`; older `BENCH_pr2.json`-layout records still parse),
+//! and fails when the current median per-iteration time regresses beyond
+//! the tolerance.  `ci.sh` runs it twice: once for the default headline and
+//! once with `--bench substrate/specialize/decrease_query_50/specialized_newton`.
 //!
 //! ```text
 //! CRITERION_JSON=target/bench_current.jsonl \
 //!     cargo bench --bench substrate_micro -- substrate/deltasat/decrease_query/50
 //! cargo run --release -p nncps_bench --bin bench-compare -- \
-//!     target/bench_current.jsonl BENCH_pr2.json
+//!     target/bench_current.jsonl BENCH_pr4.json
 //! ```
 //!
 //! Defaults: benchmark `substrate/deltasat/decrease_query/50` (the
@@ -125,17 +127,29 @@ fn read_current_median(path: &str, bench: &str) -> Result<f64, String> {
     })
 }
 
-/// Looks `bench` up in a checked-in baseline record (`BENCH_pr2.json`
-/// layout): the `seed_comparison` array is scanned for an entry whose
-/// `bench` matches, and its `pr2_median_s` is the baseline.
+/// Looks `bench` up in a checked-in baseline record.  The `results` array
+/// (every `BENCH_*.json` since PR 4) is scanned for an entry whose `bench`
+/// matches and its `median_s` is the baseline; records that predate that
+/// layout (`BENCH_pr2.json`) fall back to the `seed_comparison` array's
+/// `pr2_median_s` column.
 fn read_baseline_median(path: &str, bench: &str) -> Result<f64, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
     let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(entries) = json.get("results").and_then(Json::as_array) {
+        for entry in entries {
+            if entry.get("bench").and_then(Json::as_str) == Some(bench) {
+                return entry
+                    .get("median_s")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("{path}: entry for `{bench}` has no median_s"));
+            }
+        }
+    }
     let entries = json
         .get("seed_comparison")
         .and_then(Json::as_array)
-        .ok_or_else(|| format!("{path} has no seed_comparison array"))?;
+        .ok_or_else(|| format!("{path} has neither a results nor a seed_comparison array"))?;
     for entry in entries {
         if entry.get("bench").and_then(Json::as_str) == Some(bench) {
             return entry

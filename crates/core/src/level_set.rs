@@ -134,6 +134,9 @@ impl LevelSetSelector {
             // before solving, like every other query the pipeline issues.
             let (q6, x0_domain) = queries.initial_containment_query(generator, level);
             let q6 = CompiledFormula::compile(&q6);
+            // Gradient bundles (for the solver's derivative-guided cuts) of
+            // the quadratic W are tiny; build them with the tape.
+            q6.ensure_gradients();
             let (q6_result, q6_stats) = solver.solve_compiled_with_stats(&q6, &x0_domain);
             stats.merge(&q6_stats);
             if !q6_result.is_unsat() {
@@ -153,6 +156,7 @@ impl LevelSetSelector {
                 );
             };
             let q7 = CompiledFormula::compile(&q7);
+            q7.ensure_gradients();
             let (q7_result, q7_stats) = solver.solve_compiled_with_stats(&q7, &unsafe_domain);
             stats.merge(&q7_stats);
             if !q7_result.is_unsat() {

@@ -91,7 +91,10 @@ impl<'a> QueryBuilder<'a> {
     /// pre-activation across the chain-rule terms; compiling the query up
     /// front deduplicates them once, outside the pipeline's timed SMT
     /// section, and each clause of the decrease query shares one evaluation
-    /// tape.
+    /// tape.  The gradient bundles that power the solver's derivative-guided
+    /// cuts (symbolic differentiation of every clause constraint, lowered
+    /// through the same CSE compiler) are built here too, so the timed
+    /// branch-and-prune section starts with everything lowered.
     ///
     /// # Examples
     ///
@@ -118,7 +121,9 @@ impl<'a> QueryBuilder<'a> {
         generator: &GeneratorFunction,
     ) -> (CompiledFormula, IntervalBox) {
         let (formula, domain) = self.decrease_query(generator);
-        (CompiledFormula::compile(&formula), domain)
+        let compiled = CompiledFormula::compile(&formula);
+        compiled.ensure_gradients();
+        (compiled, domain)
     }
 
     /// Query (6): the negated initial-set containment `∃x ∈ X0 : W(x) > ℓ`,

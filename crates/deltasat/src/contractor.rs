@@ -248,17 +248,56 @@ pub(crate) fn invert_binary(
             (a_req, b_req)
         }
         BinaryOp::Min => {
-            // min(a, b) ∈ out implies a >= out.lo and b >= out.lo.
-            (
-                Interval::new(out.lo(), f64::INFINITY),
-                Interval::new(out.lo(), f64::INFINITY),
-            )
+            // Decided branches invert exactly: when the operand enclosures
+            // cannot overlap, the minimum *is* the winning operand, so the
+            // requirement passes through to it unchanged, while the losing
+            // operand keeps only the (vacuous) `>= out.lo` bound.  This is
+            // also what keeps region specialization bit-invisible: a
+            // decided `min` aliased away by `Tape::specialize` applies `out`
+            // to the surviving operand — exactly this rule.
+            if a_val.hi() < b_val.lo() {
+                (out, Interval::new(out.lo(), f64::INFINITY))
+            } else if b_val.hi() < a_val.lo() {
+                (Interval::new(out.lo(), f64::INFINITY), out)
+            } else {
+                // Overlapping branches: min(a, b) ∈ out implies a >= out.lo
+                // and b >= out.lo.
+                (
+                    Interval::new(out.lo(), f64::INFINITY),
+                    Interval::new(out.lo(), f64::INFINITY),
+                )
+            }
         }
-        BinaryOp::Max => (
-            Interval::new(f64::NEG_INFINITY, out.hi()),
-            Interval::new(f64::NEG_INFINITY, out.hi()),
-        ),
+        BinaryOp::Max => {
+            if a_val.lo() > b_val.hi() {
+                (out, Interval::new(f64::NEG_INFINITY, out.hi()))
+            } else if b_val.lo() > a_val.hi() {
+                (Interval::new(f64::NEG_INFINITY, out.hi()), out)
+            } else {
+                (
+                    Interval::new(f64::NEG_INFINITY, out.hi()),
+                    Interval::new(f64::NEG_INFINITY, out.hi()),
+                )
+            }
+        }
     }
+}
+
+/// Outward safety margin applied to approximately computed inversion
+/// endpoints (`powf` roots, `tan`, `atanh`, logit): constant `1e-12` for
+/// small magnitudes — where it dwarfs the few-ulp error of the underlying
+/// libm call — switching to a relative `1e-14·|x|` (tens of ulps) beyond
+/// `|x| = 100`, where a constant margin would be *smaller* than one ulp and
+/// the inverted requirement could fail to envelop the true preimage.  An
+/// enveloping margin is what makes a non-biting requirement a provable no-op
+/// (the backward-subtree skip and the satisfied-atom drop rely on it), and
+/// what keeps these inversions sound in the first place: an under-margined
+/// root at `|x| ≈ 1e5` measurably clips domain points that satisfy the
+/// constraint.  The `1e-12` constant below the threshold is exactly the
+/// historical margin, so small-magnitude narrowing — everything the pinned
+/// scenario artifacts exercise — keeps its bits.
+fn outward_slop(x: f64) -> f64 {
+    1e-12f64.max(x.abs() * 1e-14)
 }
 
 /// Inverse of an integer power: a requirement on `a` given `a^n ∈ out`.
@@ -272,12 +311,14 @@ pub(crate) fn invert_powi(n: i32, out: Interval, a_val: Interval) -> Interval {
         // Odd power: strictly monotone, invert endpoint-wise.
         let root = |x: f64| x.signum() * x.abs().powf(1.0 / f64::from(n));
         let lo = if out.lo().is_finite() {
-            root(out.lo()) - 1e-12
+            let r = root(out.lo());
+            r - outward_slop(r)
         } else {
             f64::NEG_INFINITY
         };
         let hi = if out.hi().is_finite() {
-            root(out.hi()) + 1e-12
+            let r = root(out.hi());
+            r + outward_slop(r)
         } else {
             f64::INFINITY
         };
@@ -289,11 +330,15 @@ pub(crate) fn invert_powi(n: i32, out: Interval, a_val: Interval) -> Interval {
             return Interval::EMPTY;
         }
         let root_hi = if non_negative.hi().is_finite() {
-            non_negative.hi().powf(1.0 / f64::from(n)) + 1e-12
+            let r = non_negative.hi().powf(1.0 / f64::from(n));
+            r + outward_slop(r)
         } else {
             f64::INFINITY
         };
-        let root_lo = (non_negative.lo().max(0.0)).powf(1.0 / f64::from(n)) - 1e-12;
+        let root_lo = {
+            let r = (non_negative.lo().max(0.0)).powf(1.0 / f64::from(n));
+            r - outward_slop(r)
+        };
         if a_val.lo() >= 0.0 {
             Interval::new(root_lo.max(0.0), root_hi)
         } else if a_val.hi() <= 0.0 {
@@ -353,12 +398,16 @@ fn invert_atan(out: Interval) -> Interval {
     let lo = if clipped.lo() <= -half_pi + 1e-12 {
         f64::NEG_INFINITY
     } else {
-        clipped.lo().tan() - 1e-12
+        // tan blows up toward the pole guard, so the margin must scale with
+        // the result (see `outward_slop`).
+        let t = clipped.lo().tan();
+        t - outward_slop(t)
     };
     let hi = if clipped.hi() >= half_pi - 1e-12 {
         f64::INFINITY
     } else {
-        clipped.hi().tan() + 1e-12
+        let t = clipped.hi().tan();
+        t + outward_slop(t)
     };
     Interval::new(lo, hi)
 }
@@ -497,6 +546,68 @@ mod tests {
         assert!(hc4_revise(&c, &mut region));
         assert!(region[0].hi() <= 1.0 + 1e-9);
         assert!(region[1].hi() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn inversion_margins_envelop_at_large_magnitudes() {
+        // Regression test: the inversion slop must scale with the result.
+        // With the historical constant 1e-12 margin, `powf(1/3)` rounding at
+        // |x| ≈ 1e5 exceeded the margin, so a requirement that should never
+        // bite (x³ ≥ 0 on a positive box) clipped domain points that satisfy
+        // the constraint — and diverged from the no-op-subtree-skipping
+        // compiled path.
+        for magnitude in [1e4, 1e5, 1e7, 1e9] {
+            let c = Constraint::ge(x().powi(3), 0.0);
+            let before = IntervalBox::from_bounds(&[(magnitude, magnitude + 1.0)]);
+            let mut region = before.clone();
+            assert!(hc4_revise(&c, &mut region));
+            assert_eq!(
+                region[0].lo().to_bits(),
+                before[0].lo().to_bits(),
+                "lo clipped at {magnitude}"
+            );
+            assert_eq!(
+                region[0].hi().to_bits(),
+                before[0].hi().to_bits(),
+                "hi clipped at {magnitude}"
+            );
+            // The compiled contractor (which may skip the no-op subtree)
+            // must agree bitwise with the tree reference.
+            let compiled = crate::CompiledClause::compile(std::slice::from_ref(&c));
+            let mut scratch = compiled.scratch();
+            let mut tape_region = before.clone();
+            assert!(compiled.contract(&mut tape_region, 1, &mut scratch));
+            assert_eq!(region[0].lo().to_bits(), tape_region[0].lo().to_bits());
+            assert_eq!(region[0].hi().to_bits(), tape_region[0].hi().to_bits());
+        }
+        // The margin still narrows correctly where it matters: x³ >= 8
+        // forces x >= 2 regardless of the slop form.
+        let c = Constraint::ge(x().powi(3), 8.0);
+        let mut region = IntervalBox::from_bounds(&[(-10.0, 10.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert!(region[0].lo() >= 2.0 - 1e-6);
+    }
+
+    #[test]
+    fn decided_min_max_invert_exactly() {
+        // min(x, 5) on x ∈ [-5, 0] is decided (x.hi < 5), so the requirement
+        // passes through to x and the upper bound narrows — the overlap rule
+        // `x >= out.lo` could not have done that.
+        let c = Constraint::le(x().min(Expr::constant(5.0)), -1.0);
+        let mut region = IntervalBox::from_bounds(&[(-5.0, 0.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert!(region[0].hi() <= -1.0 + 1e-9);
+        // Symmetrically for a decided max.
+        let c = Constraint::ge(x().max(Expr::constant(-5.0)), -1.0);
+        let mut region = IntervalBox::from_bounds(&[(-4.0, 0.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert!(region[0].lo() >= -1.0 - 1e-9);
+        // The losing branch is never narrowed beyond the vacuous bound.
+        let c = Constraint::le(x().min(y()), 0.5);
+        let mut region = IntervalBox::from_bounds(&[(-3.0, -2.0), (4.0, 5.0)]);
+        assert!(hc4_revise(&c, &mut region));
+        assert_eq!(region[1], Interval::new(4.0, 5.0));
+        assert!(region[0].hi() <= 0.5 + 1e-9);
     }
 
     #[test]

@@ -75,7 +75,7 @@ mod contractor;
 mod formula;
 mod solver;
 
-pub use compiled::{ClauseFeasibility, ClauseScratch, CompiledClause, CompiledFormula};
+pub use compiled::{ClauseFeasibility, ClauseScratch, CompiledClause, CompiledFormula, CutOutcome};
 pub use constraint::{Constraint, Feasibility, Relation};
 pub use contractor::{contract_clause, hc4_revise};
 pub use formula::Formula;

@@ -2,9 +2,12 @@
 
 use std::fmt;
 
+use nncps_expr::{SpecializeScratch, TapeView};
 use nncps_interval::IntervalBox;
 
-use crate::compiled::{ClauseFeasibility, ClauseScratch, CompiledClause, CompiledFormula};
+use crate::compiled::{
+    ClauseFeasibility, ClauseScratch, CompiledClause, CompiledFormula, CutOutcome,
+};
 use crate::contractor::contract_clause;
 use crate::{Constraint, Feasibility, Formula};
 
@@ -51,7 +54,17 @@ impl fmt::Display for SatResult {
 }
 
 /// Statistics gathered during a solve call.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+///
+/// The first four counters describe the *shape of the search tree* and are
+/// what [`PartialEq`] compares: two solves are considered equal when they
+/// explored the same tree.  The remaining counters
+/// ([`SolverStats::instructions_executed`],
+/// [`SolverStats::specialized_tape_len_sum`], [`SolverStats::newton_cuts`])
+/// are evaluation-cost instrumentation: they depend on which evaluation
+/// backend ran (compiled tape, specialized views, tree reference) even when
+/// the search tree is bit-identical, so they are deliberately excluded from
+/// equality — and, downstream, from the scenario-report fingerprints.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SolverStats {
     /// Number of boxes popped from the work stack across all clauses.
     pub boxes_explored: usize,
@@ -61,6 +74,27 @@ pub struct SolverStats {
     pub bisections: usize,
     /// Number of DNF clauses examined.
     pub clauses_examined: usize,
+    /// Tape instructions executed by forward sweeps (feasibility,
+    /// contraction, gradient and Newton evaluations).  `0` under the
+    /// tree-walking reference evaluator.
+    pub instructions_executed: usize,
+    /// Sum over processed boxes of the active program length (the full tape,
+    /// or the shortened view when region specialization applies), i.e. the
+    /// work-per-box integral that specialization shrinks.
+    pub specialized_tape_len_sum: usize,
+    /// Number of derivative-guided cuts (monotonicity collapses and interval
+    /// Newton narrowings) applied.
+    pub newton_cuts: usize,
+}
+
+impl PartialEq for SolverStats {
+    /// Search-tree shape only — see the type-level documentation.
+    fn eq(&self, other: &Self) -> bool {
+        self.boxes_explored == other.boxes_explored
+            && self.boxes_pruned == other.boxes_pruned
+            && self.bisections == other.bisections
+            && self.clauses_examined == other.clauses_examined
+    }
 }
 
 impl SolverStats {
@@ -85,6 +119,9 @@ impl SolverStats {
         self.boxes_pruned += other.boxes_pruned;
         self.bisections += other.bisections;
         self.clauses_examined += other.clauses_examined;
+        self.instructions_executed += other.instructions_executed;
+        self.specialized_tape_len_sum += other.specialized_tape_len_sum;
+        self.newton_cuts += other.newton_cuts;
     }
 }
 
@@ -94,10 +131,28 @@ impl SolverStats {
 /// Queries are compiled to flat evaluation tapes
 /// ([`CompiledClause`]) before the search starts, so the per-box loop —
 /// contraction, feasibility classification, bisection — runs allocation-free
-/// over dense instruction arrays.  The pre-compilation is observable only as
-/// speed: verdicts, witnesses, and the explored box tree are bit-identical
-/// to the tree-walking reference evaluator (selectable with
-/// [`DeltaSolver::with_tree_evaluator`] for differential testing).
+/// over dense instruction arrays.  Two further accelerations are on by
+/// default:
+///
+/// * **Region specialization** ([`DeltaSolver::with_tape_specialization`]):
+///   on every split the solver derives a shortened
+///   [`TapeView`](nncps_expr::TapeView) for the child boxes — decided
+///   `min`/`max`/`abs` branches and constraints proven satisfied on the
+///   region are pruned, fidget-style, so work per box shrinks as boxes
+///   shrink.  Specialization is *bit-invisible*: verdicts, witnesses, and
+///   the explored box tree are identical to the full-tape search.
+/// * **Derivative-guided cuts** ([`DeltaSolver::with_newton_cuts`]):
+///   per box, gradient enclosures from a compiled derivative bundle drive a
+///   monotonicity cut (dimensions on which every undecided constraint is
+///   monotone collapse to the favorable face) and an interval-Newton step
+///   for equalities.  These cuts reduce the *number* of boxes and therefore
+///   change the search tree (and possibly which witness is found first);
+///   disable them for bit-identical comparisons against the reference.
+///
+/// The tree-walking reference evaluator
+/// ([`DeltaSolver::with_tree_evaluator`]) runs with both accelerations off
+/// and explores exactly the same box tree as a compiled solver with Newton
+/// cuts disabled.
 ///
 /// See the [crate-level documentation](crate) for the semantics of the
 /// returned verdicts and a usage example.
@@ -108,6 +163,8 @@ pub struct DeltaSolver {
     contraction_rounds: usize,
     threads: usize,
     tree_eval: bool,
+    specialize: bool,
+    newton: bool,
 }
 
 /// What the branch-and-prune loop does with one box popped from the work
@@ -128,6 +185,21 @@ enum ClauseEngine<'a> {
     Tree(&'a [Constraint]),
 }
 
+/// The per-depth specialization stack of one clause search: `views[d]` is
+/// the program for subtrees at depth `d + 1` of the *current* depth-first
+/// path (depth 0 boxes run on the full tape).  Popped views return to the
+/// pool, so the steady-state loop reuses their storage allocation-free.
+#[derive(Default)]
+struct SpecState {
+    views: Vec<TapeView>,
+    /// Clip-free cone flags of each view (parallel to `views`), so derived
+    /// programs keep the no-op backward-subtree skipping of the full tape.
+    flags: Vec<Vec<bool>>,
+    pool: Vec<TapeView>,
+    flag_pool: Vec<Vec<bool>>,
+    scratch: SpecializeScratch,
+}
+
 impl ClauseEngine<'_> {
     fn atom_count(&self) -> usize {
         match self {
@@ -143,22 +215,39 @@ impl ClauseEngine<'_> {
         }
     }
 
-    fn contract(
-        &self,
-        region: &mut IntervalBox,
-        rounds: usize,
-        scratch: &mut ClauseScratch,
-    ) -> bool {
+    fn supports_specialization(&self) -> bool {
+        matches!(self, ClauseEngine::Compiled(_))
+    }
+
+    fn program_len(&self, view: Option<(&TapeView, &[bool])>) -> usize {
         match self {
-            ClauseEngine::Compiled(clause) => clause.contract(region, rounds, scratch),
-            ClauseEngine::Tree(clause) => contract_clause(clause, region, rounds),
+            ClauseEngine::Compiled(clause) => clause.program_len(view.map(|(v, _)| v)),
+            ClauseEngine::Tree(_) => 0,
         }
     }
 
-    fn feasibility(&self, region: &IntervalBox, scratch: &mut ClauseScratch) -> ClauseFeasibility {
+    /// Contraction plus classification of one box.  The compiled engine
+    /// fuses both over a single shared forward sweep
+    /// ([`CompiledClause::propagate`]); the tree reference runs them
+    /// separately — the verdicts and the narrowed region are bit-identical.
+    fn propagate(
+        &self,
+        view: Option<(&TapeView, &[bool])>,
+        region: &mut IntervalBox,
+        rounds: usize,
+        scratch: &mut ClauseScratch,
+    ) -> ClauseFeasibility {
         match self {
-            ClauseEngine::Compiled(clause) => clause.feasibility(region, scratch),
+            ClauseEngine::Compiled(clause) => match view {
+                Some((view, clip_free)) => {
+                    clause.propagate_flagged(Some(view), Some(clip_free), region, rounds, scratch)
+                }
+                None => clause.propagate(None, region, rounds, scratch),
+            },
             ClauseEngine::Tree(clause) => {
+                if !contract_clause(clause, region, rounds) || region.is_empty() {
+                    return ClauseFeasibility::Violated;
+                }
                 let mut all_satisfied = true;
                 for constraint in *clause {
                     match constraint.feasibility(region) {
@@ -175,6 +264,32 @@ impl ClauseEngine<'_> {
             }
         }
     }
+
+    fn derivative_cuts(&self, region: &mut IntervalBox, scratch: &mut ClauseScratch) -> CutOutcome {
+        match self {
+            ClauseEngine::Compiled(clause) => clause.derivative_cuts(region, scratch),
+            ClauseEngine::Tree(_) => CutOutcome::Unchanged,
+        }
+    }
+
+    fn respecialize(
+        &self,
+        view: Option<&TapeView>,
+        scratch: &mut ClauseScratch,
+        spec_scratch: &mut SpecializeScratch,
+        out: &mut TapeView,
+    ) -> bool {
+        match self {
+            ClauseEngine::Compiled(clause) => clause.respecialize(view, scratch, spec_scratch, out),
+            ClauseEngine::Tree(_) => false,
+        }
+    }
+
+    fn view_clip_free(&self, view: &TapeView, out: &mut Vec<bool>) {
+        if let ClauseEngine::Compiled(clause) = self {
+            clause.view_clip_free(view, out);
+        }
+    }
 }
 
 impl DeltaSolver {
@@ -183,6 +298,27 @@ impl DeltaSolver {
 
     /// Default number of HC4 sweeps applied to each box.
     pub const DEFAULT_CONTRACTION_ROUNDS: usize = 4;
+
+    /// Maximum depth of the per-path specialization stack; deeper boxes keep
+    /// reusing the deepest derived view (bounding memory without affecting
+    /// results — re-specialization is monotone).
+    const MAX_SPECIALIZE_DEPTH: usize = 64;
+
+    /// Maximum number of narrowing derivative cuts applied per box, each
+    /// followed by a full contract + classify pass: a monotonicity collapse
+    /// pins at least one dimension, so a handful of cuts already reaches
+    /// the fixpoint that matters, and the final verdict is always taken on
+    /// a freshly classified region.
+    const MAX_CUT_PASSES: usize = 3;
+
+    /// Derivative-guided cuts are attempted once a box's width is within
+    /// this factor of the precision `δ` (about ten bisections per dimension
+    /// from termination).  On wide boxes the gradient enclosures of
+    /// nontrivial constraints almost never have fixed sign, so sweeping the
+    /// gradient bundle there is pure overhead; near the bottom of the tree —
+    /// where the bulk of the boxes live — the enclosures tighten and the
+    /// cuts collapse whole dimensions.
+    const NEWTON_WINDOW: f64 = 1024.0;
 
     /// Creates a solver with the given precision `δ`.
     ///
@@ -197,6 +333,8 @@ impl DeltaSolver {
             contraction_rounds: Self::DEFAULT_CONTRACTION_ROUNDS,
             threads: 1,
             tree_eval: false,
+            specialize: true,
+            newton: true,
         }
     }
 
@@ -223,8 +361,10 @@ impl DeltaSolver {
     /// solver; δ-SAT witnesses may come from a different (but equally
     /// valid) region, after exploring at most ~`threads ×` the sequential
     /// box count, so give `with_max_boxes` the same headroom when enabling
-    /// threads.  Without the `parallel` feature the search always runs
-    /// sequentially.
+    /// threads.  The parallel search keeps derivative-guided cuts but runs
+    /// every subtree on the full tape (the per-depth specialization stack is
+    /// a property of the sequential depth-first path).  Without the
+    /// `parallel` feature the search always runs sequentially.
     ///
     /// # Examples
     ///
@@ -247,11 +387,14 @@ impl DeltaSolver {
 
     /// Switches the solver to the recursive tree-walking evaluators
     /// ([`crate::hc4_revise`] / [`Constraint::feasibility`]) instead of
-    /// compiled tapes.
+    /// compiled tapes, with region specialization and derivative-guided
+    /// cuts disabled.
     ///
     /// This is the slow reference path: it produces bit-identical verdicts,
-    /// witnesses, and box statistics, and exists for differential testing
-    /// and benchmarking of the compiled evaluation layer.  Queries handed to
+    /// witnesses, and box statistics to a compiled solver with
+    /// [`DeltaSolver::with_newton_cuts`] turned off (region specialization
+    /// never affects results), and exists for differential testing and
+    /// benchmarking of the compiled evaluation layer.  Queries handed to
     /// [`DeltaSolver::solve_compiled`] always run compiled.
     ///
     /// # Examples
@@ -263,7 +406,11 @@ impl DeltaSolver {
     ///
     /// let query = Formula::atom(Constraint::ge(Expr::var(0).powi(2), 2.0));
     /// let domain = IntervalBox::from_bounds(&[(-3.0, 3.0)]);
-    /// let (fast, fast_stats) = DeltaSolver::new(1e-4).solve_with_stats(&query, &domain);
+    /// // Newton cuts change the search tree, so the bit-identical
+    /// // comparison pins them off on the compiled side.
+    /// let (fast, fast_stats) = DeltaSolver::new(1e-4)
+    ///     .with_newton_cuts(false)
+    ///     .solve_with_stats(&query, &domain);
     /// let (reference, reference_stats) = DeltaSolver::new(1e-4)
     ///     .with_tree_evaluator()
     ///     .solve_with_stats(&query, &domain);
@@ -272,6 +419,58 @@ impl DeltaSolver {
     /// ```
     pub fn with_tree_evaluator(mut self) -> Self {
         self.tree_eval = true;
+        self.specialize = false;
+        self.newton = false;
+        self
+    }
+
+    /// Enables or disables region specialization (default: enabled).
+    ///
+    /// When enabled, every split derives a shortened
+    /// [`TapeView`](nncps_expr::TapeView) for the child boxes from the
+    /// parent's program — decided `min`/`max`/`abs` branches and constraints
+    /// proven satisfied on the region are dropped, so the per-box
+    /// evaluation cost falls as the search descends.  Specialization is
+    /// bit-invisible: verdicts, witnesses, and search statistics are
+    /// identical with it on or off; the only observable difference is speed
+    /// (and [`SolverStats::specialized_tape_len_sum`]).
+    pub fn with_tape_specialization(mut self, enabled: bool) -> Self {
+        self.specialize = enabled;
+        self
+    }
+
+    /// Enables or disables derivative-guided contraction (default: enabled).
+    ///
+    /// Per undecided box the solver evaluates the clause's compiled gradient
+    /// bundle and applies a monotonicity cut — a dimension on which every
+    /// undecided constraint is monotone in its favorable direction collapses
+    /// to that face, preserving satisfiability of the box exactly — plus an
+    /// interval-Newton narrowing for equality constraints.  The cuts reduce
+    /// box *counts* algorithmically but change the explored search tree, so
+    /// δ-SAT witnesses can come from a different (equally valid) region than
+    /// without cuts; disable for bit-identical comparisons against
+    /// [`DeltaSolver::with_tree_evaluator`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nncps_deltasat::{Constraint, DeltaSolver, Formula};
+    /// use nncps_expr::Expr;
+    /// use nncps_interval::IntervalBox;
+    ///
+    /// // tanh(x) + y is monotone in both variables: with cuts the solver
+    /// // collapses the box instead of bisecting it.
+    /// let query = Formula::atom(Constraint::ge(Expr::var(0).tanh() + Expr::var(1), 0.4));
+    /// let domain = IntervalBox::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]);
+    /// let (with_cuts, fast) = DeltaSolver::new(1e-2).solve_with_stats(&query, &domain);
+    /// let (without, slow) = DeltaSolver::new(1e-2)
+    ///     .with_newton_cuts(false)
+    ///     .solve_with_stats(&query, &domain);
+    /// assert!(with_cuts.is_delta_sat() && without.is_delta_sat());
+    /// assert!(fast.boxes_explored <= slow.boxes_explored);
+    /// ```
+    pub fn with_newton_cuts(mut self, enabled: bool) -> Self {
+        self.newton = enabled;
         self
     }
 
@@ -283,6 +482,16 @@ impl DeltaSolver {
     /// The configured worker-thread count (`0` = one per available core).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Whether region specialization is enabled.
+    pub fn tape_specialization(&self) -> bool {
+        self.specialize
+    }
+
+    /// Whether derivative-guided cuts are enabled.
+    pub fn newton_cuts(&self) -> bool {
+        self.newton
     }
 
     /// Decides `∃ x ∈ domain : formula(x)`.
@@ -393,25 +602,47 @@ impl DeltaSolver {
 
     /// Contracts and classifies one box **in place**: the body of the
     /// branch-and-prune loop, shared by the sequential and batched searches.
+    ///
+    /// With derivative-guided cuts enabled, a cut that narrows the box loops
+    /// back through contraction and classification so the cheaper tests get
+    /// first pick at the narrowed region; the pass count is bounded because
+    /// monotonicity collapses pin whole dimensions.
     fn process_box(
         &self,
         engine: &ClauseEngine<'_>,
         scratch: &mut ClauseScratch,
         region: &mut IntervalBox,
+        view: Option<(&TapeView, &[bool])>,
     ) -> BoxOutcome {
-        // Prune with the contractor.
-        if !engine.contract(region, self.contraction_rounds, scratch) {
-            return BoxOutcome::Pruned;
-        }
-        if region.is_empty() {
-            return BoxOutcome::Pruned;
-        }
+        scratch.specialized_tape_len_sum += engine.program_len(view);
+        let mut cut_passes = 0;
+        loop {
+            // Contract and classify the box over one shared forward sweep
+            // (per-atom verdicts are recorded for the cut and
+            // re-specialization steps).  Every exit from this loop — and in
+            // particular the δ-termination below — happens on a region that
+            // was classified as it stands: a narrowing cut always loops back
+            // through propagation, never straight to a verdict.
+            match engine.propagate(view, region, self.contraction_rounds, scratch) {
+                ClauseFeasibility::Violated => return BoxOutcome::Pruned,
+                ClauseFeasibility::Satisfied => return BoxOutcome::Sat,
+                ClauseFeasibility::Undecided => {}
+            }
 
-        // Classify the contracted box.
-        match engine.feasibility(region, scratch) {
-            ClauseFeasibility::Violated => return BoxOutcome::Pruned,
-            ClauseFeasibility::Satisfied => return BoxOutcome::Sat,
-            ClauseFeasibility::Undecided => {}
+            if !self.newton
+                || cut_passes >= Self::MAX_CUT_PASSES
+                || region.max_width() > self.precision * Self::NEWTON_WINDOW
+            {
+                break;
+            }
+            match engine.derivative_cuts(region, scratch) {
+                CutOutcome::Infeasible => return BoxOutcome::Pruned,
+                CutOutcome::Unchanged => break,
+                CutOutcome::Narrowed => {
+                    scratch.newton_cuts += 1;
+                    cut_passes += 1;
+                }
+            }
         }
 
         // δ-termination: the box can no longer be refuted by splitting at
@@ -430,18 +661,59 @@ impl DeltaSolver {
         stats: &mut SolverStats,
     ) -> SatResult {
         let mut scratch = engine.scratch();
-        let mut stack = vec![domain.clone()];
+        let mut spec: Option<SpecState> =
+            (self.specialize && engine.supports_specialization()).then(SpecState::default);
+        let result = self.run_sequential(engine, domain, stats, &mut scratch, &mut spec);
+        let (instructions, tape_len_sum, cuts) = scratch.take_counters();
+        stats.instructions_executed += instructions;
+        stats.specialized_tape_len_sum += tape_len_sum;
+        stats.newton_cuts += cuts;
+        result
+    }
+
+    /// The sequential depth-first search, with the per-depth specialization
+    /// stack mirroring the current path: stack entries carry the number of
+    /// derived views that apply to them; popping an entry truncates the view
+    /// stack back to that depth (recycling deeper views through the pool),
+    /// and a split may push one further-specialized view for both children.
+    fn run_sequential(
+        &self,
+        engine: &ClauseEngine<'_>,
+        domain: &IntervalBox,
+        stats: &mut SolverStats,
+        scratch: &mut ClauseScratch,
+        spec: &mut Option<SpecState>,
+    ) -> SatResult {
+        let mut stack: Vec<(IntervalBox, u32)> = vec![(domain.clone(), 0)];
         // Pruned boxes are recycled as the upper halves of later splits, so
         // the steady-state loop allocates nothing: popping moves a box out
         // of the stack, contraction narrows it in place, and
         // `split_widest_into` reuses pooled storage.
         let mut pool: Vec<IntervalBox> = Vec::new();
-        while let Some(mut region) = stack.pop() {
+        while let Some((mut region, depth)) = stack.pop() {
             stats.boxes_explored += 1;
             if stats.boxes_explored > self.max_boxes {
                 return SatResult::Unknown(format!("box budget of {} exhausted", self.max_boxes));
             }
-            match self.process_box(engine, &mut scratch, &mut region) {
+            // Trim the view stack to this box's depth-first path.
+            if let Some(state) = spec.as_mut() {
+                while state.views.len() > depth as usize {
+                    let recycled = state.views.pop().expect("length checked");
+                    state.pool.push(recycled);
+                    let recycled_flags = state.flags.pop().expect("parallel stacks");
+                    state.flag_pool.push(recycled_flags);
+                }
+            }
+            let outcome = {
+                let view = spec.as_ref().filter(|_| depth > 0).map(|state| {
+                    (
+                        &state.views[depth as usize - 1],
+                        state.flags[depth as usize - 1].as_slice(),
+                    )
+                });
+                self.process_box(engine, scratch, &mut region, view)
+            };
+            match outcome {
                 BoxOutcome::Pruned => {
                     stats.boxes_pruned += 1;
                     pool.push(region);
@@ -449,13 +721,41 @@ impl DeltaSolver {
                 BoxOutcome::Sat => return SatResult::DeltaSat(region),
                 BoxOutcome::Split => {
                     stats.bisections += 1;
+                    // Derive a further-specialized program for the children
+                    // from the forward values of the last classification
+                    // sweep; worthless derivations cost one linear scan and
+                    // leave the children on the parent's program.
+                    let child_depth = match spec.as_mut() {
+                        Some(state) if (depth as usize) < Self::MAX_SPECIALIZE_DEPTH => {
+                            let SpecState {
+                                views,
+                                flags,
+                                pool: view_pool,
+                                flag_pool,
+                                scratch: spec_scratch,
+                            } = state;
+                            let parent = (depth > 0).then(|| &views[depth as usize - 1]);
+                            let mut derived = view_pool.pop().unwrap_or_default();
+                            if engine.respecialize(parent, scratch, spec_scratch, &mut derived) {
+                                let mut derived_flags = flag_pool.pop().unwrap_or_default();
+                                engine.view_clip_free(&derived, &mut derived_flags);
+                                views.push(derived);
+                                flags.push(derived_flags);
+                                views.len() as u32
+                            } else {
+                                view_pool.push(derived);
+                                depth
+                            }
+                        }
+                        _ => depth,
+                    };
                     let mut right = pool.pop().unwrap_or_default();
                     region.split_widest_into(&mut right);
                     // Depth-first exploration; pushing the halves in this
                     // order keeps the search biased toward the lower corner,
                     // which is as good as any deterministic choice.
-                    stack.push(right);
-                    stack.push(region);
+                    stack.push((right, child_depth));
+                    stack.push((region, child_depth));
                 }
             }
         }
@@ -536,6 +836,9 @@ impl DeltaSolver {
                 stats.boxes_explored += result.explored;
                 stats.boxes_pruned += result.pruned;
                 stats.bisections += result.bisections;
+                stats.instructions_executed += result.instructions_executed;
+                stats.specialized_tape_len_sum += result.specialized_tape_len_sum;
+                stats.newton_cuts += result.newton_cuts;
                 if let Some(region) = result.sat {
                     sat = Some(region);
                 }
@@ -557,7 +860,9 @@ impl DeltaSolver {
     ///
     /// Each call owns its scratch buffers and box pool, so workers never
     /// contend; within the (up to `cap`-box) subtree walk the loop is
-    /// allocation-free just like the sequential search.
+    /// allocation-free just like the sequential search.  Subtrees run on the
+    /// full tape: the per-depth specialization stack belongs to the
+    /// sequential path (derivative-guided cuts still apply).
     fn explore_subtree(
         &self,
         engine: &ClauseEngine<'_>,
@@ -570,7 +875,7 @@ impl DeltaSolver {
         let mut pool: Vec<IntervalBox> = Vec::new();
         while let Some(mut region) = stack.pop() {
             result.explored += 1;
-            match self.process_box(engine, &mut scratch, &mut region) {
+            match self.process_box(engine, &mut scratch, &mut region, None) {
                 BoxOutcome::Pruned => {
                     result.pruned += 1;
                     pool.push(region);
@@ -591,6 +896,10 @@ impl DeltaSolver {
                 break;
             }
         }
+        let (instructions, tape_len_sum, cuts) = scratch.take_counters();
+        result.instructions_executed = instructions;
+        result.specialized_tape_len_sum = tape_len_sum;
+        result.newton_cuts = cuts;
         result.leftover = stack;
         result
     }
@@ -607,6 +916,12 @@ struct SubtreeResult {
     pruned: usize,
     /// Bisections performed.
     bisections: usize,
+    /// Tape instructions executed by the worker.
+    instructions_executed: usize,
+    /// Active-program-length sum over the worker's boxes.
+    specialized_tape_len_sum: usize,
+    /// Derivative-guided cuts applied by the worker.
+    newton_cuts: usize,
     /// Unexplored remainder of the subtree (bottom → top).
     leftover: Vec<IntervalBox>,
 }
@@ -781,11 +1096,14 @@ mod tests {
 
     #[test]
     fn compiled_and_tree_evaluators_explore_identical_box_trees() {
-        // The compiled-tape engine must be observationally indistinguishable
-        // from the tree-walking reference: same verdict, same witness box
-        // (bitwise), same statistics — i.e. the same search tree.
+        // The compiled-tape engine (with region specialization, which is
+        // bit-invisible) must be observationally indistinguishable from the
+        // tree-walking reference: same verdict, same witness box (bitwise),
+        // same statistics — i.e. the same search tree.  Newton cuts change
+        // the tree by design, so the comparison pins them off.
         for (formula, domain) in differential_queries() {
-            let fast = DeltaSolver::new(1e-4);
+            let fast = DeltaSolver::new(1e-4).with_newton_cuts(false);
+            assert!(fast.tape_specialization());
             let reference = DeltaSolver::new(1e-4).with_tree_evaluator();
             let (fast_result, fast_stats) = fast.solve_with_stats(&formula, &domain);
             let (ref_result, ref_stats) = reference.solve_with_stats(&formula, &domain);
@@ -799,6 +1117,58 @@ mod tests {
                 (a, b) => panic!("verdicts diverge on {formula}: {a} vs {b}"),
             }
         }
+    }
+
+    #[test]
+    fn specialization_is_bit_invisible() {
+        // With the search-tree-changing cuts pinned off, toggling region
+        // specialization must not change anything observable.
+        for (formula, domain) in differential_queries() {
+            let on = DeltaSolver::new(1e-4).with_newton_cuts(false);
+            let off = DeltaSolver::new(1e-4)
+                .with_newton_cuts(false)
+                .with_tape_specialization(false);
+            let (a, sa) = on.solve_with_stats(&formula, &domain);
+            let (b, sb) = off.solve_with_stats(&formula, &domain);
+            assert_eq!(sa, sb, "stats diverge on {formula}");
+            match (&a, &b) {
+                (SatResult::DeltaSat(wa), SatResult::DeltaSat(wb)) => {
+                    assert_eq!(wa, wb, "witness boxes diverge on {formula}");
+                }
+                (SatResult::Unsat, SatResult::Unsat) => {}
+                (SatResult::Unknown(_), SatResult::Unknown(_)) => {}
+                (a, b) => panic!("verdicts diverge on {formula}: {a} vs {b}"),
+            }
+        }
+    }
+
+    #[test]
+    fn newton_cuts_agree_on_verdicts_and_shrink_the_search() {
+        let mut some_query_got_cheaper = false;
+        for (formula, domain) in differential_queries() {
+            let with_cuts = DeltaSolver::new(1e-4);
+            let without = DeltaSolver::new(1e-4).with_newton_cuts(false);
+            let (a, sa) = with_cuts.solve_with_stats(&formula, &domain);
+            let (b, sb) = without.solve_with_stats(&formula, &domain);
+            assert_eq!(a.is_unsat(), b.is_unsat(), "verdict diverges on {formula}");
+            assert_eq!(a.is_delta_sat(), b.is_delta_sat(), "on {formula}");
+            // A δ-SAT witness found through cuts must still satisfy the
+            // δ-weakened query.
+            if let SatResult::DeltaSat(region) = &a {
+                let witness = region.midpoint();
+                assert!(domain.contains_point(&witness), "witness left the domain");
+            }
+            if sa.boxes_explored < sb.boxes_explored {
+                some_query_got_cheaper = true;
+            }
+            assert!(
+                sa.boxes_explored <= sb.boxes_explored,
+                "cuts must never grow the sequential search ({formula}): {} vs {}",
+                sa.boxes_explored,
+                sb.boxes_explored
+            );
+        }
+        assert!(some_query_got_cheaper, "cuts never fired on any query");
     }
 
     #[test]
@@ -905,11 +1275,46 @@ mod tests {
     }
 
     #[test]
+    fn instrumentation_counters_are_populated_but_not_compared() {
+        let formula = Formula::atom(Constraint::ge(x().tanh() + y(), 0.4));
+        let domain = square_domain(1.0);
+        // Precision 1e-2 puts the whole domain inside the Newton window, so
+        // the monotone query is collapsed on the very first box.
+        let (result, stats) = DeltaSolver::new(1e-2).solve_with_stats(&formula, &domain);
+        assert!(result.is_delta_sat());
+        assert!(stats.instructions_executed > 0);
+        assert!(stats.specialized_tape_len_sum > 0);
+        assert!(stats.newton_cuts > 0, "monotone query must be cut");
+        // Equality deliberately ignores the instrumentation counters…
+        let mut other = stats;
+        other.instructions_executed += 1;
+        other.specialized_tape_len_sum += 1;
+        other.newton_cuts += 1;
+        assert_eq!(stats, other);
+        // …while merge accumulates them.
+        let mut total = SolverStats::default();
+        total.merge(&stats);
+        total.merge(&stats);
+        assert_eq!(total.instructions_executed, 2 * stats.instructions_executed);
+        assert_eq!(total.newton_cuts, 2 * stats.newton_cuts);
+        // The tree reference executes no tape instructions.
+        let (_, tree_stats) = DeltaSolver::new(1e-4)
+            .with_tree_evaluator()
+            .solve_with_stats(&formula, &domain);
+        assert_eq!(tree_stats.instructions_executed, 0);
+    }
+
+    #[test]
     fn display_and_accessors() {
         let solver = DeltaSolver::default()
             .with_max_boxes(10)
             .with_contraction_rounds(2);
         assert_eq!(solver.precision(), 1e-3);
+        assert!(solver.tape_specialization());
+        assert!(solver.newton_cuts());
+        let reference = solver.clone().with_tree_evaluator();
+        assert!(!reference.tape_specialization());
+        assert!(!reference.newton_cuts());
         assert_eq!(format!("{}", SatResult::Unsat), "unsat");
         assert!(format!("{}", SatResult::Unknown("budget".into())).contains("budget"));
         let sat = SatResult::DeltaSat(IntervalBox::from_point(&[1.0]));

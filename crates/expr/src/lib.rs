@@ -44,10 +44,12 @@ mod eval;
 mod expr;
 mod ops;
 mod simplify;
+pub mod specialize;
 mod tape;
 mod vars;
 
 pub use expr::{Expr, ExprView};
 pub use ops::{BinaryOp, UnaryOp};
+pub use specialize::{SpecializeScratch, TapeView};
 pub use tape::{Tape, TapeInstr};
 pub use vars::VarSet;

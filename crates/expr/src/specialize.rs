@@ -1,0 +1,756 @@
+//! Region specialization: shortening a compiled [`Tape`] for a sub-region.
+//!
+//! The δ-SAT branch-and-prune search evaluates the same tape thousands of
+//! times over a shrinking tree of boxes.  Deep in that tree most of the
+//! program is already decided: a `min`/`max` whose branches no longer
+//! overlap always selects the same operand, a sign-decided `abs` is a plain
+//! copy or negation, and the losing branch's whole dependency cone is dead
+//! weight.  A [`TapeView`] is a shortened, renumbered view of a tape that
+//! drops exactly those instructions for one region — the fidget-style
+//! "shorten on descent" idea — so work per box shrinks as boxes shrink.
+//!
+//! # Bit-identity
+//!
+//! Specialization is *bit-invisible*: for every point of the region and for
+//! every sub-box of the region, evaluating a [`TapeView`] produces exactly
+//! the same bits as evaluating the full tape (for the roots the view keeps).
+//! Only rewrites with that property are performed:
+//!
+//! * `min(a, b)` where the recorded enclosures satisfy `a.hi < b.lo` is an
+//!   alias of `a`: on any sub-box the operand enclosures can only shrink, so
+//!   the comparison stays strict and both the interval result
+//!   (`[min(lo), min(hi)] = a`) and the scalar result (`pa < pb`) are
+//!   bitwise `a`.  Symmetrically for `max`.
+//! * `abs(a)` with `a.lo > 0` is an alias of `a`; with `a.hi < 0` it is
+//!   rewritten to `neg(a)` ([`Interval::abs`] returns exactly `-a` there,
+//!   and IEEE `abs`/negation agree bit-for-bit on negative values).
+//! * Instructions reachable only from dropped roots are removed.
+//!
+//! A `min`/`max` is only aliased when the *chosen* operand provably cannot
+//! evaluate to NaN at a point of the region (a cheap conservative taint
+//! analysis over the recorded enclosures): IEEE `min`/`max` swallow a NaN
+//! operand, so aliasing a NaN-able branch would change scalar results.
+//!
+//! Saturated monotone activations (`tanh`, `sigmoid`) are *not* folded to
+//! constants: their interval enclosure keeps an outward-rounded width (for
+//! example `[1 − ulp, 1]`) whose exact bits on a sub-box depend on the
+//! underlying libm, so folding them could not guarantee bit-identity.  Their
+//! cost is one instruction; the pay-off of specialization is in the dead
+//! cones of decided choices and decided constraint atoms.
+//!
+//! # Examples
+//!
+//! ```
+//! use nncps_expr::{Expr, SpecializeScratch, Tape};
+//! use nncps_interval::IntervalBox;
+//!
+//! let x = Expr::var(0);
+//! // max(x², −x²) and the dead branch's extra work.
+//! let f = x.clone().powi(2).max(-(x.clone().powi(2))) + x.clone().sin();
+//! let tape = Tape::compile(&f);
+//!
+//! // On [1, 2] the two branches cannot overlap: x² ∈ [1, 4], −x² ∈ [−4, −1].
+//! let region = IntervalBox::from_bounds(&[(1.0, 2.0)]);
+//! let mut scratch = SpecializeScratch::default();
+//! let view = tape.specialize(&region, &mut scratch);
+//! assert!(view.len() < tape.num_slots());
+//!
+//! // Bit-identical on any sub-box and point of the region.
+//! let sub = IntervalBox::from_bounds(&[(1.25, 1.5)]);
+//! let mut full = Vec::new();
+//! let mut short = Vec::new();
+//! tape.eval_interval_into(&sub, &mut full);
+//! view.eval_interval_into(&tape, &sub, &mut short);
+//! let root = view.root_slot(0).unwrap();
+//! assert_eq!(short[root].lo().to_bits(), full[tape.root_slot(0)].lo().to_bits());
+//! assert_eq!(short[root].hi().to_bits(), full[tape.root_slot(0)].hi().to_bits());
+//! ```
+
+use nncps_interval::{Interval, IntervalBox};
+
+use crate::tape::OpCode;
+use crate::{BinaryOp, Tape, TapeInstr, UnaryOp};
+
+/// Sentinel for a dropped root in [`TapeView::roots`].
+const DROPPED: u32 = u32::MAX;
+
+/// What specialization does with one source instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    /// Emit the instruction unchanged (operands renumbered).
+    Keep,
+    /// The instruction always equals its left operand; emit nothing.
+    AliasLhs,
+    /// The instruction always equals its right operand; emit nothing.
+    AliasRhs,
+    /// A sign-decided `abs` of a negative operand: emit `neg` instead.
+    RewriteNeg,
+}
+
+/// Reusable buffers for [`Tape::specialize`] / [`TapeView::respecialize_into`].
+///
+/// Create one per worker and pass it to every call; the buffers grow to a
+/// high-water mark on first use and are reused allocation-free afterwards.
+#[derive(Debug, Default, Clone)]
+pub struct SpecializeScratch {
+    /// Forward interval values (used by [`Tape::specialize`] only).
+    slots: Vec<Interval>,
+    /// Per-slot "scalar evaluation may be NaN" flag.
+    taint: Vec<bool>,
+    /// Per-slot rewrite decision.
+    action: Vec<Action>,
+    /// Per-slot liveness under the kept roots.
+    live: Vec<bool>,
+    /// Source slot → view slot renumbering.
+    slot_map: Vec<u32>,
+}
+
+/// A shortened, renumbered view of a [`Tape`], specialized to a region.
+///
+/// A view borrows nothing: it stores its own instruction columns (constants
+/// keep indexing the parent tape's pools), so views can be pooled and reused
+/// by the solver without lifetime entanglement.  All evaluation entry points
+/// take the parent tape explicitly.
+///
+/// Views can be re-specialized from views ([`TapeView::respecialize_into`]),
+/// so a descent can keep shortening: the cost of each specialization is
+/// proportional to the *current* view length, not the full tape.
+#[derive(Debug, Default, Clone)]
+pub struct TapeView {
+    ops: Vec<OpCode>,
+    lhs: Vec<u32>,
+    rhs: Vec<u32>,
+    /// Per original root: slot in this view, or [`DROPPED`].
+    roots: Vec<u32>,
+}
+
+impl Tape {
+    /// Specializes the tape to `region`: performs one forward interval sweep
+    /// and prunes every instruction that is decided on the region (see the
+    /// [module documentation](crate::specialize) for the exact — and
+    /// bit-invisible — rewrite rules).  All roots are kept.
+    ///
+    /// The forward sweep is the same work [`Tape::eval_interval_into`] does,
+    /// so callers that already hold the forward slot values of a region
+    /// should prefer [`Tape::specialize_from_slots`] and pay nothing extra.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tape references a variable index out of bounds for the
+    /// box.
+    pub fn specialize(&self, region: &IntervalBox, scratch: &mut SpecializeScratch) -> TapeView {
+        let mut slots = std::mem::take(&mut scratch.slots);
+        self.eval_interval_into(region, &mut slots);
+        let mut out = TapeView::default();
+        let keep = vec![true; self.num_roots()];
+        self.specialize_from_slots(&slots, &keep, scratch, &mut out);
+        scratch.slots = slots;
+        out
+    }
+
+    /// Specializes the tape given the forward interval values `slots` of a
+    /// region (as produced by [`Tape::eval_interval_into`]), keeping only the
+    /// roots with `keep_root[k] == true`, writing the shortened view into
+    /// `out` (cleared and refilled; no allocation once warm).
+    ///
+    /// Returns `true` when the view is strictly shorter than the source (an
+    /// instruction was pruned or a root dropped), `false` when specialization
+    /// found nothing to do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots.len() < self.num_slots()` or
+    /// `keep_root.len() != self.num_roots()`.
+    pub fn specialize_from_slots(
+        &self,
+        slots: &[Interval],
+        keep_root: &[bool],
+        scratch: &mut SpecializeScratch,
+        out: &mut TapeView,
+    ) -> bool {
+        specialize_program(
+            self,
+            &self.ops,
+            &self.lhs,
+            &self.rhs,
+            &self.roots,
+            slots,
+            keep_root,
+            scratch,
+            out,
+        )
+    }
+}
+
+impl TapeView {
+    /// The identity view of a tape: every instruction, every root.
+    ///
+    /// This is the root of a specialization descent; derive shorter views
+    /// from it with [`TapeView::respecialize_into`].
+    pub fn full(tape: &Tape) -> TapeView {
+        TapeView {
+            ops: tape.ops.clone(),
+            lhs: tape.lhs.clone(),
+            rhs: tape.rhs.clone(),
+            roots: tape.roots.clone(),
+        }
+    }
+
+    /// Number of instructions in the view.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the view contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of root entries (equal to the parent tape's
+    /// [`Tape::num_roots`]; dropped roots keep their index).
+    pub fn num_roots(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// The view slot holding root `k`, or `None` when that root was dropped
+    /// by specialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.num_roots()`.
+    pub fn root_slot(&self, k: usize) -> Option<usize> {
+        let slot = self.roots[k];
+        (slot != DROPPED).then_some(slot as usize)
+    }
+
+    /// Returns a view of instruction `slot`, resolving constants through the
+    /// parent tape's pools.
+    ///
+    /// Instructions stay topologically ordered, so — exactly as for
+    /// [`Tape::instr`] — iterating `0..len()` is a valid forward schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.len()` or `tape` is not the view's parent.
+    pub fn instr(&self, tape: &Tape, slot: usize) -> TapeInstr {
+        let lhs = self.lhs[slot] as usize;
+        match self.ops[slot] {
+            OpCode::Const => TapeInstr::Const(tape.const_scalars[lhs], tape.const_intervals[lhs]),
+            OpCode::Var => TapeInstr::Var(lhs),
+            OpCode::Unary(op) => TapeInstr::Unary(op, lhs),
+            OpCode::Binary(op) => TapeInstr::Binary(op, lhs, self.rhs[slot] as usize),
+            OpCode::Powi => TapeInstr::Powi(lhs, self.rhs[slot] as i32),
+        }
+    }
+
+    /// Evaluates every view slot over an interval box, reusing `slots` as
+    /// the register file (cleared and refilled; no allocation once warm).
+    ///
+    /// Bit-identical to evaluating the parent tape on any sub-box of the
+    /// region the view was specialized to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view references a variable index out of bounds for the
+    /// box or `tape` is not the view's parent.
+    pub fn eval_interval_into(&self, tape: &Tape, region: &IntervalBox, slots: &mut Vec<Interval>) {
+        self.eval_interval_prefix_into(tape, region, slots, self.ops.len());
+    }
+
+    /// Evaluates only the first `count` view slots over an interval box.
+    ///
+    /// As with [`Tape::eval_interval_prefix_into`], topological order means
+    /// the prefix `0..=root` contains everything a root depends on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > self.len()`, the evaluated prefix references an
+    /// out-of-bounds variable, or `tape` is not the view's parent.
+    pub fn eval_interval_prefix_into(
+        &self,
+        tape: &Tape,
+        region: &IntervalBox,
+        slots: &mut Vec<Interval>,
+        count: usize,
+    ) {
+        slots.clear();
+        self.eval_interval_extend_into(tape, region, slots, count);
+    }
+
+    /// Extends a partial forward evaluation of the view (the incremental
+    /// form of [`TapeView::eval_interval_prefix_into`]; see
+    /// [`Tape::eval_interval_extend_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > self.len()`, the evaluated range references an
+    /// out-of-bounds variable, or `tape` is not the view's parent.
+    pub fn eval_interval_extend_into(
+        &self,
+        tape: &Tape,
+        region: &IntervalBox,
+        slots: &mut Vec<Interval>,
+        count: usize,
+    ) {
+        assert!(count <= self.ops.len(), "prefix exceeds view length");
+        slots.reserve(count.saturating_sub(slots.len()));
+        for i in slots.len()..count {
+            let lhs = self.lhs[i] as usize;
+            let v = match self.ops[i] {
+                OpCode::Const => tape.const_intervals[lhs],
+                OpCode::Var => region[lhs],
+                OpCode::Unary(op) => op.apply_interval(slots[lhs]),
+                OpCode::Binary(op) => op.apply_interval(slots[lhs], slots[self.rhs[i] as usize]),
+                OpCode::Powi => slots[lhs].powi(self.rhs[i] as i32),
+            };
+            slots.push(v);
+        }
+    }
+
+    /// Evaluates every view slot at a point, reusing `slots` as the register
+    /// file.
+    ///
+    /// Bit-identical to evaluating the parent tape at any point of the
+    /// region the view was specialized to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view references a variable index out of bounds for
+    /// `values` or `tape` is not the view's parent.
+    pub fn eval_scalar_into(&self, tape: &Tape, values: &[f64], slots: &mut Vec<f64>) {
+        slots.clear();
+        slots.reserve(self.ops.len());
+        for i in 0..self.ops.len() {
+            let lhs = self.lhs[i] as usize;
+            let v = match self.ops[i] {
+                OpCode::Const => tape.const_scalars[lhs],
+                OpCode::Var => values[lhs],
+                OpCode::Unary(op) => op.apply(slots[lhs]),
+                OpCode::Binary(op) => op.apply(slots[lhs], slots[self.rhs[i] as usize]),
+                OpCode::Powi => slots[lhs].powi(self.rhs[i] as i32),
+            };
+            slots.push(v);
+        }
+    }
+
+    /// Specializes this view further, given the forward interval values
+    /// `slots` of this view on a sub-region (as produced by
+    /// [`TapeView::eval_interval_into`]), keeping only the roots with
+    /// `keep_root[k] == true` (roots already dropped stay dropped), writing
+    /// into `out`.
+    ///
+    /// Returns `true` when `out` is strictly shorter than `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots.len() < self.len()`,
+    /// `keep_root.len() != self.num_roots()`, or `tape` is not the view's
+    /// parent.
+    pub fn respecialize_into(
+        &self,
+        tape: &Tape,
+        slots: &[Interval],
+        keep_root: &[bool],
+        scratch: &mut SpecializeScratch,
+        out: &mut TapeView,
+    ) -> bool {
+        specialize_program(
+            tape,
+            &self.ops,
+            &self.lhs,
+            &self.rhs,
+            &self.roots,
+            slots,
+            keep_root,
+            scratch,
+            out,
+        )
+    }
+}
+
+/// The shared shortening pass over one program (a tape or a view of it).
+///
+/// Three linear sweeps over the source program: decide (taint + rewrite
+/// actions from the recorded enclosures), mark (liveness backward from the
+/// kept roots, following alias decisions so dead branches stay dead), emit
+/// (renumber forward).
+#[allow(clippy::too_many_arguments)]
+fn specialize_program(
+    tape: &Tape,
+    ops: &[OpCode],
+    lhs: &[u32],
+    rhs: &[u32],
+    roots: &[u32],
+    slots: &[Interval],
+    keep_root: &[bool],
+    scratch: &mut SpecializeScratch,
+    out: &mut TapeView,
+) -> bool {
+    let n = ops.len();
+    assert!(slots.len() >= n, "forward slot values missing");
+    assert_eq!(keep_root.len(), roots.len(), "root mask length mismatch");
+
+    // --- decide ---------------------------------------------------------
+    scratch.taint.clear();
+    scratch.taint.resize(n, false);
+    scratch.action.clear();
+    scratch.action.resize(n, Action::Keep);
+    for i in 0..n {
+        let a = lhs[i] as usize;
+        let b = rhs[i] as usize;
+        let (taint, action) = match ops[i] {
+            // A folded constant can carry a scalar its enclosure does not
+            // contain (IEEE min/max swallow the NaN of a nowhere-defined
+            // operand at fold time, interval semantics keeps EMPTY); every
+            // such scalar/interval-divergent constant poisons downstream
+            // decisions exactly like a runtime NaN.
+            OpCode::Const => (
+                tape.const_scalars[a].is_nan()
+                    || !tape.const_intervals[a].contains(tape.const_scalars[a]),
+                Action::Keep,
+            ),
+            OpCode::Var => (false, Action::Keep),
+            OpCode::Unary(op) => {
+                let ta = scratch.taint[a];
+                let va = slots[a];
+                let taint = ta
+                    || match op {
+                        // NaN only for an infinite operand point.
+                        UnaryOp::Sin | UnaryOp::Cos | UnaryOp::Tan => !va.is_bounded(),
+                        // NaN for a negative operand point.
+                        UnaryOp::Ln => va.lo() < 0.0,
+                        UnaryOp::Sqrt => va.lo() < 0.0,
+                        // NaN-transparent.
+                        UnaryOp::Neg
+                        | UnaryOp::Exp
+                        | UnaryOp::Abs
+                        | UnaryOp::Tanh
+                        | UnaryOp::Sigmoid
+                        | UnaryOp::Atan => false,
+                    };
+                // A NaN-able operand blocks the abs rewrites too: IEEE `abs`
+                // clears the sign bit of a NaN where a plain copy (or
+                // negation) would not.
+                let action = if op == UnaryOp::Abs && !va.is_empty() && !ta {
+                    if va.lo() > 0.0 {
+                        Action::AliasLhs
+                    } else if va.hi() < 0.0 {
+                        Action::RewriteNeg
+                    } else {
+                        Action::Keep
+                    }
+                } else {
+                    Action::Keep
+                };
+                (taint, action)
+            }
+            OpCode::Binary(op) => {
+                let (ta, tb) = (scratch.taint[a], scratch.taint[b]);
+                let (va, vb) = (slots[a], slots[b]);
+                let taint = ta
+                    || tb
+                    || match op {
+                        // +inf + -inf (and the subtraction analogue).
+                        BinaryOp::Add | BinaryOp::Sub => !va.is_bounded() && !vb.is_bounded(),
+                        // 0 · ±inf.
+                        BinaryOp::Mul => {
+                            (va.contains(0.0) && !vb.is_bounded())
+                                || (vb.contains(0.0) && !va.is_bounded())
+                        }
+                        // 0 / 0 or ±inf / ±inf.
+                        BinaryOp::Div => vb.contains(0.0) || (!va.is_bounded() && !vb.is_bounded()),
+                        // IEEE min/max swallow single-NaN operands.
+                        BinaryOp::Min | BinaryOp::Max => false,
+                    };
+                let action = match op {
+                    // Strict separation keeps scalar comparisons strict on
+                    // every sub-box, so the winning operand's bits survive
+                    // IEEE min/max ties.  Both branches must be untainted:
+                    // the chosen one must not produce a NaN the full program
+                    // would swallow, and the dead one must not contain a
+                    // partial function (`sqrt`/`ln` over a sign-straddling
+                    // operand) whose HC4 inversion clips variable domains —
+                    // skipping that cone in a backward pass would change the
+                    // contraction.
+                    BinaryOp::Min if va.hi() < vb.lo() && !ta && !tb => Action::AliasLhs,
+                    BinaryOp::Min if vb.hi() < va.lo() && !ta && !tb => Action::AliasRhs,
+                    BinaryOp::Max if va.lo() > vb.hi() && !ta && !tb => Action::AliasLhs,
+                    BinaryOp::Max if vb.lo() > va.hi() && !ta && !tb => Action::AliasRhs,
+                    _ => Action::Keep,
+                };
+                (taint, action)
+            }
+            OpCode::Powi => (scratch.taint[a], Action::Keep),
+        };
+        scratch.taint[i] = taint;
+        scratch.action[i] = action;
+    }
+
+    // --- mark -----------------------------------------------------------
+    // A caller-requested root drop is vetoed when the root's cone is
+    // tainted: dropping it would also skip the partial-function domain
+    // clips (`sqrt`/`ln`) its HC4 backward pass performs, changing the
+    // contraction.  The veto keeps specialization bit-invisible; the root
+    // merely stays evaluated.
+    scratch.live.clear();
+    scratch.live.resize(n, false);
+    for (k, &root) in roots.iter().enumerate() {
+        if root != DROPPED && (keep_root[k] || scratch.taint[root as usize]) {
+            scratch.live[root as usize] = true;
+        }
+    }
+    for i in (0..n).rev() {
+        if !scratch.live[i] {
+            continue;
+        }
+        match scratch.action[i] {
+            Action::AliasLhs => scratch.live[lhs[i] as usize] = true,
+            Action::AliasRhs => scratch.live[rhs[i] as usize] = true,
+            Action::RewriteNeg => scratch.live[lhs[i] as usize] = true,
+            Action::Keep => match ops[i] {
+                OpCode::Const | OpCode::Var => {}
+                OpCode::Unary(_) | OpCode::Powi => scratch.live[lhs[i] as usize] = true,
+                OpCode::Binary(_) => {
+                    scratch.live[lhs[i] as usize] = true;
+                    scratch.live[rhs[i] as usize] = true;
+                }
+            },
+        }
+    }
+
+    // --- emit -----------------------------------------------------------
+    scratch.slot_map.clear();
+    scratch.slot_map.resize(n, DROPPED);
+    out.ops.clear();
+    out.lhs.clear();
+    out.rhs.clear();
+    out.roots.clear();
+    for i in 0..n {
+        if !scratch.live[i] {
+            continue;
+        }
+        match scratch.action[i] {
+            Action::AliasLhs => scratch.slot_map[i] = scratch.slot_map[lhs[i] as usize],
+            Action::AliasRhs => scratch.slot_map[i] = scratch.slot_map[rhs[i] as usize],
+            Action::RewriteNeg => {
+                scratch.slot_map[i] = out.ops.len() as u32;
+                out.ops.push(OpCode::Unary(UnaryOp::Neg));
+                out.lhs.push(scratch.slot_map[lhs[i] as usize]);
+                out.rhs.push(0);
+            }
+            Action::Keep => {
+                scratch.slot_map[i] = out.ops.len() as u32;
+                let (new_lhs, new_rhs) = match ops[i] {
+                    // Constant-pool and variable indices pass through.
+                    OpCode::Const | OpCode::Var => (lhs[i], rhs[i]),
+                    OpCode::Unary(_) | OpCode::Powi => (scratch.slot_map[lhs[i] as usize], rhs[i]),
+                    OpCode::Binary(_) => (
+                        scratch.slot_map[lhs[i] as usize],
+                        scratch.slot_map[rhs[i] as usize],
+                    ),
+                };
+                out.ops.push(ops[i]);
+                out.lhs.push(new_lhs);
+                out.rhs.push(new_rhs);
+            }
+        }
+    }
+    for (k, &root) in roots.iter().enumerate() {
+        if root == DROPPED || !(keep_root[k] || scratch.taint[root as usize]) {
+            out.roots.push(DROPPED);
+        } else {
+            out.roots.push(scratch.slot_map[root as usize]);
+        }
+    }
+    out.ops.len() < n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Expr;
+
+    fn x() -> Expr {
+        Expr::var(0)
+    }
+
+    fn y() -> Expr {
+        Expr::var(1)
+    }
+
+    fn assert_view_matches(
+        tape: &Tape,
+        view: &TapeView,
+        region: &IntervalBox,
+        points: &[Vec<f64>],
+    ) {
+        let mut full_i = Vec::new();
+        let mut view_i = Vec::new();
+        tape.eval_interval_into(region, &mut full_i);
+        view.eval_interval_into(tape, region, &mut view_i);
+        for k in 0..tape.num_roots() {
+            let Some(root) = view.root_slot(k) else {
+                continue;
+            };
+            let a = view_i[root];
+            let b = full_i[tape.root_slot(k)];
+            assert_eq!(
+                a.lo().to_bits(),
+                b.lo().to_bits(),
+                "root {k} lo on {region}"
+            );
+            assert_eq!(
+                a.hi().to_bits(),
+                b.hi().to_bits(),
+                "root {k} hi on {region}"
+            );
+        }
+        let mut full_s = Vec::new();
+        let mut view_s = Vec::new();
+        for p in points {
+            tape.eval_scalar_into(p, &mut full_s);
+            view.eval_scalar_into(tape, p, &mut view_s);
+            for k in 0..tape.num_roots() {
+                let Some(root) = view.root_slot(k) else {
+                    continue;
+                };
+                assert_eq!(
+                    view_s[root].to_bits(),
+                    full_s[tape.root_slot(k)].to_bits(),
+                    "root {k} at {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decided_min_drops_the_losing_cone() {
+        // On [2, 3]: x² ∈ [4, 9] and sin(y) − 5 ≤ −4, so the min always
+        // takes the right branch and the x² cone dies.
+        let f = (x().powi(2)).min(y().sin() - 5.0);
+        let tape = Tape::compile(&f);
+        let region = IntervalBox::from_bounds(&[(2.0, 3.0), (-1.0, 1.0)]);
+        let mut scratch = SpecializeScratch::default();
+        let view = tape.specialize(&region, &mut scratch);
+        assert!(
+            view.len() < tape.num_slots(),
+            "{} vs {}",
+            view.len(),
+            tape.num_slots()
+        );
+        assert_view_matches(
+            &tape,
+            &view,
+            &IntervalBox::from_bounds(&[(2.25, 2.75), (0.0, 0.5)]),
+            &[vec![2.5, 0.25], vec![2.0, -1.0], vec![3.0, 1.0]],
+        );
+    }
+
+    #[test]
+    fn sign_decided_abs_aliases_or_negates() {
+        let f = (x().abs() + 1.0) * y().abs();
+        let tape = Tape::compile(&f);
+        let mut scratch = SpecializeScratch::default();
+        // x > 0, y < 0: |x| aliases to x, |y| rewrites to −y.
+        let region = IntervalBox::from_bounds(&[(0.5, 2.0), (-3.0, -0.25)]);
+        let view = tape.specialize(&region, &mut scratch);
+        assert!(view.len() < tape.num_slots());
+        assert_view_matches(
+            &tape,
+            &view,
+            &IntervalBox::from_bounds(&[(1.0, 1.5), (-2.0, -1.0)]),
+            &[vec![1.2, -1.5], vec![0.5, -0.25]],
+        );
+        // Straddling zero: nothing is decided.
+        let wide = IntervalBox::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]);
+        let view = tape.specialize(&wide, &mut scratch);
+        assert_eq!(view.len(), tape.num_slots());
+    }
+
+    #[test]
+    fn dropped_roots_remove_their_exclusive_cone() {
+        let shared = (x() * 0.5).tanh();
+        let a = shared.clone() + y().exp();
+        let b = shared.clone() * 2.0;
+        let tape = Tape::compile_many(&[a, b]);
+        let region = IntervalBox::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]);
+        let mut slots = Vec::new();
+        tape.eval_interval_into(&region, &mut slots);
+        let mut scratch = SpecializeScratch::default();
+        let mut view = TapeView::default();
+        // Dropping root 0 kills the exp(y) cone but keeps the shared tanh.
+        let shortened = tape.specialize_from_slots(&slots, &[false, true], &mut scratch, &mut view);
+        assert!(shortened);
+        assert!(view.root_slot(0).is_none());
+        assert!(view.root_slot(1).is_some());
+        assert!(view.len() < tape.num_slots());
+        assert_view_matches(&tape, &view, &region, &[vec![0.3, -0.4]]);
+    }
+
+    #[test]
+    fn respecialization_keeps_shortening_on_descent() {
+        // min(x, y) over a region where it is undecided, then decided on the
+        // child region: the second specialization must shorten further.
+        let f = x().min(y()) + (x() + y()).tanh();
+        let tape = Tape::compile(&f);
+        let parent_region = IntervalBox::from_bounds(&[(-1.0, 1.0), (0.0, 2.0)]);
+        let mut scratch = SpecializeScratch::default();
+        let parent = tape.specialize(&parent_region, &mut scratch);
+        assert_eq!(parent.len(), tape.num_slots(), "undecided on the parent");
+
+        let child_region = IntervalBox::from_bounds(&[(-1.0, -0.5), (0.0, 2.0)]);
+        let mut slots = Vec::new();
+        parent.eval_interval_into(&tape, &child_region, &mut slots);
+        let mut child = TapeView::default();
+        let shortened = parent.respecialize_into(&tape, &slots, &[true], &mut scratch, &mut child);
+        assert!(shortened, "x < y is decided on the child");
+        assert!(child.len() < parent.len());
+        assert_view_matches(
+            &tape,
+            &child,
+            &IntervalBox::from_bounds(&[(-0.9, -0.6), (0.5, 1.0)]),
+            &[vec![-0.75, 0.8], vec![-1.0, 0.0]],
+        );
+    }
+
+    #[test]
+    fn nan_able_branches_are_not_aliased() {
+        // sqrt(x) over a partially negative region can be NaN at points even
+        // though its enclosure [0, 1] beats the other branch; IEEE min would
+        // swallow that NaN, so aliasing must be refused.
+        let f = x().sqrt().min(y() + 10.0);
+        let tape = Tape::compile(&f);
+        let region = IntervalBox::from_bounds(&[(-1.0, 1.0), (0.0, 1.0)]);
+        let mut scratch = SpecializeScratch::default();
+        let view = tape.specialize(&region, &mut scratch);
+        assert_eq!(view.len(), tape.num_slots(), "tainted branch must be kept");
+        // The scalar results at a NaN point agree because nothing changed.
+        let mut full = Vec::new();
+        let mut short = Vec::new();
+        tape.eval_scalar_into(&[-0.5, 0.0], &mut full);
+        view.eval_scalar_into(&tape, &[-0.5, 0.0], &mut short);
+        assert_eq!(
+            short[view.root_slot(0).unwrap()].to_bits(),
+            full[tape.root_slot(0)].to_bits()
+        );
+    }
+
+    #[test]
+    fn full_view_is_the_identity() {
+        let f = x().tanh() * y() + x().powi(3);
+        let tape = Tape::compile(&f);
+        let view = TapeView::full(&tape);
+        assert_eq!(view.len(), tape.num_slots());
+        assert_eq!(view.num_roots(), 1);
+        let region = IntervalBox::from_bounds(&[(-2.0, 2.0), (-2.0, 2.0)]);
+        assert_view_matches(&tape, &view, &region, &[vec![0.5, -1.5]]);
+        // Instruction views resolve through the parent tape.
+        for i in 0..view.len() {
+            match view.instr(&tape, i) {
+                TapeInstr::Binary(_, a, b) => assert!(a < i && b < i),
+                TapeInstr::Unary(_, a) | TapeInstr::Powi(a, _) => assert!(a < i),
+                TapeInstr::Const(..) | TapeInstr::Var(_) => {}
+            }
+        }
+    }
+}

@@ -60,7 +60,7 @@ use crate::{BinaryOp, Expr, UnaryOp};
 /// Operation tag of one tape instruction (the struct-of-arrays "opcode"
 /// column).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum OpCode {
+pub(crate) enum OpCode {
     /// Load a (possibly folded) constant; `lhs` indexes the constant pools.
     Const,
     /// Load variable `lhs`.
@@ -140,19 +140,19 @@ pub enum TapeInstr {
 #[derive(Debug, Clone)]
 pub struct Tape {
     /// Opcode column (struct-of-arrays with `lhs`/`rhs`).
-    ops: Vec<OpCode>,
+    pub(crate) ops: Vec<OpCode>,
     /// First operand column: slot index, variable index, or constant index.
-    lhs: Vec<u32>,
+    pub(crate) lhs: Vec<u32>,
     /// Second operand column: slot index or `powi` exponent bits.
-    rhs: Vec<u32>,
+    pub(crate) rhs: Vec<u32>,
     /// Scalar constant pool.
-    const_scalars: Vec<f64>,
+    pub(crate) const_scalars: Vec<f64>,
     /// Interval constant pool (same indexing as `const_scalars`).
-    const_intervals: Vec<Interval>,
+    pub(crate) const_intervals: Vec<Interval>,
     /// Root slots, one per compiled expression, in compilation order.
-    roots: Vec<u32>,
+    pub(crate) roots: Vec<u32>,
     /// `1 + max variable index`, or `0` when no variables occur.
-    num_vars: usize,
+    pub(crate) num_vars: usize,
 }
 
 /// Hash-consing state used during lowering.
@@ -475,11 +475,34 @@ impl Tape {
         slots: &mut Vec<Interval>,
         count: usize,
     ) {
+        slots.clear();
+        self.eval_interval_extend_into(region, slots, count);
+    }
+
+    /// Extends a partial forward evaluation: computes slots
+    /// `slots.len()..count`, assuming the already-present prefix was
+    /// produced by this tape on the *same* region.
+    ///
+    /// This is the incremental form of [`Tape::eval_interval_prefix_into`]
+    /// the δ-SAT contractor uses to grow one shared forward sweep across the
+    /// revises of a contraction pass instead of re-evaluating the common
+    /// prefix per constraint; the computed values are bit-identical to a
+    /// fresh prefix evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > self.num_slots()` or the evaluated range
+    /// references a variable index out of bounds for the box.
+    pub fn eval_interval_extend_into(
+        &self,
+        region: &IntervalBox,
+        slots: &mut Vec<Interval>,
+        count: usize,
+    ) {
         assert!(count <= self.ops.len(), "prefix exceeds tape length");
         self.check_box_inputs(region.dim());
-        slots.clear();
-        slots.reserve(count);
-        for i in 0..count {
+        slots.reserve(count.saturating_sub(slots.len()));
+        for i in slots.len()..count {
             let lhs = self.lhs[i] as usize;
             let v = match self.ops[i] {
                 OpCode::Const => self.const_intervals[lhs],

@@ -26,20 +26,32 @@ pub struct Interval {
     hi: f64,
 }
 
-/// Nudges a finite value down by one ulp (leaves infinities untouched).
+/// Rounds a computed *lower* endpoint outward: one ulp down for finite
+/// values, and — crucially — back to `f64::MAX` when the underlying
+/// computation overflowed to `+∞`.  The true value of an overflowed lower
+/// endpoint is a finite real above `MAX`, so `MAX` is the tightest sound
+/// bound; leaving `+∞` would claim the result exceeds every real, turning
+/// sound enclosures (for example `exp` of a large but finite range) into
+/// `[+∞, +∞]` and making the HC4 backward pass empty out satisfiable boxes.
 #[inline]
 fn down(x: f64) -> f64 {
-    if x.is_finite() {
+    if x == f64::INFINITY {
+        f64::MAX
+    } else if x.is_finite() {
         x.next_down()
     } else {
         x
     }
 }
 
-/// Nudges a finite value up by one ulp (leaves infinities untouched).
+/// Rounds a computed *upper* endpoint outward: one ulp up for finite
+/// values, and back to `f64::MIN` when the computation overflowed to `−∞`
+/// (mirror image of [`down`]).
 #[inline]
 fn up(x: f64) -> f64 {
-    if x.is_finite() {
+    if x == f64::NEG_INFINITY {
+        f64::MIN
+    } else if x.is_finite() {
         x.next_up()
     } else {
         x
@@ -638,6 +650,27 @@ mod tests {
         assert!(inv.contains(0.25) && inv.contains(0.5));
         let even = Interval::new(1.0, 2.0).powi(4);
         assert!(even.contains(1.0) && even.contains(16.0));
+    }
+
+    #[test]
+    fn overflowed_bounds_round_back_to_finite_values() {
+        // exp over a large but finite range overflows the f64 computation of
+        // *both* endpoints; the enclosure must keep a finite lower bound
+        // (the true values are finite reals above MAX), not collapse to the
+        // absurd [+∞, +∞].
+        let e = Interval::new(1000.0, 2000.0).exp();
+        assert_eq!(e.lo(), f64::MAX);
+        assert_eq!(e.hi(), f64::INFINITY);
+        // Same overflow through multiplication and addition.
+        let huge = Interval::new(1e300, 1e305);
+        let p = huge * huge;
+        assert_eq!(p.lo(), f64::MAX);
+        let s = Interval::new(f64::MAX, f64::MAX) + Interval::new(f64::MAX, f64::MAX);
+        assert_eq!(s.lo(), f64::MAX);
+        // The mirror image for upper bounds.
+        let n = Interval::new(-1e305, -1e300) * Interval::new(1e300, 1e305);
+        assert_eq!(n.hi(), f64::MIN);
+        assert_eq!(n.lo(), f64::NEG_INFINITY);
     }
 
     #[test]

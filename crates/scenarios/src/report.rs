@@ -63,6 +63,14 @@ pub struct RunStats {
     pub bisections: usize,
     /// Total DNF clauses examined.
     pub clauses_examined: usize,
+    /// Total tape instructions executed by solver forward sweeps.
+    pub instructions_executed: usize,
+    /// Σ of active (possibly region-specialized) program lengths over all
+    /// solver boxes — the work-per-box integral specialization shrinks.
+    pub specialized_tape_len_sum: usize,
+    /// Derivative-guided cuts (monotonicity collapses + interval-Newton
+    /// narrowings) applied by the solver.
+    pub newton_cuts: usize,
 }
 
 impl ScenarioResult {
@@ -282,6 +290,9 @@ impl RunStats {
             boxes_pruned: stats.solver.boxes_pruned,
             bisections: stats.solver.bisections,
             clauses_examined: stats.solver.clauses_examined,
+            instructions_executed: stats.solver.instructions_executed,
+            specialized_tape_len_sum: stats.solver.specialized_tape_len_sum,
+            newton_cuts: stats.solver.newton_cuts,
         }
     }
 
@@ -314,6 +325,15 @@ impl RunStats {
                 "clauses_examined".to_string(),
                 Json::from(self.clauses_examined),
             ),
+            (
+                "instructions_executed".to_string(),
+                Json::from(self.instructions_executed),
+            ),
+            (
+                "specialized_tape_len_sum".to_string(),
+                Json::from(self.specialized_tape_len_sum),
+            ),
+            ("newton_cuts".to_string(), Json::from(self.newton_cuts)),
         ])
     }
 
@@ -323,6 +343,14 @@ impl RunStats {
                 .and_then(Json::as_f64)
                 .map(|x| x as usize)
                 .ok_or_else(|| format!("stats is missing `{key}`"))
+        };
+        // The evaluation-cost counters were added in a later schema
+        // revision; older reports parse with zeroes.
+        let optional_count = |key: &str| {
+            json.get(key)
+                .and_then(Json::as_f64)
+                .map(|x| x as usize)
+                .unwrap_or(0)
         };
         Ok(RunStats {
             generator_iterations: count("generator_iterations")?,
@@ -334,6 +362,9 @@ impl RunStats {
             boxes_pruned: count("boxes_pruned")?,
             bisections: count("bisections")?,
             clauses_examined: count("clauses_examined")?,
+            instructions_executed: optional_count("instructions_executed"),
+            specialized_tape_len_sum: optional_count("specialized_tape_len_sum"),
+            newton_cuts: optional_count("newton_cuts"),
         })
     }
 }
@@ -574,6 +605,9 @@ mod tests {
                 boxes_pruned: 80,
                 bisections: 40,
                 clauses_examined: 9,
+                instructions_executed: 5400,
+                specialized_tape_len_sum: 3600,
+                newton_cuts: 12,
             },
             wall_time_s: 1.25,
             build_time_s: 0.03,

@@ -5,7 +5,11 @@
 //!
 //! "Identical" is strict: the same verdict, the same witness box bit for
 //! bit, and the same search statistics (boxes explored / pruned /
-//! bisections), i.e. both evaluators walk the same box tree.
+//! bisections), i.e. both evaluators walk the same box tree.  Region
+//! specialization stays enabled on the compiled side (it must be
+//! bit-invisible); the derivative-guided Newton/monotonicity cuts are pinned
+//! off for the bit-identity half (they change the search tree by design) and
+//! covered separately by verdict-equivalence assertions.
 
 use nncps_barrier::{ClosedLoopSystem, QuadraticTemplate, QueryBuilder, SafetySpec};
 use nncps_deltasat::{Constraint, DeltaSolver, Formula, SatResult};
@@ -23,8 +27,9 @@ fn paper_spec() -> SafetySpec {
 }
 
 fn assert_identical(what: &str, formula: &Formula, domain: &IntervalBox, solver: DeltaSolver) {
+    let fast = solver.clone().with_newton_cuts(false);
     let reference = solver.clone().with_tree_evaluator();
-    let (fast_result, fast_stats) = solver.solve_with_stats(formula, domain);
+    let (fast_result, fast_stats) = fast.solve_with_stats(formula, domain);
     let (ref_result, ref_stats) = reference.solve_with_stats(formula, domain);
     assert_eq!(fast_stats, ref_stats, "{what}: stats diverge");
     match (&fast_result, &ref_result) {
@@ -36,6 +41,32 @@ fn assert_identical(what: &str, formula: &Formula, domain: &IntervalBox, solver:
             assert_eq!(a, b, "{what}: unknown reasons diverge");
         }
         (a, b) => panic!("{what}: verdicts diverge: {a} vs {b}"),
+    }
+    // The derivative-guided default must reach the same verdict without
+    // growing the sequential search, and its witnesses must stay valid
+    // domain points.
+    let (cut_result, cut_stats) = solver.solve_with_stats(formula, domain);
+    assert_eq!(
+        cut_result.is_unsat(),
+        ref_result.is_unsat(),
+        "{what}: newton cuts flip unsat"
+    );
+    assert_eq!(
+        cut_result.is_delta_sat(),
+        ref_result.is_delta_sat(),
+        "{what}: newton cuts flip delta-sat"
+    );
+    assert!(
+        cut_stats.boxes_explored <= ref_stats.boxes_explored,
+        "{what}: newton cuts grew the search ({} vs {})",
+        cut_stats.boxes_explored,
+        ref_stats.boxes_explored
+    );
+    if let SatResult::DeltaSat(region) = &cut_result {
+        assert!(
+            domain.contains_box(region),
+            "{what}: newton witness escaped the domain"
+        );
     }
 }
 
