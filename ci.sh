@@ -48,6 +48,29 @@ else
     echo "==> scenario-regression: (skipped in quick mode)"
 fi
 
+# --- family-sweep regression -------------------------------------------------
+# Sweep the 24-member CI family (contraction rate x X0 x solver precision
+# over the rotation-contraction system) with warm-start caching.  The run
+# itself gates on the family's pinned verdict counts (12 certified / 12
+# inconclusive, declared in `builtin_families()` — nncps-batch exits nonzero
+# on count drift), and a second run must produce a byte-identical
+# deterministic report: warm-start reuse and scenario-level threading are
+# required to be bit-invisible.
+if [ "$quick" != "quick" ]; then
+    echo "==> family-sweep: nncps-batch --family linear-ci-grid (counts + determinism)"
+    sweep_a="$PWD/target/family_sweep_a.json"
+    sweep_b="$PWD/target/family_sweep_b.json"
+    cargo run --release --bin nncps-batch -- \
+        --family linear-ci-grid --quiet --threads 1 --out-deterministic "$sweep_a"
+    cargo run --release --bin nncps-batch -- \
+        --family linear-ci-grid --quiet --threads 2 --cold --out-deterministic "$sweep_b"
+    cmp "$sweep_a" "$sweep_b" \
+        || { echo "family sweep is not deterministic across runs/threads/warm-start"; exit 1; }
+    echo "    family sweep byte-identical across warm/cold and 1/2 threads"
+else
+    echo "==> family-sweep: (skipped in quick mode)"
+fi
+
 if [ "$quick" != "quick" ]; then
     echo "==> bench smoke: tape-vs-tree + specialization microbenches"
     cargo bench --bench substrate_micro -- substrate/tape_vs_tree
@@ -57,13 +80,13 @@ else
 fi
 
 # --- bench-regression -------------------------------------------------------
-# Re-measure the two headline solver benches — the default decrease query
-# (region specialization + derivative-guided cuts on) and the pre-compiled
-# specialized+newton path — and fail if either median regresses more than
-# 25% against the BENCH_pr4.json record (tolerance overridable via
-# NNCPS_BENCH_TOLERANCE_PCT for noisy hosts).
+# Re-measure the headline benches — the decrease query (region
+# specialization + derivative-guided cuts on), the pre-compiled
+# specialized+newton path, and the PR 5 warm-start family sweep — and fail
+# if any median regresses more than 25% against the BENCH_pr5.json record
+# (tolerance overridable via NNCPS_BENCH_TOLERANCE_PCT for noisy hosts).
 if [ "$quick" != "quick" ]; then
-    echo "==> bench-regression: decrease-query headlines vs BENCH_pr4.json"
+    echo "==> bench-regression: headline benches vs BENCH_pr5.json"
     # Absolute path: cargo runs bench binaries with the *package* directory
     # as cwd, so a relative CRITERION_JSON would land in crates/bench/.
     bench_json="$PWD/target/bench_current.jsonl"
@@ -72,11 +95,16 @@ if [ "$quick" != "quick" ]; then
         cargo bench --bench substrate_micro -- "substrate/deltasat/decrease_query/50"
     CRITERION_JSON="$bench_json" \
         cargo bench --bench substrate_micro -- "substrate/specialize/decrease_query_50"
+    CRITERION_JSON="$bench_json" \
+        cargo bench --bench substrate_micro -- "substrate/family_sweep"
     cargo run --release -p nncps_bench --bin bench-compare -- \
-        "$bench_json" BENCH_pr4.json
+        "$bench_json" BENCH_pr5.json
     cargo run --release -p nncps_bench --bin bench-compare -- \
         --bench "substrate/specialize/decrease_query_50/specialized_newton" \
-        "$bench_json" BENCH_pr4.json
+        "$bench_json" BENCH_pr5.json
+    cargo run --release -p nncps_bench --bin bench-compare -- \
+        --bench "substrate/family_sweep/warm_24" \
+        "$bench_json" BENCH_pr5.json
 else
     echo "==> bench-regression: (skipped in quick mode)"
 fi

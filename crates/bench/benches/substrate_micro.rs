@@ -347,9 +347,46 @@ fn sim_bench(c: &mut Criterion) {
     group.finish();
 }
 
+fn family_sweep_bench(c: &mut Criterion) {
+    use nncps_scenarios::{builtin_families, run_sweep, Family, SweepOptions};
+
+    // The CI family: 24 generated members over contraction rate × X0 ×
+    // solver precision.  `warm_24` shares one fresh SweepCache across the
+    // whole sweep (compiled queries, seed traces, LP candidates, built
+    // dynamics); `cold_24` runs every member independently — the
+    // per-scenario path a sweep engine without warm start would take.
+    // Reports are byte-identical either way (asserted by
+    // tests/family_warm_start.rs); the ratio of these two medians is the
+    // warm-start speedup ci.sh records in BENCH_pr5.json.
+    let family: Vec<Family> = builtin_families()
+        .into_iter()
+        .filter(|f| f.name() == "linear-ci-grid")
+        .collect();
+    assert_eq!(family.len(), 1, "the CI family exists");
+    let mut group = c.benchmark_group("substrate/family_sweep");
+    group.sample_size(10);
+    for (name, warm_start) in [("warm_24", true), ("cold_24", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = run_sweep(
+                    &family,
+                    &SweepOptions {
+                        threads: 1,
+                        warm_start,
+                    },
+                )
+                .expect("the CI family expands");
+                black_box(report.results.len())
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(8));
-    targets = lp_bench, deltasat_bench, tape_vs_tree_bench, specialize_bench, nn_bench, sim_bench
+    targets = lp_bench, deltasat_bench, tape_vs_tree_bench, specialize_bench, nn_bench,
+        sim_bench, family_sweep_bench
 }
 criterion_main!(benches);

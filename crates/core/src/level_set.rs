@@ -116,6 +116,33 @@ impl LevelSetSelector {
         queries: &QueryBuilder<'_>,
         solver: &DeltaSolver,
     ) -> (LevelSetResult, SolverStats) {
+        self.select_with_cache(generator, spec, queries, solver, None)
+    }
+
+    /// Like [`LevelSetSelector::select_with_stats`], but compiles the
+    /// confirmation queries through a
+    /// [`CompilationCache`](nncps_deltasat::CompilationCache) when one is given
+    /// — a family sweep re-confirms structurally identical levels across
+    /// members, and the cached artifacts solve bit-identically to fresh
+    /// compilations.
+    pub fn select_with_cache(
+        &self,
+        generator: &GeneratorFunction,
+        spec: &SafetySpec,
+        queries: &QueryBuilder<'_>,
+        solver: &DeltaSolver,
+        cache: Option<&nncps_deltasat::CompilationCache>,
+    ) -> (LevelSetResult, SolverStats) {
+        let compile = |formula: &nncps_deltasat::Formula| match cache {
+            Some(cache) => cache.compile(formula),
+            None => {
+                let compiled = CompiledFormula::compile(formula);
+                // Gradient bundles (for the solver's derivative-guided cuts)
+                // of the quadratic W are tiny; build them with the tape.
+                compiled.ensure_gradients();
+                std::sync::Arc::new(compiled)
+            }
+        };
         let mut stats = SolverStats::default();
         let Some((mut low, mut high)) = self.bracket(generator, spec) else {
             return (
@@ -133,10 +160,7 @@ impl LevelSetSelector {
             // Both confirmation queries are compiled to evaluation tapes
             // before solving, like every other query the pipeline issues.
             let (q6, x0_domain) = queries.initial_containment_query(generator, level);
-            let q6 = CompiledFormula::compile(&q6);
-            // Gradient bundles (for the solver's derivative-guided cuts) of
-            // the quadratic W are tiny; build them with the tape.
-            q6.ensure_gradients();
+            let q6 = compile(&q6);
             let (q6_result, q6_stats) = solver.solve_compiled_with_stats(&q6, &x0_domain);
             stats.merge(&q6_stats);
             if !q6_result.is_unsat() {
@@ -155,8 +179,7 @@ impl LevelSetSelector {
                     stats,
                 );
             };
-            let q7 = CompiledFormula::compile(&q7);
-            q7.ensure_gradients();
+            let q7 = compile(&q7);
             let (q7_result, q7_stats) = solver.solve_compiled_with_stats(&q7, &unsafe_domain);
             stats.merge(&q7_stats);
             if !q7_result.is_unsat() {

@@ -62,6 +62,7 @@ pub mod sets;
 pub mod synthesis;
 pub mod system;
 pub mod template;
+pub mod warmstart;
 
 pub use certificate::BarrierCertificate;
 pub use level_set::{LevelSetResult, LevelSetSelector};
@@ -73,3 +74,4 @@ pub use sets::{Halfspace, SafetySpec};
 pub use synthesis::{CandidateSynthesizer, SynthesisError};
 pub use system::ClosedLoopSystem;
 pub use template::{GeneratorFunction, QuadraticTemplate};
+pub use warmstart::{WarmStart, WarmStartStats};

@@ -1,17 +1,19 @@
 //! The end-to-end verification procedure of Figure 1.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nncps_deltasat::{DeltaSolver, SatResult, SolverStats};
-use nncps_sim::{Integrator, Simulator, SymbolicDynamics};
+use nncps_expr::{Fingerprint, StructuralHasher};
+use nncps_sim::{Integrator, Simulator, SymbolicDynamics, Trace};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::synthesis::SynthesisOptions;
 use crate::{
     BarrierCertificate, CandidateSynthesizer, ClosedLoopSystem, LevelSetResult, LevelSetSelector,
-    QueryBuilder,
+    QueryBuilder, WarmStart,
 };
 
 /// Configuration of the verification pipeline.
@@ -147,6 +149,12 @@ pub struct VerificationStats {
     /// for a fixed seed and solver thread count, so batch reports can
     /// fingerprint the counterexample trail.
     pub counterexample_witnesses: Vec<Vec<f64>>,
+    /// The candidate generator that failed at each witness (parallel to
+    /// [`VerificationStats::counterexample_witnesses`]), flattened as the
+    /// rows of `P` followed by `q` and `c`.  Recorded so the
+    /// simulation-oracle tests can replay every witness against the exact
+    /// decrease condition the solver refuted.
+    pub counterexample_candidates: Vec<Vec<f64>>,
     /// Stage timings.
     pub timings: StageTimings,
 }
@@ -292,6 +300,24 @@ impl Verifier {
 
     /// Runs the full procedure on a closed-loop system.
     pub fn verify(&self, system: &ClosedLoopSystem) -> VerificationOutcome {
+        self.verify_with_warm_start(system, None)
+    }
+
+    /// Runs the full procedure, optionally reusing memoized artifacts from a
+    /// [`WarmStart`] shared across a scenario-family sweep.
+    ///
+    /// With `warm == None` this is exactly [`Verifier::verify`].  With a
+    /// warm-start handle, compiled δ-SAT queries, seed-trace bundles, and LP
+    /// candidates are looked up under structural identity keys before being
+    /// recomputed; every reused artifact is bit-identical to recomputation
+    /// (see the [`warmstart`](crate::warmstart) module docs), so the outcome
+    /// — verdict, certificate bits, witnesses, solver statistics — is
+    /// identical to a cold run.  Only wall-clock timings differ.
+    pub fn verify_with_warm_start(
+        &self,
+        system: &ClosedLoopSystem,
+        warm: Option<&WarmStart>,
+    ) -> VerificationOutcome {
         let start = Instant::now();
         let mut stats = VerificationStats::default();
         let cfg = &self.config;
@@ -305,27 +331,63 @@ impl Verifier {
         let queries = QueryBuilder::new(system, cfg.gamma);
         let mut synthesizer = CandidateSynthesizer::with_options(spec.clone(), cfg.synthesis);
 
+        // Identity of everything the simulation bundles depend on: the
+        // dynamics DAG plus the integrator settings.  Computed once per run,
+        // only when a warm-start handle can use it.
+        let domain = spec.domain().clone();
+        let sim_key_base = warm.map(|_| {
+            let mut hasher = StructuralHasher::new();
+            hasher.write_u8(0x20);
+            for component in system.vector_field() {
+                hasher.write_expr(component);
+            }
+            hasher.write_usize(domain.dim());
+            for interval in domain.iter() {
+                hasher.write_f64(interval.lo());
+                hasher.write_f64(interval.hi());
+            }
+            hasher.write_f64(cfg.sim_dt);
+            hasher.write_f64(cfg.sim_duration);
+            hasher.write_usize(cfg.max_samples_per_trace);
+            hasher
+        });
+
         // --- Seed traces Φs -------------------------------------------------
         // The initial states are drawn sequentially from the seeded RNG (so
         // runs stay reproducible), then the embarrassingly parallel batch of
-        // closed-loop simulations fans out over the worker threads.
+        // closed-loop simulations fans out over the worker threads.  The
+        // downsampled bundle is a pure function of the warm-start key, so a
+        // sweep computes it once per distinct (dynamics, domain, seed,
+        // integrator) combination.
         let sim_start = Instant::now();
-        let mut rng = seeded_rng(cfg.seed);
-        let domain = spec.domain().clone();
-        let initial_states: Vec<Vec<f64>> = (0..cfg.num_seed_traces)
-            .map(|_| {
-                let unit: Vec<f64> = (0..domain.dim()).map(|_| rng.gen::<f64>()).collect();
-                domain.lerp_point(&unit)
-            })
-            .collect();
-        let traces = simulator.simulate_until_batch(
-            &dynamics,
-            &initial_states,
-            |_, s| !domain.contains_point(s),
-            cfg.threads,
-        );
-        for trace in &traces {
-            synthesizer.add_trace(&trace.downsampled(cfg.max_samples_per_trace));
+        let simulate_seed_traces = || {
+            let mut rng = seeded_rng(cfg.seed);
+            let initial_states: Vec<Vec<f64>> = (0..cfg.num_seed_traces)
+                .map(|_| {
+                    let unit: Vec<f64> = (0..domain.dim()).map(|_| rng.gen::<f64>()).collect();
+                    domain.lerp_point(&unit)
+                })
+                .collect();
+            simulator
+                .simulate_until_batch(
+                    &dynamics,
+                    &initial_states,
+                    |_, s| !domain.contains_point(s),
+                    cfg.threads,
+                )
+                .iter()
+                .map(|trace| trace.downsampled(cfg.max_samples_per_trace))
+                .collect()
+        };
+        let seed_traces: Arc<Vec<Trace>> = match (warm, &sim_key_base) {
+            (Some(warm), Some(base)) => {
+                let key = seed_trace_key(base, cfg.seed, cfg.num_seed_traces);
+                warm.traces_or_insert(key, simulate_seed_traces)
+            }
+            _ => Arc::new(simulate_seed_traces()),
+        };
+        for trace in seed_traces.iter() {
+            synthesizer.add_trace(trace);
         }
         stats.timings.simulation += sim_start.elapsed();
 
@@ -334,8 +396,19 @@ impl Verifier {
         for iteration in 1..=cfg.max_candidate_iterations {
             stats.generator_iterations = iteration;
 
+            // The synthesizer state (options, spec, accumulated rows) fully
+            // determines the LP solution, so a sweep solves each distinct
+            // state once.
             let lp_start = Instant::now();
-            let candidate = synthesizer.synthesize();
+            let candidate = match warm {
+                Some(warm) => {
+                    let memo = warm.candidate_or_insert(synthesizer.fingerprint(), || {
+                        synthesizer.synthesize()
+                    });
+                    (*memo).clone()
+                }
+                None => synthesizer.synthesize(),
+            };
             stats.timings.lp += lp_start.elapsed();
             stats.lp_solves += 1;
             let candidate = match candidate {
@@ -351,8 +424,19 @@ impl Verifier {
 
             // Compile the query to evaluation tapes *before* the timed SMT
             // section: the solver's branch-and-prune loop then runs on the
-            // pre-lowered clauses without per-solve setup.
-            let (compiled_query, query_domain) = queries.compiled_decrease_query(&candidate);
+            // pre-lowered clauses without per-solve setup.  Under warm
+            // start, structurally identical decrease queries (same candidate
+            // bits over the same closed loop) reuse one compilation.
+            let (compiled_query, query_domain) = match warm {
+                Some(warm) => {
+                    let (formula, domain) = queries.decrease_query(&candidate);
+                    (warm.compilation().compile(&formula), domain)
+                }
+                None => {
+                    let (compiled, domain) = queries.compiled_decrease_query(&candidate);
+                    (Arc::new(compiled), domain)
+                }
+            };
             let smt_start = Instant::now();
             let (result, solve_stats) =
                 solver.solve_compiled_with_stats(&compiled_query, &query_domain);
@@ -369,6 +453,9 @@ impl Verifier {
                     stats.counterexamples += 1;
                     let witness = witness_box.midpoint();
                     stats.counterexample_witnesses.push(witness.clone());
+                    stats
+                        .counterexample_candidates
+                        .push(flatten_generator(&candidate));
                     // Cut the failing candidate out of the LP feasible set by
                     // requiring the Lie derivative to decrease at the witness
                     // (the row is linear in the template coefficients).
@@ -377,10 +464,20 @@ impl Verifier {
                     // Simulate from the counterexample (Φf) and refine the LP
                     // with the downstream behaviour as well.
                     let sim_start = Instant::now();
-                    let trace = simulator
-                        .simulate_until(&dynamics, &witness, |_, s| !domain.contains_point(s));
+                    let simulate_witness_trace = || {
+                        vec![simulator
+                            .simulate_until(&dynamics, &witness, |_, s| !domain.contains_point(s))
+                            .downsampled(cfg.max_samples_per_trace)]
+                    };
+                    let witness_traces = match (warm, &sim_key_base) {
+                        (Some(warm), Some(base)) => {
+                            let key = witness_trace_key(base, &witness);
+                            warm.traces_or_insert(key, simulate_witness_trace)
+                        }
+                        _ => Arc::new(simulate_witness_trace()),
+                    };
                     stats.timings.simulation += sim_start.elapsed();
-                    synthesizer.add_trace(&trace.downsampled(cfg.max_samples_per_trace));
+                    synthesizer.add_trace(&witness_traces[0]);
                 }
                 SatResult::Unknown(reason) => {
                     stats.timings.total = start.elapsed();
@@ -406,8 +503,13 @@ impl Verifier {
         // --- Level-set selection: queries (6) and (7) ------------------------
         let level_start = Instant::now();
         let selector = LevelSetSelector::new(cfg.max_level_iterations);
-        let (level_result, level_stats) =
-            selector.select_with_stats(&generator, &spec, &queries, &solver);
+        let (level_result, level_stats) = selector.select_with_cache(
+            &generator,
+            &spec,
+            &queries,
+            &solver,
+            warm.map(WarmStart::compilation),
+        );
         stats.solver.merge(&level_stats);
         stats.timings.level_set = level_start.elapsed();
 
@@ -441,6 +543,45 @@ impl Default for Verifier {
 fn seeded_rng(seed: u64) -> ChaCha8Rng {
     use rand::SeedableRng;
     ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Key of the seed-trace bundle: the shared simulation identity plus the RNG
+/// seed and trace count.
+fn seed_trace_key(base: &StructuralHasher, seed: u64, num_traces: usize) -> Fingerprint {
+    let mut hasher = base.clone();
+    hasher.write_u8(0x21);
+    hasher.write_u64(seed);
+    hasher.write_usize(num_traces);
+    hasher.finish()
+}
+
+/// Key of a counterexample trace: the shared simulation identity plus the
+/// exact witness bits.
+fn witness_trace_key(base: &StructuralHasher, witness: &[f64]) -> Fingerprint {
+    let mut hasher = base.clone();
+    hasher.write_u8(0x22);
+    hasher.write_usize(witness.len());
+    for &x in witness {
+        hasher.write_f64(x);
+    }
+    hasher.finish()
+}
+
+/// Flattens a generator function the same way batch reports do: rows of `P`,
+/// then `q`, then `c`.
+fn flatten_generator(generator: &crate::GeneratorFunction) -> Vec<f64> {
+    let n = generator.dim();
+    let mut coefficients = Vec::with_capacity(n * n + n + 1);
+    for i in 0..n {
+        for j in 0..n {
+            coefficients.push(generator.quadratic_part()[(i, j)]);
+        }
+    }
+    for i in 0..n {
+        coefficients.push(generator.linear_part()[i]);
+    }
+    coefficients.push(generator.constant_part());
+    coefficients
 }
 
 #[cfg(test)]

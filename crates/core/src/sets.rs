@@ -220,6 +220,29 @@ impl SafetySpec {
                 .collect(),
         )
     }
+
+    /// Absorbs every bit of the specification (initial set, unsafe
+    /// halfspaces, domain) into a structural hasher, for the warm-start
+    /// memoization keys.
+    pub(crate) fn write_structural(&self, hasher: &mut nncps_expr::StructuralHasher) {
+        let write_box = |hasher: &mut nncps_expr::StructuralHasher, b: &IntervalBox| {
+            hasher.write_usize(b.dim());
+            for interval in b.iter() {
+                hasher.write_f64(interval.lo());
+                hasher.write_f64(interval.hi());
+            }
+        };
+        hasher.write_u8(0x31);
+        write_box(hasher, &self.initial_set);
+        write_box(hasher, &self.domain);
+        hasher.write_usize(self.unsafe_halfspaces.len());
+        for halfspace in &self.unsafe_halfspaces {
+            for &a in halfspace.normal() {
+                hasher.write_f64(a);
+            }
+            hasher.write_f64(halfspace.offset());
+        }
+    }
 }
 
 #[cfg(test)]

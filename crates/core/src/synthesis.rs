@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use nncps_expr::{Fingerprint, StructuralHasher};
 use nncps_lp::{Comparison, LpError, LpProblem};
 use nncps_sim::Trace;
 
@@ -263,6 +264,48 @@ impl CandidateSynthesizer {
             margin_coeff: 0.0,
         });
         self.samples_used += 1;
+    }
+
+    /// A 128-bit identity key over *every* input [`synthesize`] reads: the
+    /// template dimension, the options, the specification (the domain corner
+    /// used for normalization), and the exact bits of all accumulated
+    /// constraint rows.
+    ///
+    /// [`synthesize`] is a pure function of this state, so the sweep
+    /// engine's warm-start layer memoizes its result under this key: a hit
+    /// returns bit-identical candidate coefficients to re-solving the LP.
+    ///
+    /// [`synthesize`]: CandidateSynthesizer::synthesize
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut hasher = StructuralHasher::new();
+        hasher.write_u8(0x30);
+        hasher.write_usize(self.template.dim());
+        for value in [
+            self.options.positivity_margin,
+            self.options.decrease_margin,
+            self.options.coefficient_bound,
+            self.options.diagonal_floor,
+            self.options.cross_term_ratio,
+            self.options.margin_cap,
+        ] {
+            hasher.write_f64(value);
+        }
+        self.spec.write_structural(&mut hasher);
+        hasher.write_usize(self.rows.len());
+        for row in &self.rows {
+            hasher.write_usize(row.coefficients.len());
+            for &c in &row.coefficients {
+                hasher.write_f64(c);
+            }
+            hasher.write_u8(match row.comparison {
+                Comparison::Le => 0,
+                Comparison::Ge => 1,
+                Comparison::Eq => 2,
+            });
+            hasher.write_f64(row.rhs);
+            hasher.write_f64(row.margin_coeff);
+        }
+        hasher.finish()
     }
 
     /// Solves the LP over all accumulated constraints and returns the

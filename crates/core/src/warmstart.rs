@@ -1,0 +1,195 @@
+//! Warm-start state shared across a scenario-family sweep.
+//!
+//! Running a family of related verification problems as N independent cold
+//! runs repeats three expensive, *deterministic* computations:
+//!
+//! 1. **query compilation** — DNF conversion, CSE tape lowering, and
+//!    symbolic differentiation of every δ-SAT query (family members sharing
+//!    dynamics re-derive structurally identical queries),
+//! 2. **seed-trace simulation** — members sharing dynamics, initial set,
+//!    seed, and simulation parameters integrate exactly the same
+//!    trajectories,
+//! 3. **candidate synthesis** — the LP over identical constraint rows has
+//!    one solution, re-solved per member.
+//!
+//! A [`WarmStart`] memoizes all three behind 128-bit structural identity
+//! keys ([`Fingerprint`]).  Every entry is a pure function of its key, so a
+//! hit returns *bit-identical* data to recomputation: verdicts, witnesses,
+//! certificates, solver statistics, and therefore whole batch reports are
+//! byte-identical with warm start on or off, at any thread count.  (The
+//! differential tests in `tests/family_warm_start.rs` assert this.)
+//!
+//! The struct is `Sync`: a sweep shares one instance across its scenario
+//! workers (entries are published under short-lived mutexes and read through
+//! `Arc`s).
+//!
+//! # Examples
+//!
+//! ```
+//! use nncps_barrier::{SafetySpec, Verifier, WarmStart};
+//! use nncps_expr::Expr;
+//! use nncps_interval::IntervalBox;
+//! use nncps_sim::ExprDynamics;
+//!
+//! let warm = WarmStart::new();
+//! let plant = ExprDynamics::new(vec![-Expr::var(0), -Expr::var(1)]);
+//! let spec = SafetySpec::rectangular(
+//!     IntervalBox::from_bounds(&[(-0.5, 0.5), (-0.5, 0.5)]),
+//!     IntervalBox::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]),
+//! );
+//! let verifier = Verifier::default();
+//! let system = nncps_barrier::ClosedLoopSystem::from_dynamics(&plant, spec);
+//! let cold = verifier.verify(&system);
+//! let first = verifier.verify_with_warm_start(&system, Some(&warm));
+//! let second = verifier.verify_with_warm_start(&system, Some(&warm));
+//! // All three runs certify the same certificate; the second warm run hits
+//! // every memo table.
+//! assert!(cold.is_certified() && first.is_certified() && second.is_certified());
+//! assert!(warm.stats().candidate_hits >= 1);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use nncps_deltasat::CompilationCache;
+use nncps_expr::Fingerprint;
+use nncps_sim::Trace;
+
+use crate::{GeneratorFunction, SynthesisError};
+
+/// Hit/miss counters of every warm-start layer (reporting only — the
+/// counters never influence results).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStartStats {
+    /// δ-SAT queries served from the compilation cache.
+    pub formula_hits: usize,
+    /// δ-SAT queries compiled (cache misses).
+    pub formula_misses: usize,
+    /// Simulation bundles (seed-trace sets, counterexample traces) reused.
+    pub trace_hits: usize,
+    /// Simulation bundles computed.
+    pub trace_misses: usize,
+    /// LP candidates served from the synthesis memo.
+    pub candidate_hits: usize,
+    /// LP candidates solved.
+    pub candidate_misses: usize,
+}
+
+/// Shared memoization state for a family sweep (see the [module
+/// docs](self)).
+#[derive(Debug, Default)]
+pub struct WarmStart {
+    compilation: CompilationCache,
+    traces: Mutex<HashMap<Fingerprint, Arc<Vec<Trace>>>>,
+    candidates: Mutex<HashMap<Fingerprint, Arc<Result<GeneratorFunction, SynthesisError>>>>,
+    trace_hits: AtomicUsize,
+    trace_misses: AtomicUsize,
+    candidate_hits: AtomicUsize,
+    candidate_misses: AtomicUsize,
+}
+
+impl WarmStart {
+    /// Creates empty warm-start state.
+    pub fn new() -> Self {
+        WarmStart::default()
+    }
+
+    /// The δ-SAT query compilation cache.
+    pub fn compilation(&self) -> &CompilationCache {
+        &self.compilation
+    }
+
+    /// Returns the memoized simulation bundle for `key`, computing and
+    /// publishing it with `build` on a miss.
+    ///
+    /// The caller owns the key discipline: `key` must cover every input of
+    /// `build` (dynamics structure, initial data, integrator parameters), so
+    /// that a hit is bit-identical to recomputing.
+    pub fn traces_or_insert(
+        &self,
+        key: Fingerprint,
+        build: impl FnOnce() -> Vec<Trace>,
+    ) -> Arc<Vec<Trace>> {
+        if let Some(found) = self.traces.lock().expect("warm-start lock").get(&key) {
+            self.trace_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        // Build outside the lock: simulation can be slow and other workers
+        // should not serialize behind it.  A racing duplicate is dropped —
+        // both builds are bit-identical by the key discipline.
+        let built = Arc::new(build());
+        self.trace_misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.traces.lock().expect("warm-start lock");
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::clone(&built)))
+    }
+
+    /// Returns the memoized candidate-synthesis result for `key`, solving
+    /// and publishing it with `build` on a miss.  Same key discipline as
+    /// [`WarmStart::traces_or_insert`]; the natural key is
+    /// [`CandidateSynthesizer::fingerprint`](crate::CandidateSynthesizer::fingerprint).
+    pub fn candidate_or_insert(
+        &self,
+        key: Fingerprint,
+        build: impl FnOnce() -> Result<GeneratorFunction, SynthesisError>,
+    ) -> Arc<Result<GeneratorFunction, SynthesisError>> {
+        if let Some(found) = self.candidates.lock().expect("warm-start lock").get(&key) {
+            self.candidate_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        let built = Arc::new(build());
+        self.candidate_misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.candidates.lock().expect("warm-start lock");
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::clone(&built)))
+    }
+
+    /// Snapshot of the hit/miss counters across all layers.
+    pub fn stats(&self) -> WarmStartStats {
+        WarmStartStats {
+            formula_hits: self.compilation.hits(),
+            formula_misses: self.compilation.misses(),
+            trace_hits: self.trace_hits.load(Ordering::Relaxed),
+            trace_misses: self.trace_misses.load(Ordering::Relaxed),
+            candidate_hits: self.candidate_hits.load(Ordering::Relaxed),
+            candidate_misses: self.candidate_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_memo_hits_on_identical_keys() {
+        let warm = WarmStart::new();
+        let key = Fingerprint(1, 2);
+        let mut builds = 0;
+        let a = warm.traces_or_insert(key, || {
+            builds += 1;
+            vec![Trace::new(2)]
+        });
+        let b = warm.traces_or_insert(key, || {
+            builds += 1;
+            vec![Trace::new(2)]
+        });
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(builds, 1);
+        let other = warm.traces_or_insert(Fingerprint(1, 3), Vec::new);
+        assert!(other.is_empty());
+        let stats = warm.stats();
+        assert_eq!((stats.trace_hits, stats.trace_misses), (1, 2));
+    }
+
+    #[test]
+    fn candidate_memo_stores_errors_too() {
+        let warm = WarmStart::new();
+        let key = Fingerprint(7, 7);
+        let first = warm.candidate_or_insert(key, || Err(SynthesisError::NoTraceData));
+        let second = warm.candidate_or_insert(key, || panic!("must not re-run"));
+        assert!(Arc::ptr_eq(&first, &second));
+        assert!(matches!(*second, Err(SynthesisError::NoTraceData)));
+        assert_eq!(warm.stats().candidate_hits, 1);
+        assert_eq!(warm.stats().candidate_misses, 1);
+    }
+}

@@ -69,12 +69,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod compiled;
 mod constraint;
 mod contractor;
 mod formula;
 mod solver;
 
+pub use cache::CompilationCache;
 pub use compiled::{ClauseFeasibility, ClauseScratch, CompiledClause, CompiledFormula, CutOutcome};
 pub use constraint::{Constraint, Feasibility, Relation};
 pub use contractor::{contract_clause, hc4_revise};

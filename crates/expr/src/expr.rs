@@ -88,6 +88,12 @@ impl Expr {
         &self.node
     }
 
+    /// The shared node handle, for pointer-identity bookkeeping (tape CSE,
+    /// structural fingerprints).
+    pub(crate) fn arc_node(&self) -> &Arc<Node> {
+        &self.node
+    }
+
     /// Returns a pattern-matchable view of the top node of the expression.
     pub fn view(&self) -> ExprView<'_> {
         match self.node() {

@@ -42,6 +42,7 @@
 mod diff;
 mod eval;
 mod expr;
+pub mod fingerprint;
 mod ops;
 mod simplify;
 pub mod specialize;
@@ -49,6 +50,7 @@ mod tape;
 mod vars;
 
 pub use expr::{Expr, ExprView};
+pub use fingerprint::{Fingerprint, StructuralHasher};
 pub use ops::{BinaryOp, UnaryOp};
 pub use specialize::{SpecializeScratch, TapeView};
 pub use tape::{Tape, TapeInstr};

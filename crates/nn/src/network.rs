@@ -277,6 +277,40 @@ impl FeedforwardNetwork {
             .collect();
         self.set_params(&params);
     }
+
+    /// Returns a copy with every parameter `p` perturbed multiplicatively to
+    /// `p · (1 + relative_scale · u)`, `u` drawn uniformly from `[-1, 1]` by
+    /// a deterministic ChaCha8 RNG seeded with `seed` (the same
+    /// version-stable generator the scenario samplers use — `StdRng`'s
+    /// stream is explicitly unstable across `rand` releases).
+    ///
+    /// The scenario sweep engine uses this for its *NN weight perturbation*
+    /// parameter axis: the perturbation is a pure function of `(network,
+    /// relative_scale, seed)`, so family members regenerate bit-identical
+    /// controllers on every run, and a zero scale returns the network
+    /// bit-unchanged (`p · (1 + 0) = p`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nncps_nn::FeedforwardNetwork;
+    ///
+    /// let net = FeedforwardNetwork::paper_architecture(4);
+    /// let twin = net.perturbed(0.0, 7);
+    /// assert_eq!(net.flatten_params(), twin.flatten_params());
+    /// let shaken = net.perturbed(0.05, 7);
+    /// assert_eq!(shaken.flatten_params(), net.perturbed(0.05, 7).flatten_params());
+    /// ```
+    pub fn perturbed(&self, relative_scale: f64, seed: u64) -> Self {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let params: Vec<f64> = self
+            .flatten_params()
+            .into_iter()
+            .map(|p| p * (1.0 + relative_scale * rng.gen_range(-1.0..=1.0)))
+            .collect();
+        self.with_params(&params)
+    }
 }
 
 impl fmt::Display for FeedforwardNetwork {

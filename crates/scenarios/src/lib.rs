@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod family;
 pub mod json;
 pub mod registry;
 pub mod report;
@@ -41,12 +42,15 @@ pub mod runner;
 pub mod scenario;
 pub mod toml;
 
+pub use family::{AxisParam, ExpectedCounts, Family, ParamAxis};
 pub use json::{Json, JsonError};
-pub use registry::Registry;
 #[doc(hidden)]
 pub use registry::SMOKE_MANIFEST;
-pub use report::{BatchReport, RunStats, ScenarioResult};
-pub use runner::{run_batch, run_scenario, BatchOptions};
+pub use registry::{builtin_families, families_from_toml_str, Registry};
+pub use report::{BatchReport, FamilyRollup, RunStats, ScenarioResult};
+pub use runner::{
+    run_batch, run_scenario, run_scenario_cached, run_sweep, BatchOptions, SweepCache, SweepOptions,
+};
 pub use scenario::{
     pd_controller, pendulum_controller, ExpectedVerdict, ManifestError, PlantSpec, Scenario,
 };

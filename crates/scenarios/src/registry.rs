@@ -5,6 +5,7 @@ use nncps_barrier::{SafetySpec, VerificationConfig};
 use nncps_interval::IntervalBox;
 use nncps_nn::Activation;
 
+use crate::family::{AxisParam, Family, ParamAxis};
 use crate::scenario::{ExpectedVerdict, ManifestError, PlantSpec, Scenario};
 use crate::toml;
 
@@ -322,6 +323,186 @@ fn builtin_scenarios() -> Vec<Scenario> {
     ]
 }
 
+/// Loads the `[[family]]` tables of a TOML manifest.  Base-scenario
+/// references resolve against `bases` *plus* any `[[scenario]]` tables
+/// defined in the same manifest (so a manifest can declare a base and sweep
+/// it in one file).  A manifest without `[[family]]` tables yields an empty
+/// list — a scenarios-only manifest simply contributes no families.
+///
+/// # Errors
+///
+/// Returns a [`ManifestError`] on parse errors, unknown base references, or
+/// malformed axes.
+pub fn families_from_toml_str(text: &str, bases: &Registry) -> Result<Vec<Family>, ManifestError> {
+    let doc = toml::parse(text).map_err(|e| ManifestError::new(e.to_string()))?;
+    let mut lookup = bases.clone();
+    for table in doc.tables("scenario") {
+        lookup.push(Scenario::from_toml(table)?)?;
+    }
+    doc.tables("family")
+        .into_iter()
+        .map(|table| Family::from_toml(table, &lookup))
+        .collect()
+}
+
+/// The built-in scenario families: a handful of declarations expanding to
+/// several hundred generated scenarios across all plant kinds and every
+/// axis type (plant constants, initial/safe boxes, weight perturbation,
+/// solver precision).  Verdict counts are pinned so CI can gate sweep
+/// semantics (see [`Family::expected_counts`]).
+pub fn builtin_families() -> Vec<Family> {
+    let registry = Registry::builtin();
+    let base = |name: &str| registry.get(name).expect("built-in scenario").clone();
+
+    // A cheap linear base for the large sweeps: the rotation-contraction
+    // system `ẋ = s·(x + 0.4 y), ẏ = s·(−0.4 x + y)` certifies for s < 0
+    // and must stay inconclusive for s ≥ 0 (the family crosses the
+    // boundary on purpose).
+    let linear_base = Scenario::new(
+        "linear-rotation-base",
+        "rotation-contraction linear system (matrix_scale sweeps the \
+         contraction rate; positive scales are unstable)",
+        PlantSpec::Linear {
+            matrix: vec![vec![1.0, 0.4], vec![-0.4, 1.0]],
+        },
+        SafetySpec::rectangular(
+            IntervalBox::from_bounds(&[(-0.5, 0.5), (-0.5, 0.5)]),
+            IntervalBox::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]),
+        ),
+        VerificationConfig {
+            num_seed_traces: 6,
+            sim_duration: 3.0,
+            max_candidate_iterations: 3,
+            ..VerificationConfig::default()
+        },
+        ExpectedVerdict::Any,
+    );
+
+    vec![
+        // The flagship scale family: ≥ 200 members from one declaration.
+        Family::new(
+            "linear-stability-sweep",
+            "contraction-rate × precision × seed × X0 sweep over the \
+             rotation-contraction system",
+            linear_base.clone(),
+        )
+        .with_axis(ParamAxis::linspace(
+            AxisParam::plant("matrix_scale"),
+            -2.0,
+            0.4,
+            13,
+        ))
+        .with_axis(ParamAxis::grid(AxisParam::Delta, vec![1e-3, 1e-4]))
+        .with_axis(ParamAxis::grid(AxisParam::Seed, vec![2018.0, 99.0]))
+        .with_axis(ParamAxis::random(AxisParam::X0Hi(0), 0.3, 0.6, 4, 17))
+        .with_counts(152, 56),
+        // The ~24-member family CI sweeps on every run (cheap, crosses the
+        // certification boundary, counts pinned).
+        Family::new(
+            "linear-ci-grid",
+            "small contraction × X0 × precision grid for the CI gate",
+            linear_base,
+        )
+        .with_axis(ParamAxis::grid(
+            AxisParam::plant("matrix_scale"),
+            vec![-1.5, -0.75, 0.25, 1.0],
+        ))
+        .with_axis(ParamAxis::grid(AxisParam::X0Hi(1), vec![0.4, 0.5, 0.6]))
+        .with_axis(ParamAxis::grid(AxisParam::Delta, vec![1e-3, 1e-4]))
+        .with_counts(12, 12),
+        // NN families: one per case study, exercising the perturbation and
+        // plant-constant axes with sweep-friendly configurations.
+        Family::new(
+            "pendulum-robustness",
+            "random weight perturbations × solver precision over the \
+             pendulum controller",
+            Scenario::new(
+                "pendulum-sweep-base",
+                "2-8-1 tanh pendulum with a sweep-sized trace budget",
+                PlantSpec::Pendulum {
+                    hidden_neurons: 8,
+                    activation: Activation::Tanh,
+                    k_theta: 1.2,
+                    k_omega: 0.5,
+                    max_torque: 20.0,
+                    damping: 0.5,
+                },
+                SafetySpec::rectangular(
+                    IntervalBox::from_bounds(&[(-0.2, 0.2), (-0.2, 0.2)]),
+                    IntervalBox::from_bounds(&[(-0.8, 0.8), (-2.0, 2.0)]),
+                ),
+                VerificationConfig {
+                    num_seed_traces: 6,
+                    sim_duration: 4.0,
+                    ..VerificationConfig::default()
+                },
+                ExpectedVerdict::Any,
+            ),
+        )
+        .with_weight_seed(5)
+        .with_axis(ParamAxis::random(
+            AxisParam::WeightPerturbation,
+            0.0,
+            0.08,
+            5,
+            5,
+        ))
+        .with_axis(ParamAxis::grid(AxisParam::Delta, vec![1e-3, 1e-4]))
+        .with_counts(10, 0),
+        Family::new(
+            "dubins-speed-grid",
+            "vehicle speed × solver precision over the paper's Dubins case \
+             study",
+            Scenario::new(
+                "dubins-sweep-base",
+                "paper Dubins error dynamics with a sweep-sized trace budget",
+                PlantSpec::Dubins {
+                    hidden_neurons: 10,
+                    speed: 1.0,
+                },
+                base("dubins-paper").spec().clone(),
+                VerificationConfig {
+                    num_seed_traces: 8,
+                    max_samples_per_trace: 15,
+                    ..VerificationConfig::default()
+                },
+                ExpectedVerdict::Any,
+            ),
+        )
+        .with_axis(ParamAxis::grid(
+            AxisParam::plant("speed"),
+            vec![0.8, 1.0, 1.2],
+        ))
+        .with_axis(ParamAxis::grid(AxisParam::Delta, vec![1e-4, 1e-3]))
+        .with_counts(6, 0),
+        Family::new(
+            "train-gain-sweep",
+            "controller derivative gain × safe-corridor width over the \
+             train speed controller",
+            Scenario::new(
+                "train-sweep-base",
+                "2-12-1 train controller with a sweep-sized trace budget",
+                base("train-speed-control").plant().clone(),
+                base("train-speed-control").spec().clone(),
+                VerificationConfig {
+                    num_seed_traces: 8,
+                    sim_duration: 6.0,
+                    ..VerificationConfig::default()
+                },
+                ExpectedVerdict::Any,
+            ),
+        )
+        .with_axis(ParamAxis::linspace(
+            AxisParam::plant("k_velocity"),
+            1.5,
+            2.5,
+            3,
+        ))
+        .with_axis(ParamAxis::grid(AxisParam::SafeHi(0), vec![1.5, 2.0]))
+        .with_counts(6, 0),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,5 +590,116 @@ mod tests {
     fn missing_manifest_file_errors_cleanly() {
         let err = Registry::from_toml_file("/nonexistent/scenarios.toml").unwrap_err();
         assert!(err.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn builtin_families_hit_the_scale_targets() {
+        let families = builtin_families();
+        assert!(families.len() >= 5, "a handful of declarations");
+        // One single family reaches the >= 200 generated-scenario target...
+        assert!(
+            families.iter().any(|f| f.len() >= 200),
+            "largest family: {}",
+            families.iter().map(Family::len).max().unwrap()
+        );
+        // ...and the CI family stays sweep-sized.
+        let ci = families
+            .iter()
+            .find(|f| f.name() == "linear-ci-grid")
+            .expect("CI family exists");
+        assert_eq!(ci.len(), 24);
+        // Names are unique, every family pins counts consistent with its
+        // size, and every family expands cleanly.
+        let mut names: Vec<&str> = families.iter().map(Family::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), families.len());
+        for family in &families {
+            let counts = family
+                .expected_counts()
+                .expect("built-in families pin counts");
+            assert_eq!(
+                counts.certified + counts.inconclusive,
+                family.len(),
+                "{}",
+                family.name()
+            );
+            let members = family
+                .expand()
+                .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
+            assert_eq!(members.len(), family.len());
+            // Member names are unique and prefixed by the family.
+            let mut member_names: Vec<&str> = members.iter().map(Scenario::name).collect();
+            member_names.sort_unstable();
+            member_names.dedup();
+            assert_eq!(member_names.len(), members.len());
+            assert!(member_names.iter().all(|n| n.starts_with(family.name())));
+        }
+    }
+
+    #[test]
+    fn families_load_from_manifests_with_local_bases() {
+        let manifest = r#"
+            [[scenario]]
+            name = "local-base"
+            expected = "any"
+            [scenario.plant]
+            kind = "linear"
+            matrix = [[-1.0, 0.0], [0.0, -1.0]]
+            [scenario.spec]
+            initial_set = [[-0.5, 0.5], [-0.5, 0.5]]
+            safe_region = [[-2.0, 2.0], [-2.0, 2.0]]
+
+            [[family]]
+            name = "local-family"
+            base = "local-base"
+            [[family.axis]]
+            param = "delta"
+            grid = [1e-3, 1e-4]
+
+            [[family]]
+            name = "builtin-base-family"
+            base = "dubins-paper"
+            [[family.axis]]
+            param = "speed"
+            grid = [0.9, 1.1]
+        "#;
+        let families = families_from_toml_str(manifest, &Registry::builtin()).unwrap();
+        assert_eq!(families.len(), 2);
+        assert_eq!(families[0].len(), 2);
+        assert_eq!(families[0].base().name(), "local-base");
+        assert_eq!(families[1].base().plant().kind(), "dubins");
+
+        // A scenarios-only (or empty) manifest contributes no families —
+        // even when a comment happens to mention the `[[family]]` syntax.
+        assert!(families_from_toml_str(
+            "# declare [[family]] tables to sweep\ntitle = \"none\"\n",
+            &Registry::builtin()
+        )
+        .unwrap()
+        .is_empty());
+        // An unknown base reference is an error.
+        let unknown = "[[family]]\nname = \"f\"\nbase = \"no-such\"\n";
+        assert!(families_from_toml_str(unknown, &Registry::builtin())
+            .unwrap_err()
+            .to_string()
+            .contains("unknown base"));
+    }
+
+    #[test]
+    fn repository_family_manifest_parses() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/families.toml"
+        ))
+        .expect("scenarios/families.toml exists");
+        let families = families_from_toml_str(&text, &Registry::builtin()).unwrap();
+        assert_eq!(families.len(), 2);
+        assert!(families.iter().all(|f| f.expected_counts().is_some()));
+        for family in &families {
+            family
+                .expand()
+                .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
+        }
     }
 }

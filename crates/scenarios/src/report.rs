@@ -369,6 +369,123 @@ impl RunStats {
     }
 }
 
+/// Per-family aggregate of a sweep run: verdict counts over the family's
+/// members, diffed against the family's pinned [`ExpectedCounts`] when it
+/// has them.
+///
+/// [`ExpectedCounts`]: crate::family::ExpectedCounts
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyRollup {
+    /// The family name.
+    pub name: String,
+    /// Number of members that ran.
+    pub members: usize,
+    /// Members that certified.
+    pub certified: usize,
+    /// Members that stayed inconclusive.
+    pub inconclusive: usize,
+    /// Members whose verdict contradicted their (non-`any`) expectation.
+    pub unexpected: usize,
+    /// The pinned certified count, if the family declares one.
+    pub expected_certified: Option<usize>,
+    /// The pinned inconclusive count, if the family declares one.
+    pub expected_inconclusive: Option<usize>,
+}
+
+impl FamilyRollup {
+    /// Aggregates the results of one family's members.
+    pub fn from_results(
+        name: impl Into<String>,
+        results: &[ScenarioResult],
+        expected: Option<crate::family::ExpectedCounts>,
+    ) -> Self {
+        FamilyRollup {
+            name: name.into(),
+            members: results.len(),
+            certified: results.iter().filter(|r| r.verdict == "certified").count(),
+            inconclusive: results
+                .iter()
+                .filter(|r| r.verdict == "inconclusive")
+                .count(),
+            unexpected: results.iter().filter(|r| !r.matches_expected).count(),
+            expected_certified: expected.map(|c| c.certified),
+            expected_inconclusive: expected.map(|c| c.inconclusive),
+        }
+    }
+
+    /// The count-drift findings of this family (empty means the family-level
+    /// gate passes; families without pinned counts always pass).
+    pub fn findings(&self) -> Vec<String> {
+        let mut findings = Vec::new();
+        if let (Some(certified), Some(inconclusive)) =
+            (self.expected_certified, self.expected_inconclusive)
+        {
+            if certified != self.certified || inconclusive != self.inconclusive {
+                findings.push(format!(
+                    "family `{}` verdict counts drifted: expected {certified} certified / \
+                     {inconclusive} inconclusive, got {} / {}",
+                    self.name, self.certified, self.inconclusive
+                ));
+            }
+        }
+        if self.unexpected > 0 {
+            findings.push(format!(
+                "family `{}` has {} member(s) with unexpected verdicts",
+                self.name, self.unexpected
+            ));
+        }
+        findings
+    }
+
+    fn to_json(&self) -> Json {
+        let optional = |value: Option<usize>| match value {
+            Some(n) => Json::from(n),
+            None => Json::Null,
+        };
+        Json::object([
+            ("name".to_string(), Json::from(self.name.as_str())),
+            ("members".to_string(), Json::from(self.members)),
+            ("certified".to_string(), Json::from(self.certified)),
+            ("inconclusive".to_string(), Json::from(self.inconclusive)),
+            ("unexpected".to_string(), Json::from(self.unexpected)),
+            (
+                "expected_certified".to_string(),
+                optional(self.expected_certified),
+            ),
+            (
+                "expected_inconclusive".to_string(),
+                optional(self.expected_inconclusive),
+            ),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, String> {
+        let count = |key: &str| {
+            json.get(key)
+                .and_then(Json::as_f64)
+                .map(|x| x as usize)
+                .ok_or_else(|| format!("family rollup is missing `{key}`"))
+        };
+        let optional = |key: &str| match json.get(key) {
+            Some(Json::Number(x)) => Some(*x as usize),
+            _ => None,
+        };
+        Ok(FamilyRollup {
+            name: json
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("family rollup is missing `name`")?
+                .to_string(),
+            members: count("members")?,
+            certified: count("certified")?,
+            inconclusive: count("inconclusive")?,
+            unexpected: count("unexpected")?,
+            expected_certified: optional("expected_certified"),
+            expected_inconclusive: optional("expected_inconclusive"),
+        })
+    }
+}
+
 /// The report of one batch run over a scenario registry.
 ///
 /// # Examples
@@ -396,6 +513,9 @@ pub struct BatchReport {
     pub threads: usize,
     /// Per-scenario results, in registry order.
     pub results: Vec<ScenarioResult>,
+    /// Per-family aggregates of a sweep run (empty for plain registry
+    /// batches; serialized only when non-empty).
+    pub families: Vec<FamilyRollup>,
 }
 
 impl BatchReport {
@@ -423,6 +543,12 @@ impl BatchReport {
                 .sum();
             fields.push(("threads".to_string(), Json::from(self.threads)));
             fields.push(("total_time_s".to_string(), Json::Number(total)));
+        }
+        if !self.families.is_empty() {
+            fields.push((
+                "families".to_string(),
+                Json::Array(self.families.iter().map(FamilyRollup::to_json).collect()),
+            ));
         }
         fields.push((
             "results".to_string(),
@@ -454,12 +580,38 @@ impl BatchReport {
             .iter()
             .map(ScenarioResult::from_json)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(BatchReport { threads, results })
+        let families = json
+            .get("families")
+            .and_then(Json::as_array)
+            .unwrap_or_default()
+            .iter()
+            .map(FamilyRollup::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BatchReport {
+            threads,
+            results,
+            families,
+        })
     }
 
     /// Whether every scenario produced its expected verdict.
     pub fn all_match_expected(&self) -> bool {
         self.results.iter().all(|r| r.matches_expected)
+    }
+
+    /// Diffs every family's verdict counts against its pinned expectation.
+    /// Empty result means the family-level gate passes.
+    pub fn check_family_counts(&self) -> Result<(), Vec<String>> {
+        let findings: Vec<String> = self
+            .families
+            .iter()
+            .flat_map(FamilyRollup::findings)
+            .collect();
+        if findings.is_empty() {
+            Ok(())
+        } else {
+            Err(findings)
+        }
     }
 
     /// The checked-in baseline format: scenario name → verdict +
@@ -621,6 +773,7 @@ mod tests {
                 sample_result("alpha", "certified"),
                 sample_result("beta", "inconclusive"),
             ],
+            families: Vec::new(),
         }
     }
 
@@ -733,5 +886,58 @@ mod tests {
         assert!(BatchReport::from_json("not json").is_err());
         let no_results = "{\"schema\": \"nncps-batch-report/v1\", \"threads\": 1}";
         assert!(BatchReport::from_json(no_results).is_err());
+    }
+
+    #[test]
+    fn family_rollups_aggregate_and_round_trip() {
+        let results = vec![
+            sample_result("fam-000", "certified"),
+            sample_result("fam-001", "inconclusive"),
+            sample_result("fam-002", "certified"),
+        ];
+        let rollup = FamilyRollup::from_results(
+            "fam",
+            &results,
+            Some(crate::family::ExpectedCounts {
+                certified: 2,
+                inconclusive: 1,
+            }),
+        );
+        assert_eq!(
+            (rollup.members, rollup.certified, rollup.inconclusive),
+            (3, 2, 1)
+        );
+        // `sample_result` marks inconclusive rows as unexpected.
+        assert_eq!(rollup.unexpected, 1);
+        assert!(rollup
+            .findings()
+            .iter()
+            .any(|f| f.contains("unexpected verdicts")));
+
+        let mut report = sample_report();
+        report.families = vec![rollup.clone()];
+        let text = report.to_json(false);
+        assert!(text.contains("\"families\""));
+        let back = BatchReport::from_json(&text).unwrap();
+        assert_eq!(back.families, vec![rollup.clone()]);
+        assert_eq!(back.to_json(false), text);
+        // Count drift is reported; matching counts pass.
+        assert!(report.check_family_counts().is_err());
+        let mut matching = rollup;
+        matching.unexpected = 0;
+        matching.expected_certified = Some(2);
+        matching.expected_inconclusive = Some(1);
+        report.families = vec![matching];
+        assert!(report.check_family_counts().is_ok());
+        // Families without pinned counts never fail the counts gate.
+        let unpinned = FamilyRollup::from_results("loose", &results, None);
+        assert!(
+            unpinned.findings().len() == 1,
+            "only the unexpected-verdict finding remains"
+        );
+        // Reports without a families section parse to an empty list.
+        let plain = sample_report();
+        let parsed = BatchReport::from_json(&plain.to_json(false)).unwrap();
+        assert!(parsed.families.is_empty());
     }
 }

@@ -1,11 +1,15 @@
-//! The batch runner: the full falsify→verify pipeline over a registry.
+//! The batch runner: the full falsify→verify pipeline over a registry, and
+//! the warm-start sweep engine over scenario families.
 
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use nncps_barrier::Verifier;
+use nncps_barrier::{ClosedLoopSystem, Verifier, WarmStart};
+use nncps_sim::ExprDynamics;
 
-use crate::report::{BatchReport, ScenarioResult};
-use crate::scenario::Scenario;
+use crate::family::Family;
+use crate::report::{BatchReport, FamilyRollup, ScenarioResult};
+use crate::scenario::{ManifestError, PlantSpec, Scenario};
 use crate::Registry;
 
 /// Options of a batch run.
@@ -24,6 +28,85 @@ pub struct BatchOptions {
     pub threads: usize,
 }
 
+/// Options of a family sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Scenario-level worker threads (same semantics as
+    /// [`BatchOptions::threads`]).
+    pub threads: usize,
+    /// Whether family members share a [`SweepCache`] (compiled queries,
+    /// simulation bundles, LP candidates, built dynamics).  Reused
+    /// artifacts are bit-identical to recomputation, so this switch changes
+    /// wall-clock time only — the deterministic report is byte-identical
+    /// either way (asserted by `tests/family_warm_start.rs`).
+    pub warm_start: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            threads: 0,
+            warm_start: true,
+        }
+    }
+}
+
+/// Shared memoization state of one family sweep: the verifier's
+/// [`WarmStart`] (compiled δ-SAT queries, seed-trace bundles, LP
+/// candidates) plus the built symbolic dynamics per distinct [`PlantSpec`]
+/// (family members sharing a plant expand the neural controller into its
+/// symbolic closed loop once).
+///
+/// Workers share one instance read-mostly; every cached artifact is a pure
+/// function of its key, so sweep results are independent of hit/miss
+/// patterns and thread interleavings.
+#[derive(Debug, Default)]
+pub struct SweepCache {
+    warm: WarmStart,
+    plants: Mutex<Vec<(PlantSpec, Arc<ExprDynamics>)>>,
+}
+
+impl SweepCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SweepCache::default()
+    }
+
+    /// The verifier-level warm-start state (for hit/miss reporting).
+    pub fn warm_start(&self) -> &WarmStart {
+        &self.warm
+    }
+
+    /// Number of distinct plants whose dynamics were built so far.
+    pub fn plants_built(&self) -> usize {
+        self.plants.lock().expect("sweep cache lock").len()
+    }
+
+    /// The symbolic closed-loop dynamics of a plant, built once per
+    /// distinct spec.  [`PlantSpec::build_dynamics`] is deterministic, so
+    /// the shared value is bit-identical to a per-member rebuild.
+    fn dynamics_for(&self, plant: &PlantSpec) -> Arc<ExprDynamics> {
+        if let Some((_, found)) = self
+            .plants
+            .lock()
+            .expect("sweep cache lock")
+            .iter()
+            .find(|(spec, _)| spec == plant)
+        {
+            return Arc::clone(found);
+        }
+        // Build outside the lock (symbolic NN expansion can be slow); a
+        // racing duplicate build is dropped in favour of the first insert.
+        let built = Arc::new(plant.build_dynamics());
+        let mut plants = self.plants.lock().expect("sweep cache lock");
+        if let Some((_, found)) = plants.iter().find(|(spec, _)| spec == plant) {
+            return Arc::clone(found);
+        }
+        plants.push((plant.clone(), Arc::clone(&built)));
+        built
+    }
+}
+
 /// Runs one scenario end to end (build the closed loop, run the verifier)
 /// and assembles its report entry.
 ///
@@ -38,12 +121,26 @@ pub struct BatchOptions {
 /// assert!(result.matches_expected);
 /// ```
 pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
+    run_scenario_cached(scenario, None)
+}
+
+/// [`run_scenario`] with an optional shared [`SweepCache`]: dynamics come
+/// from the plant cache and the verifier runs with the sweep's warm-start
+/// state.  The result is bit-identical to the cache-free run; only the
+/// wall-time fields differ.
+pub fn run_scenario_cached(scenario: &Scenario, cache: Option<&SweepCache>) -> ScenarioResult {
     let build_start = Instant::now();
-    let system = scenario.build_system();
+    let system = match cache {
+        Some(cache) => {
+            let dynamics = cache.dynamics_for(scenario.plant());
+            ClosedLoopSystem::from_dynamics(&*dynamics, scenario.spec().clone())
+        }
+        None => scenario.build_system(),
+    };
     let build_time_s = build_start.elapsed().as_secs_f64();
     let verifier = Verifier::new(scenario.config().clone());
     let verify_start = Instant::now();
-    let outcome = verifier.verify(&system);
+    let outcome = verifier.verify_with_warm_start(&system, cache.map(SweepCache::warm_start));
     let wall_time_s = verify_start.elapsed().as_secs_f64();
     ScenarioResult::from_outcome(scenario, &outcome, wall_time_s, build_time_s)
 }
@@ -61,12 +158,81 @@ pub fn run_batch(registry: &Registry, options: &BatchOptions) -> BatchReport {
     BatchReport {
         threads: options.threads,
         results,
+        families: Vec::new(),
     }
+}
+
+/// Expands every family and runs all members through the sweep engine,
+/// producing a report with per-family roll-ups.
+///
+/// Members run in expansion order (families in input order, members in
+/// index order) over `options.threads` workers; with
+/// [`SweepOptions::warm_start`] enabled (the default) all workers share one
+/// [`SweepCache`].  The deterministic report form is byte-identical across
+/// thread counts *and* across the warm-start switch.
+///
+/// # Errors
+///
+/// Returns a [`ManifestError`] when two families share a name or an axis
+/// assignment is invalid for its base scenario (see [`Family::expand`]).
+///
+/// # Examples
+///
+/// ```
+/// use nncps_scenarios::{run_sweep, AxisParam, Family, ParamAxis, Registry, SweepOptions};
+///
+/// let base = Registry::builtin().get("linear-unstable-canary").unwrap().clone();
+/// let family = Family::new("canary", "delta sweep", base)
+///     .with_axis(ParamAxis::grid(AxisParam::Delta, vec![1e-3, 1e-4]))
+///     .with_counts(0, 2);
+/// let report = run_sweep(&[family], &SweepOptions::default()).unwrap();
+/// assert_eq!(report.results.len(), 2);
+/// assert_eq!(report.families[0].inconclusive, 2);
+/// assert!(report.check_family_counts().is_ok());
+/// ```
+pub fn run_sweep(
+    families: &[Family],
+    options: &SweepOptions,
+) -> Result<BatchReport, ManifestError> {
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    let mut groups: Vec<(usize, usize)> = Vec::with_capacity(families.len());
+    for (index, family) in families.iter().enumerate() {
+        if families[..index].iter().any(|f| f.name() == family.name()) {
+            return Err(ManifestError::new(format!(
+                "duplicate family name `{}`",
+                family.name()
+            )));
+        }
+        let start = scenarios.len();
+        scenarios.extend(family.expand()?);
+        groups.push((start, scenarios.len()));
+    }
+    let cache = options.warm_start.then(SweepCache::new);
+    let results = nncps_parallel::parallel_map(&scenarios, options.threads, |scenario| {
+        run_scenario_cached(scenario, cache.as_ref())
+    });
+    let rollups = families
+        .iter()
+        .zip(&groups)
+        .map(|(family, &(start, end))| {
+            FamilyRollup::from_results(
+                family.name(),
+                &results[start..end],
+                family.expected_counts(),
+            )
+        })
+        .collect();
+    Ok(BatchReport {
+        threads: options.threads,
+        results,
+        families: rollups,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::family::{AxisParam, ParamAxis};
 
     /// The shared two-scenario linear fixture (cheap: no NN case studies).
     fn small_registry() -> Registry {
@@ -99,5 +265,59 @@ mod tests {
         // Scenario-level fan-out is observationally pure: the deterministic
         // report form is byte-identical across thread counts.
         assert_eq!(sequential.to_json(false), parallel.to_json(false));
+    }
+
+    #[test]
+    fn sweep_rollups_count_verdicts_and_share_the_cache() {
+        let registry = small_registry();
+        let stable = registry.get("smoke-stable-spiral").unwrap().clone();
+        let family = Family::new("spiral", "delta sweep over the stable spiral", stable)
+            .with_axis(ParamAxis::grid(AxisParam::Delta, vec![1e-3, 1e-4, 1e-5]))
+            .with_counts(3, 0);
+        let report = run_sweep(
+            std::slice::from_ref(&family),
+            &SweepOptions {
+                threads: 1,
+                warm_start: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.results.len(), 3);
+        assert_eq!(report.results[0].name, "spiral-000");
+        assert_eq!(report.families.len(), 1);
+        let rollup = &report.families[0];
+        assert_eq!(
+            (rollup.members, rollup.certified, rollup.inconclusive),
+            (3, 3, 0)
+        );
+        assert_eq!(rollup.unexpected, 0);
+        assert!(report.check_family_counts().is_ok());
+
+        // Wrong pinned counts are reported as drift.
+        let wrong = family.with_counts(0, 3);
+        let report = run_sweep(&[wrong], &SweepOptions::default()).unwrap();
+        let findings = report.check_family_counts().unwrap_err();
+        assert!(findings[0].contains("counts drifted"), "{findings:?}");
+    }
+
+    #[test]
+    fn duplicate_family_names_are_rejected() {
+        let base = small_registry().get("smoke-unstable").unwrap().clone();
+        let family = Family::new("twice", "", base);
+        let err = run_sweep(&[family.clone(), family], &SweepOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("duplicate family name"));
+    }
+
+    #[test]
+    fn sweep_cache_builds_each_distinct_plant_once() {
+        let cache = SweepCache::new();
+        let registry = small_registry();
+        let stable = registry.get("smoke-stable-spiral").unwrap();
+        let a = cache.dynamics_for(stable.plant());
+        let b = cache.dynamics_for(stable.plant());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.plants_built(), 1);
+        cache.dynamics_for(registry.get("smoke-unstable").unwrap().plant());
+        assert_eq!(cache.plants_built(), 2);
     }
 }

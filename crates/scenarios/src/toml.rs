@@ -189,6 +189,10 @@ pub fn parse(text: &str) -> Result<TomlTable, TomlError> {
     // Path of the currently open `[section]`, as (key, index-into-array)
     // steps; key-value lines attach to the table this path points at.
     let mut current_path: Vec<String> = Vec::new();
+    // Signatures of every explicit `[header]` seen so far (scoped to the
+    // array-of-tables element they landed in), so redefining a table is an
+    // error like in standard TOML.
+    let mut defined_headers: Vec<String> = Vec::new();
 
     for (line_index, raw_line) in text.lines().enumerate() {
         let line_no = line_index + 1;
@@ -212,7 +216,12 @@ pub fn parse(text: &str) -> Result<TomlTable, TomlError> {
                 return Err(err("unterminated `[` header".to_string()));
             };
             let path = parse_key_path(header).map_err(&err)?;
-            open_table(&mut root, &path).map_err(&err)?;
+            let signature = header_signature(&root, &path);
+            if defined_headers.contains(&signature) {
+                return Err(err(format!("duplicate table header `[{header}]`")));
+            }
+            defined_headers.push(signature);
+            open_table(&mut root, &path, false).map_err(&err)?;
             current_path = path;
         } else {
             let Some(eq) = find_unquoted(line, '=') else {
@@ -234,6 +243,29 @@ pub fn parse(text: &str) -> Result<TomlTable, TomlError> {
         }
     }
     Ok(root)
+}
+
+/// The identity of a `[header]` path *within its array-of-tables scope*:
+/// path segments landing on an array of tables carry the index of the
+/// element the header attaches to, so `[scenario.plant]` under the second
+/// `[[scenario]]` does not collide with the one under the first.
+fn header_signature(root: &TomlTable, path: &[String]) -> String {
+    let mut signature = String::new();
+    let mut table = Some(root);
+    for key in path {
+        signature.push('.');
+        signature.push_str(key);
+        let value = table.and_then(|t| t.get(key));
+        if let Some(TomlValue::Array(items)) = value {
+            signature.push_str(&format!("[{}]", items.len().saturating_sub(1)));
+        }
+        table = match value {
+            Some(TomlValue::Table(t)) => Some(t),
+            Some(TomlValue::Array(items)) => items.last().and_then(TomlValue::as_table),
+            _ => None,
+        };
+    }
+    signature
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -299,7 +331,15 @@ fn navigate_mut<'a>(root: &'a mut TomlTable, path: &[String]) -> Option<&'a mut 
 }
 
 /// Ensures the `[header]` path exists, creating intermediate tables.
-fn open_table(root: &mut TomlTable, path: &[String]) -> Result<(), String> {
+///
+/// Intermediate path segments (and, with `allow_array_tail`, the final one)
+/// may land on an array of tables, in which case the walk steps into its
+/// most recent element — that is how `[scenario.plant]` nests under the
+/// latest `[[scenario]]`, and how `[[family.axis]]` appends inside the
+/// latest `[[family]]`.  Without the flag, a plain `[header]` naming an
+/// existing array of tables is an error (standard TOML forbids redefining
+/// `[[x]]` as `[x]`).
+fn open_table(root: &mut TomlTable, path: &[String], allow_array_tail: bool) -> Result<(), String> {
     let mut table = root;
     for (depth, key) in path.iter().enumerate() {
         if table.get(key).is_none() {
@@ -308,10 +348,12 @@ fn open_table(root: &mut TomlTable, path: &[String]) -> Result<(), String> {
         let value = table.get_mut(key).expect("just inserted");
         table = match value {
             TomlValue::Table(t) => t,
-            TomlValue::Array(items) if depth + 1 < path.len() => match items.last_mut() {
-                Some(TomlValue::Table(t)) => t,
-                _ => return Err(format!("`{key}` is not a table")),
-            },
+            TomlValue::Array(items) if depth + 1 < path.len() || allow_array_tail => {
+                match items.last_mut() {
+                    Some(TomlValue::Table(t)) => t,
+                    _ => return Err(format!("`{key}` is not a table")),
+                }
+            }
             _ => return Err(format!("`{key}` is not a table")),
         };
     }
@@ -324,7 +366,7 @@ fn append_array_element(root: &mut TomlTable, path: &[String]) -> Result<(), Str
     let parent = if prefix.is_empty() {
         root
     } else {
-        open_table(root, prefix)?;
+        open_table(root, prefix, true)?;
         navigate_mut(root, prefix).ok_or_else(|| "invalid header path".to_string())?
     };
     if parent.get(last).is_none() {
@@ -339,8 +381,17 @@ fn append_array_element(root: &mut TomlTable, path: &[String]) -> Result<(), Str
     }
 }
 
+/// Maximum inline-array nesting depth: manifests use two levels
+/// (`[[lo, hi], ...]`); the cap turns pathological inputs into a parse
+/// error instead of unbounded recursion.
+const MAX_ARRAY_DEPTH: usize = 32;
+
 /// Parses one value, returning it and the unconsumed remainder of the line.
 fn parse_value(text: &str) -> Result<(TomlValue, &str), String> {
+    parse_value_at(text, 0)
+}
+
+fn parse_value_at(text: &str, depth: usize) -> Result<(TomlValue, &str), String> {
     let text = text.trim_start();
     if let Some(rest) = text.strip_prefix('"') {
         let mut out = String::new();
@@ -362,13 +413,16 @@ fn parse_value(text: &str) -> Result<(TomlValue, &str), String> {
         return Err("unterminated string".to_string());
     }
     if let Some(mut rest) = text.strip_prefix('[') {
+        if depth >= MAX_ARRAY_DEPTH {
+            return Err(format!("arrays nest deeper than {MAX_ARRAY_DEPTH} levels"));
+        }
         let mut items = Vec::new();
         loop {
             rest = rest.trim_start();
             if let Some(after) = rest.strip_prefix(']') {
                 return Ok((TomlValue::Array(items), after));
             }
-            let (item, after) = parse_value(rest)?;
+            let (item, after) = parse_value_at(rest, depth + 1)?;
             items.push(item);
             rest = after.trim_start();
             if let Some(after) = rest.strip_prefix(',') {

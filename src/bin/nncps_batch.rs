@@ -1,5 +1,5 @@
 //! `nncps-batch` — run the falsify→verify pipeline over a scenario registry
-//! and emit a machine-readable JSON report.
+//! (or a generated scenario family) and emit a machine-readable JSON report.
 //!
 //! ```text
 //! cargo run --release --bin nncps-batch                       # run + print report
@@ -9,29 +9,45 @@
 //! cargo run --release --bin nncps-batch -- --out report.json  # write full report
 //! cargo run --release --bin nncps-batch -- --check SCENARIOS_expected.json
 //! cargo run --release --bin nncps-batch -- --write-expected SCENARIOS_expected.json
+//!
+//! # Scenario-family sweeps (warm-start compilation caching shared across
+//! # members; pass --cold to disable it):
+//! cargo run --release --bin nncps-batch -- --list-families
+//! cargo run --release --bin nncps-batch -- --family linear-ci-grid
+//! cargo run --release --bin nncps-batch -- --family all --out sweep.json
 //! ```
 //!
 //! `--check` exits nonzero on any verdict or witness-fingerprint drift
-//! against the baseline; it is the CI scenario-regression gate.
+//! against the baseline; it is the CI scenario-regression gate.  Family runs
+//! additionally gate on each family's pinned verdict *counts* (e.g.
+//! "12 certified / 12 inconclusive") and exit nonzero on count drift.
 
 use std::process::ExitCode;
 
-use nncps_scenarios::{run_batch, BatchOptions, Registry};
+use nncps_scenarios::{
+    builtin_families, families_from_toml_str, run_batch, run_sweep, BatchOptions, Family, Registry,
+    SweepOptions,
+};
 
 struct Args {
     manifest: Option<String>,
     filter: Option<String>,
     threads: usize,
     out: Option<String>,
+    out_deterministic: Option<String>,
     check: Option<String>,
     write_expected: Option<String>,
+    family: Option<String>,
+    cold: bool,
     list: bool,
+    list_families: bool,
     quiet: bool,
 }
 
 const USAGE: &str = "usage: nncps-batch [--manifest FILE.toml] [--filter SUBSTRING] \
-                     [--threads N] [--out REPORT.json] [--check EXPECTED.json] \
-                     [--write-expected EXPECTED.json] [--list] [--quiet]";
+                     [--threads N] [--out REPORT.json] [--out-deterministic REPORT.json] \
+                     [--check EXPECTED.json] [--write-expected EXPECTED.json] \
+                     [--family NAME|all] [--cold] [--list] [--list-families] [--quiet]";
 
 /// Parses the CLI; `Ok(None)` means `--help` was requested.
 fn parse_args() -> Result<Option<Args>, String> {
@@ -40,9 +56,13 @@ fn parse_args() -> Result<Option<Args>, String> {
         filter: None,
         threads: 0,
         out: None,
+        out_deterministic: None,
         check: None,
         write_expected: None,
+        family: None,
+        cold: false,
         list: false,
+        list_families: false,
         quiet: false,
     };
     let mut argv = std::env::args().skip(1);
@@ -60,15 +80,34 @@ fn parse_args() -> Result<Option<Args>, String> {
                     .map_err(|e| format!("invalid --threads: {e}"))?
             }
             "--out" => args.out = Some(value("--out")?),
+            "--out-deterministic" => args.out_deterministic = Some(value("--out-deterministic")?),
             "--check" => args.check = Some(value("--check")?),
             "--write-expected" => args.write_expected = Some(value("--write-expected")?),
+            "--family" => args.family = Some(value("--family")?),
+            "--cold" => args.cold = true,
             "--list" => args.list = true,
+            "--list-families" => args.list_families = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
     Ok(Some(args))
+}
+
+/// The families visible to this invocation: the built-in declarations plus
+/// any `[[family]]` tables of the manifest.
+fn available_families(manifest: Option<&str>) -> Result<Vec<Family>, String> {
+    let mut families = builtin_families();
+    if let Some(path) = manifest {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read manifest {path}: {e}"))?;
+        // A scenarios-only manifest contributes no families.
+        families.extend(
+            families_from_toml_str(&text, &Registry::builtin()).map_err(|e| e.to_string())?,
+        );
+    }
+    Ok(families)
 }
 
 fn main() -> ExitCode {
@@ -84,6 +123,143 @@ fn main() -> ExitCode {
         }
     };
 
+    if args.list_families {
+        let families = match available_families(args.manifest.as_deref()) {
+            Ok(families) => families,
+            Err(message) => {
+                eprintln!("nncps-batch: {message}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for family in &families {
+            let counts = match family.expected_counts() {
+                Some(c) => format!(
+                    "{} certified / {} inconclusive",
+                    c.certified, c.inconclusive
+                ),
+                None => "counts unpinned".to_string(),
+            };
+            println!(
+                "{:<24} {:>4} members  expect {:<32} {}",
+                family.name(),
+                family.len(),
+                counts,
+                family.description()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // --- family sweep mode ------------------------------------------------
+    if let Some(selection) = &args.family {
+        // Registry-only flags would be silently ignored here; refuse them so
+        // a CI invocation never loses a gate it asked for.
+        for (flag, given) in [
+            ("--check", args.check.is_some()),
+            ("--write-expected", args.write_expected.is_some()),
+            ("--filter", args.filter.is_some()),
+            ("--list", args.list),
+        ] {
+            if given {
+                eprintln!(
+                    "nncps-batch: {flag} applies to registry runs, not --family sweeps \
+                     (family runs gate on pinned verdict counts instead)\n{USAGE}"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        let families = match available_families(args.manifest.as_deref()) {
+            Ok(families) => families,
+            Err(message) => {
+                eprintln!("nncps-batch: {message}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let selected: Vec<Family> = if selection == "all" {
+            families
+        } else {
+            families
+                .into_iter()
+                .filter(|f| f.name() == selection)
+                .collect()
+        };
+        if selected.is_empty() {
+            eprintln!("nncps-batch: no family named `{selection}` (use --list-families)");
+            return ExitCode::FAILURE;
+        }
+        let members: usize = selected.iter().map(Family::len).sum();
+        if !args.quiet {
+            eprintln!(
+                "nncps-batch: sweeping {} famil{} ({} members, warm start {})...",
+                selected.len(),
+                if selected.len() == 1 { "y" } else { "ies" },
+                members,
+                if args.cold { "off" } else { "on" },
+            );
+        }
+        let report = match run_sweep(
+            &selected,
+            &SweepOptions {
+                threads: args.threads,
+                warm_start: !args.cold,
+            },
+        ) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("nncps-batch: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !args.quiet {
+            for rollup in &report.families {
+                eprintln!(
+                    "  {:<24} {:>4} members: {} certified / {} inconclusive ({})",
+                    rollup.name,
+                    rollup.members,
+                    rollup.certified,
+                    rollup.inconclusive,
+                    if rollup.findings().is_empty() {
+                        "as expected"
+                    } else {
+                        "DRIFT"
+                    },
+                );
+            }
+            let total: f64 = report
+                .results
+                .iter()
+                .map(|r| r.wall_time_s + r.build_time_s)
+                .sum();
+            eprintln!("nncps-batch: sweep finished in {total:.2}s of scenario time");
+        }
+        if let Some(path) = &args.out_deterministic {
+            if let Err(e) = std::fs::write(path, report.to_json(false)) {
+                eprintln!("nncps-batch: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = &args.out {
+            if let Err(e) = std::fs::write(path, report.to_json(true)) {
+                eprintln!("nncps-batch: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        } else if args.quiet || args.out_deterministic.is_some() {
+            // Stay silent (the CI determinism probe diffs the files).
+        } else {
+            print!("{}", report.to_json(true));
+        }
+        return match report.check_family_counts() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(findings) => {
+                for finding in &findings {
+                    eprintln!("nncps-batch: DRIFT: {finding}");
+                }
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // --- registry mode ----------------------------------------------------
     let registry = match &args.manifest {
         Some(path) => match Registry::from_toml_file(path) {
             Ok(registry) => registry,
@@ -159,12 +335,21 @@ fn main() -> ExitCode {
             eprintln!("nncps-batch: baseline written to {path}");
         }
     }
+    if let Some(path) = &args.out_deterministic {
+        if let Err(e) = std::fs::write(path, report.to_json(false)) {
+            eprintln!("nncps-batch: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(path) = &args.out {
         if let Err(e) = std::fs::write(path, report.to_json(true)) {
             eprintln!("nncps-batch: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
-    } else if args.check.is_none() && args.write_expected.is_none() {
+    } else if args.check.is_none()
+        && args.write_expected.is_none()
+        && args.out_deterministic.is_none()
+    {
         print!("{}", report.to_json(true));
     }
 
