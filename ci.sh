@@ -105,6 +105,28 @@ if [ "$quick" != "quick" ]; then
     cargo run --release -p nncps_bench --bin bench-compare -- \
         --bench "substrate/family_sweep/warm_24" \
         "$bench_json" BENCH_pr5.json
+
+    # PR 6: the batched SIMD evaluation layer.  The per-box speedup gate
+    # holds the 8-lane batched evaluator to >= 1.6x over the one-at-a-time
+    # interpreter *within this run* (recorded headline: 2.0-2.2x; the floor
+    # leaves headroom for host noise), and the median gates catch absolute
+    # regressions of the batched evaluator and the batched solver path
+    # against the BENCH_pr6.json record.
+    echo "==> bench-regression: batched evaluation vs BENCH_pr6.json"
+    CRITERION_JSON="$bench_json" \
+        cargo bench --bench substrate_micro -- "substrate/batched_eval/per_box/"
+    CRITERION_JSON="$bench_json" \
+        cargo bench --bench substrate_micro -- "substrate/batched_eval/decrease_query_50"
+    cargo run --release -p nncps_bench --bin bench-compare -- \
+        "$bench_json" --speedup \
+        "substrate/batched_eval/per_box/scalar" \
+        "substrate/batched_eval/per_box/lanes8" --min 1.6
+    cargo run --release -p nncps_bench --bin bench-compare -- \
+        --bench "substrate/batched_eval/per_box/lanes4" \
+        "$bench_json" BENCH_pr6.json
+    cargo run --release -p nncps_bench --bin bench-compare -- \
+        --bench "substrate/batched_eval/decrease_query_50/batched" \
+        "$bench_json" BENCH_pr6.json
 else
     echo "==> bench-regression: (skipped in quick mode)"
 fi

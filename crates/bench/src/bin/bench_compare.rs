@@ -18,6 +18,12 @@
 //! workspace's headline solver bench), tolerance 25%.  Override with
 //! `--bench NAME` / `--tolerance PCT` or the `NNCPS_BENCH_TOLERANCE_PCT`
 //! environment variable (flag wins).
+//!
+//! A second mode gates a *speedup within one run* instead of a regression
+//! against a baseline: `bench-compare CURRENT.jsonl --speedup SLOW FAST
+//! [--min RATIO]` fails unless `median(SLOW) / median(FAST) ≥ RATIO`
+//! (default 2).  ci.sh uses it to hold the batched evaluator to its ≥2×
+//! per-box headline against the one-at-a-time interpreter.
 
 use std::process::ExitCode;
 
@@ -26,8 +32,9 @@ use nncps_scenarios::Json;
 const DEFAULT_BENCH: &str = "substrate/deltasat/decrease_query/50";
 const DEFAULT_TOLERANCE_PCT: f64 = 25.0;
 
-const USAGE: &str =
-    "usage: bench-compare CURRENT.jsonl BASELINE.json [--bench NAME] [--tolerance PCT]";
+const DEFAULT_MIN_SPEEDUP: f64 = 2.0;
+
+const USAGE: &str = "usage: bench-compare CURRENT.jsonl BASELINE.json [--bench NAME] [--tolerance PCT]\n       bench-compare CURRENT.jsonl --speedup SLOW FAST [--min RATIO]";
 
 fn main() -> ExitCode {
     if std::env::args().any(|a| a == "--help" || a == "-h") {
@@ -55,6 +62,8 @@ fn run() -> Result<String, String> {
             .map_err(|e| format!("invalid NNCPS_BENCH_TOLERANCE_PCT: {e}"))?,
         Err(_) => DEFAULT_TOLERANCE_PCT,
     };
+    let mut speedup: Option<(String, String)> = None;
+    let mut min_speedup = DEFAULT_MIN_SPEEDUP;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -66,8 +75,42 @@ fn run() -> Result<String, String> {
                     .parse()
                     .map_err(|e| format!("invalid --tolerance: {e}"))?
             }
+            "--speedup" => {
+                let slow = argv.next().ok_or_else(|| USAGE.to_string())?;
+                let fast = argv.next().ok_or_else(|| USAGE.to_string())?;
+                speedup = Some((slow, fast));
+            }
+            "--min" => {
+                min_speedup = argv
+                    .next()
+                    .ok_or_else(|| USAGE.to_string())?
+                    .parse()
+                    .map_err(|e| format!("invalid --min: {e}"))?
+            }
             other => positional.push(other.to_string()),
         }
+    }
+    if let Some((slow, fast)) = speedup {
+        let [current_path] = positional.as_slice() else {
+            return Err(USAGE.to_string());
+        };
+        if !(1.0..1000.0).contains(&min_speedup) {
+            return Err(format!("minimum speedup {min_speedup}x is not sane"));
+        }
+        let slow_s = read_current_median(current_path, &slow)?;
+        let fast_s = read_current_median(current_path, &fast)?;
+        let ratio = slow_s / fast_s;
+        let summary = format!(
+            "`{fast}` runs {ratio:.2}x faster than `{slow}` \
+             ({:.3} ms vs {:.3} ms, floor {min_speedup}x)",
+            fast_s * 1e3,
+            slow_s * 1e3,
+        );
+        return if ratio < min_speedup {
+            Err(format!("SPEEDUP LOST: {summary}"))
+        } else {
+            Ok(format!("bench-compare: OK: {summary}"))
+        };
     }
     let [current_path, baseline_path] = positional.as_slice() else {
         return Err(USAGE.to_string());

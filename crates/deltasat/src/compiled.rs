@@ -47,7 +47,9 @@
 
 use std::sync::OnceLock;
 
-use nncps_expr::{Expr, SpecializeScratch, Tape, TapeInstr, TapeView};
+use nncps_expr::{
+    AllocatedTape, Expr, SpecializeScratch, Tape, TapeInstr, TapeView, DEFAULT_REGISTERS,
+};
 use nncps_interval::{Interval, IntervalBox};
 
 use crate::contractor::{invert_binary, invert_powi, invert_unary, total_width};
@@ -124,6 +126,15 @@ pub struct ClauseScratch {
 }
 
 impl ClauseScratch {
+    /// Installs a recorded forward sweep as the valid sweep cache (the
+    /// solver's batched sibling evaluation recorded `trace` over exactly
+    /// the region about to be propagated), returning the previous buffer
+    /// for recycling.  Pair with [`CompiledClause::propagate_prefilled`].
+    pub(crate) fn install_sweep(&mut self, trace: Vec<Interval>) -> Vec<Interval> {
+        self.valid = trace.len();
+        std::mem::replace(&mut self.slots, trace)
+    }
+
     /// Moves the instrumentation counters out of the scratch (resetting
     /// them), so the solver can fold them into its statistics.
     pub(crate) fn take_counters(&mut self) -> (usize, usize, usize) {
@@ -264,6 +275,11 @@ pub struct CompiledClause {
     /// lowering happen on first use, or eagerly via
     /// [`CompiledClause::ensure_gradients`]).
     grad: OnceLock<GradientBundle>,
+    /// Lazily register-allocated form of the full tape (built on the first
+    /// batched sibling sweep; shared by every consumer of this clause,
+    /// including all family-sweep members holding the compiled formula
+    /// through the warm-start cache).
+    alloc: OnceLock<AllocatedTape>,
 }
 
 impl CompiledClause {
@@ -298,6 +314,7 @@ impl CompiledClause {
             has_choices,
             clip_free,
             grad: OnceLock::new(),
+            alloc: OnceLock::new(),
         }
     }
 
@@ -342,6 +359,15 @@ impl CompiledClause {
     /// ```
     pub fn ensure_gradients(&self) {
         let _ = self.gradient_bundle();
+    }
+
+    /// The register-allocated form of the full tape, built once on first
+    /// use (the solver's batched sibling sweeps run depth-0 boxes through
+    /// it; specialized views get their own allocations in the solver's
+    /// view stack).
+    pub(crate) fn allocated_tape(&self) -> &AllocatedTape {
+        self.alloc
+            .get_or_init(|| AllocatedTape::from_tape(&self.tape, DEFAULT_REGISTERS))
     }
 
     fn gradient_bundle(&self) -> &GradientBundle {
@@ -524,6 +550,39 @@ impl CompiledClause {
     ) -> ClauseFeasibility {
         let prog = self.program(view);
         scratch.valid = 0;
+        if !self.contract_inner(prog, clip_free, region, rounds, scratch) || region.is_empty() {
+            return ClauseFeasibility::Violated;
+        }
+        self.classify(prog, region, scratch)
+    }
+
+    /// [`CompiledClause::propagate_flagged`] *without* invalidating the
+    /// shared forward sweep: the caller has prefilled `scratch.slots` /
+    /// `scratch.valid` with a recorded sweep of the active program over
+    /// exactly this `region` (the solver's batched sibling evaluation).
+    ///
+    /// Because the recorded lanes are bitwise identical to the sweep
+    /// [`CompiledClause::propagate_flagged`] would have grown itself (the
+    /// batched evaluator's per-lane bit-identity), contraction and
+    /// classification take identical decisions and the result is
+    /// bit-identical to the unprefilled call — the cached prefix merely
+    /// skips recomputation, exactly like a fixpointed revise does.
+    pub(crate) fn propagate_prefilled(
+        &self,
+        view: Option<&TapeView>,
+        view_clip_free: Option<&[bool]>,
+        region: &mut IntervalBox,
+        rounds: usize,
+        scratch: &mut ClauseScratch,
+    ) -> ClauseFeasibility {
+        // Same flag resolution as `propagate`/`propagate_flagged`: views
+        // take the caller-derived flags, the full tape uses its own.
+        let clip_free = match view {
+            Some(_) => view_clip_free,
+            None => Some(self.clip_free.as_slice()),
+        };
+        let prog = self.program(view);
+        debug_assert!(scratch.valid <= prog.len());
         if !self.contract_inner(prog, clip_free, region, rounds, scratch) || region.is_empty() {
             return ClauseFeasibility::Violated;
         }

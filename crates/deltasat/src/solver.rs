@@ -2,8 +2,10 @@
 
 use std::fmt;
 
-use nncps_expr::{SpecializeScratch, TapeView};
-use nncps_interval::IntervalBox;
+use nncps_expr::{
+    AllocatedTape, BatchScratch, RegAlloc, SpecializeScratch, TapeView, DEFAULT_REGISTERS,
+};
+use nncps_interval::{Interval, IntervalBox};
 
 use crate::compiled::{
     ClauseFeasibility, ClauseScratch, CompiledClause, CompiledFormula, CutOutcome,
@@ -165,6 +167,7 @@ pub struct DeltaSolver {
     tree_eval: bool,
     specialize: bool,
     newton: bool,
+    batched: bool,
 }
 
 /// What the branch-and-prune loop does with one box popped from the work
@@ -195,8 +198,13 @@ struct SpecState {
     /// Clip-free cone flags of each view (parallel to `views`), so derived
     /// programs keep the no-op backward-subtree skipping of the full tape.
     flags: Vec<Vec<bool>>,
+    /// Register-allocated form of each view (parallel to `views`), feeding
+    /// the batched sibling sweeps; empty when batching is off.
+    allocs: Vec<AllocatedTape>,
     pool: Vec<TapeView>,
     flag_pool: Vec<Vec<bool>>,
+    alloc_pool: Vec<AllocatedTape>,
+    ralloc: RegAlloc,
     scratch: SpecializeScratch,
 }
 
@@ -265,6 +273,30 @@ impl ClauseEngine<'_> {
         }
     }
 
+    /// [`ClauseEngine::propagate`], but reusing the sweep prefix already
+    /// installed in the scratch (by [`ClauseScratch::install_sweep`]) instead
+    /// of starting the forward sweep from scratch.  Only meaningful for the
+    /// compiled engine — the solver records those prefixes with the batched
+    /// evaluator, which is only wired up for compiled clauses; the tree arm
+    /// falls back to a regular propagation.
+    fn propagate_prefilled(
+        &self,
+        view: Option<(&TapeView, &[bool])>,
+        region: &mut IntervalBox,
+        rounds: usize,
+        scratch: &mut ClauseScratch,
+    ) -> ClauseFeasibility {
+        match self {
+            ClauseEngine::Compiled(clause) => match view {
+                Some((view, clip_free)) => {
+                    clause.propagate_prefilled(Some(view), Some(clip_free), region, rounds, scratch)
+                }
+                None => clause.propagate_prefilled(None, None, region, rounds, scratch),
+            },
+            ClauseEngine::Tree(_) => self.propagate(view, region, rounds, scratch),
+        }
+    }
+
     fn derivative_cuts(&self, region: &mut IntervalBox, scratch: &mut ClauseScratch) -> CutOutcome {
         match self {
             ClauseEngine::Compiled(clause) => clause.derivative_cuts(region, scratch),
@@ -311,6 +343,11 @@ impl DeltaSolver {
     /// a freshly classified region.
     const MAX_CUT_PASSES: usize = 3;
 
+    /// Lane count of the batched sibling sweeps: a bisection produces
+    /// exactly two children, and both run through one two-lane sweep of the
+    /// child program's register-allocated tape at split time.
+    const SIBLING_LANES: usize = 2;
+
     /// Derivative-guided cuts are attempted once a box's width is within
     /// this factor of the precision `δ` (about ten bisections per dimension
     /// from termination).  On wide boxes the gradient enclosures of
@@ -335,6 +372,7 @@ impl DeltaSolver {
             tree_eval: false,
             specialize: true,
             newton: true,
+            batched: true,
         }
     }
 
@@ -421,6 +459,7 @@ impl DeltaSolver {
         self.tree_eval = true;
         self.specialize = false;
         self.newton = false;
+        self.batched = false;
         self
     }
 
@@ -474,6 +513,42 @@ impl DeltaSolver {
         self
     }
 
+    /// Enables or disables batched sibling evaluation (default: enabled).
+    ///
+    /// When enabled, the sequential search evaluates both children of every
+    /// bisection through one multi-lane sweep of a register-allocated tape
+    /// ([`AllocatedTape`](nncps_expr::AllocatedTape)): each instruction is
+    /// decoded once and applied to both child boxes, and the recorded
+    /// per-lane traces seed the children's contraction sweeps when they are
+    /// popped.  Batching is *bit-invisible*: every lane performs exactly the
+    /// operations of the scalar interpreter in the same order, so verdicts,
+    /// witnesses, and search statistics are identical with it on or off —
+    /// the only observable difference is speed (and
+    /// [`SolverStats::instructions_executed`], which is evaluation-cost
+    /// instrumentation).  It applies to compiled clauses in the sequential
+    /// search; the tree reference and the multi-threaded search ignore it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nncps_deltasat::{Constraint, DeltaSolver, Formula};
+    /// use nncps_expr::Expr;
+    /// use nncps_interval::IntervalBox;
+    ///
+    /// let query = Formula::atom(Constraint::eq(Expr::var(0).powi(2), 2.0));
+    /// let domain = IntervalBox::from_bounds(&[(0.0, 2.0)]);
+    /// let (on, stats_on) = DeltaSolver::new(1e-6).solve_with_stats(&query, &domain);
+    /// let (off, stats_off) = DeltaSolver::new(1e-6)
+    ///     .with_batched_evaluation(false)
+    ///     .solve_with_stats(&query, &domain);
+    /// assert_eq!(on.witness(), off.witness());
+    /// assert_eq!(stats_on, stats_off);
+    /// ```
+    pub fn with_batched_evaluation(mut self, enabled: bool) -> Self {
+        self.batched = enabled;
+        self
+    }
+
     /// The configured precision `δ`.
     pub fn precision(&self) -> f64 {
         self.precision
@@ -492,6 +567,11 @@ impl DeltaSolver {
     /// Whether derivative-guided cuts are enabled.
     pub fn newton_cuts(&self) -> bool {
         self.newton
+    }
+
+    /// Whether batched sibling evaluation is enabled.
+    pub fn batched_evaluation(&self) -> bool {
+        self.batched
     }
 
     /// Decides `∃ x ∈ domain : formula(x)`.
@@ -613,6 +693,7 @@ impl DeltaSolver {
         scratch: &mut ClauseScratch,
         region: &mut IntervalBox,
         view: Option<(&TapeView, &[bool])>,
+        mut prefilled: bool,
     ) -> BoxOutcome {
         scratch.specialized_tape_len_sum += engine.program_len(view);
         let mut cut_passes = 0;
@@ -622,8 +703,16 @@ impl DeltaSolver {
             // re-specialization steps).  Every exit from this loop — and in
             // particular the δ-termination below — happens on a region that
             // was classified as it stands: a narrowing cut always loops back
-            // through propagation, never straight to a verdict.
-            match engine.propagate(view, region, self.contraction_rounds, scratch) {
+            // through propagation, never straight to a verdict.  When the box
+            // arrives with a prefilled sweep (recorded by the batched sibling
+            // evaluation at split time), the first pass reuses it; later
+            // passes run on a cut-narrowed region and sweep normally.
+            let feasibility = if std::mem::take(&mut prefilled) {
+                engine.propagate_prefilled(view, region, self.contraction_rounds, scratch)
+            } else {
+                engine.propagate(view, region, self.contraction_rounds, scratch)
+            };
+            match feasibility {
                 ClauseFeasibility::Violated => return BoxOutcome::Pruned,
                 ClauseFeasibility::Satisfied => return BoxOutcome::Sat,
                 ClauseFeasibility::Undecided => {}
@@ -676,6 +765,16 @@ impl DeltaSolver {
     /// derived views that apply to them; popping an entry truncates the view
     /// stack back to that depth (recycling deeper views through the pool),
     /// and a split may push one further-specialized view for both children.
+    ///
+    /// With batched evaluation on (compiled clauses only), every split runs
+    /// both children through one [`Self::SIBLING_LANES`]-lane recording
+    /// sweep of the child program's register-allocated tape, and the stack
+    /// entries carry the recorded traces: when a child is popped, its trace
+    /// seeds the contraction sweep instead of re-running the forward pass.
+    /// The trace stays valid while the entry waits on the stack because
+    /// the box is immutable there and the view at its depth is untouched
+    /// until the entry is popped (the depth-first path invariant that also
+    /// protects `views`).
     fn run_sequential(
         &self,
         engine: &ClauseEngine<'_>,
@@ -684,13 +783,18 @@ impl DeltaSolver {
         scratch: &mut ClauseScratch,
         spec: &mut Option<SpecState>,
     ) -> SatResult {
-        let mut stack: Vec<(IntervalBox, u32)> = vec![(domain.clone(), 0)];
+        let batching = self.batched && matches!(engine, ClauseEngine::Compiled(_));
+        let mut stack: Vec<(IntervalBox, u32, Option<Vec<Interval>>)> =
+            vec![(domain.clone(), 0, None)];
         // Pruned boxes are recycled as the upper halves of later splits, so
         // the steady-state loop allocates nothing: popping moves a box out
         // of the stack, contraction narrows it in place, and
-        // `split_widest_into` reuses pooled storage.
+        // `split_widest_into` reuses pooled storage.  Sweep traces recycle
+        // through their own pool the same way.
         let mut pool: Vec<IntervalBox> = Vec::new();
-        while let Some((mut region, depth)) = stack.pop() {
+        let mut trace_pool: Vec<Vec<Interval>> = Vec::new();
+        let mut batch_scratch: BatchScratch<{ Self::SIBLING_LANES }> = BatchScratch::new();
+        while let Some((mut region, depth, trace)) = stack.pop() {
             stats.boxes_explored += 1;
             if stats.boxes_explored > self.max_boxes {
                 return SatResult::Unknown(format!("box budget of {} exhausted", self.max_boxes));
@@ -702,8 +806,18 @@ impl DeltaSolver {
                     state.pool.push(recycled);
                     let recycled_flags = state.flags.pop().expect("parallel stacks");
                     state.flag_pool.push(recycled_flags);
+                    if let Some(recycled_alloc) = state.allocs.pop() {
+                        state.alloc_pool.push(recycled_alloc);
+                    }
                 }
             }
+            let prefilled = match trace {
+                Some(recorded) => {
+                    trace_pool.push(scratch.install_sweep(recorded));
+                    true
+                }
+                None => false,
+            };
             let outcome = {
                 let view = spec.as_ref().filter(|_| depth > 0).map(|state| {
                     (
@@ -711,7 +825,7 @@ impl DeltaSolver {
                         state.flags[depth as usize - 1].as_slice(),
                     )
                 });
-                self.process_box(engine, scratch, &mut region, view)
+                self.process_box(engine, scratch, &mut region, view, prefilled)
             };
             match outcome {
                 BoxOutcome::Pruned => {
@@ -730,8 +844,11 @@ impl DeltaSolver {
                             let SpecState {
                                 views,
                                 flags,
+                                allocs,
                                 pool: view_pool,
                                 flag_pool,
+                                alloc_pool,
+                                ralloc,
                                 scratch: spec_scratch,
                             } = state;
                             let parent = (depth > 0).then(|| &views[depth as usize - 1]);
@@ -739,6 +856,18 @@ impl DeltaSolver {
                             if engine.respecialize(parent, scratch, spec_scratch, &mut derived) {
                                 let mut derived_flags = flag_pool.pop().unwrap_or_default();
                                 engine.view_clip_free(&derived, &mut derived_flags);
+                                if batching {
+                                    // Register-allocate the derived view once;
+                                    // every split below this depth batches
+                                    // through it.
+                                    let mut derived_alloc = alloc_pool.pop().unwrap_or_default();
+                                    ralloc.allocate_view_into(
+                                        &derived,
+                                        DEFAULT_REGISTERS,
+                                        &mut derived_alloc,
+                                    );
+                                    allocs.push(derived_alloc);
+                                }
                                 views.push(derived);
                                 flags.push(derived_flags);
                                 views.len() as u32
@@ -751,11 +880,36 @@ impl DeltaSolver {
                     };
                     let mut right = pool.pop().unwrap_or_default();
                     region.split_widest_into(&mut right);
+                    let (left_trace, right_trace) = if let (true, ClauseEngine::Compiled(clause)) =
+                        (batching, engine)
+                    {
+                        // One two-lane sweep of the child program covers both
+                        // children; each lane's recorded slots are bitwise
+                        // what the child's own forward sweep would compute.
+                        let alloc = if child_depth == 0 {
+                            clause.allocated_tape()
+                        } else {
+                            let state = spec.as_ref().expect("child_depth > 0 implies views");
+                            &state.allocs[child_depth as usize - 1]
+                        };
+                        let mut left = trace_pool.pop().unwrap_or_default();
+                        let mut right_rec = trace_pool.pop().unwrap_or_default();
+                        alloc.eval_interval_batch_recording(
+                            clause.tape(),
+                            &[&region, &right],
+                            &mut batch_scratch,
+                            &mut [&mut left, &mut right_rec],
+                        );
+                        scratch.instructions_executed += Self::SIBLING_LANES * alloc.source_len();
+                        (Some(left), Some(right_rec))
+                    } else {
+                        (None, None)
+                    };
                     // Depth-first exploration; pushing the halves in this
                     // order keeps the search biased toward the lower corner,
                     // which is as good as any deterministic choice.
-                    stack.push((right, child_depth));
-                    stack.push((region, child_depth));
+                    stack.push((right, child_depth, right_trace));
+                    stack.push((region, child_depth, left_trace));
                 }
             }
         }
@@ -875,7 +1029,7 @@ impl DeltaSolver {
         let mut pool: Vec<IntervalBox> = Vec::new();
         while let Some(mut region) = stack.pop() {
             result.explored += 1;
-            match self.process_box(engine, &mut scratch, &mut region, None) {
+            match self.process_box(engine, &mut scratch, &mut region, None, false) {
                 BoxOutcome::Pruned => {
                     result.pruned += 1;
                     pool.push(region);

@@ -1,0 +1,197 @@
+//! Whole-solver differential proof that batched sibling evaluation is
+//! bit-invisible: for every query shape the pipeline issues — SAT, UNSAT,
+//! tight equalities, clipped controllers, disjunctions, budget exhaustion —
+//! the batched search must return the *same verdict, the same witness box
+//! (bitwise), and the same search-tree statistics* as the solver with
+//! batching disabled, and as the tree-walking reference.
+//!
+//! This is the solver-level counterpart of the per-evaluation lane oracle in
+//! `nncps_expr`: the lane oracle proves each batched sweep is bit-identical
+//! per lane; this suite proves the *composition* — prefilled contraction
+//! sweeps, register-allocated view programs, trace recycling — never steers
+//! the branch-and-prune search.
+
+use nncps_deltasat::{Constraint, DeltaSolver, Formula, SatResult, SolverStats};
+use nncps_expr::Expr;
+use nncps_interval::IntervalBox;
+
+fn x() -> Expr {
+    Expr::var(0)
+}
+
+fn y() -> Expr {
+    Expr::var(1)
+}
+
+fn square_domain(half: f64) -> IntervalBox {
+    IntervalBox::from_bounds(&[(-half, half), (-half, half)])
+}
+
+/// The query mix the equivalence suites sweep, plus barrier-style shapes:
+/// decrease-condition lookalikes with clipped controller terms.
+fn differential_queries() -> Vec<(Formula, IntervalBox)> {
+    let grad_dot_f = (x() * -2.0) * x() + (y() * -2.0) * y();
+    let outside_x0 = Formula::or(vec![
+        Formula::atom(Constraint::le(x(), -0.5)),
+        Formula::atom(Constraint::ge(x(), 0.5)),
+        Formula::atom(Constraint::le(y(), -0.5)),
+        Formula::atom(Constraint::ge(y(), 0.5)),
+    ]);
+    vec![
+        // Satisfiable conjunction (witness in the first quadrant).
+        (
+            Formula::all_of([
+                Constraint::le(x().powi(2) + y().powi(2), 1.0),
+                Constraint::ge(x(), 0.5),
+            ]),
+            square_domain(2.0),
+        ),
+        // Unsatisfiable conjunction (deep refutation tree).
+        (
+            Formula::all_of([
+                Constraint::le(x().powi(2) + y().powi(2), 0.25),
+                Constraint::ge(x(), 1.0),
+            ]),
+            square_domain(2.0),
+        ),
+        // Tight equality: the search descends to δ depth.
+        (
+            Formula::atom(Constraint::eq(x().powi(2), 2.0)),
+            IntervalBox::from_bounds(&[(0.0, 2.0), (0.0, 1.0)]),
+        ),
+        // Clipped controller shape: min/max cones drive specialization,
+        // which composes with the batched view programs.
+        (
+            Formula::atom(Constraint::ge(
+                (x().tanh() * 2.0 + (y() * 0.5).sigmoid()).min(x() + y()),
+                0.75,
+            )),
+            square_domain(3.0),
+        ),
+        // Disjunction across partial-domain operators (sqrt/exp).
+        (
+            Formula::any_of([
+                Constraint::le((x() * 3.0).sin() + y().powi(3), -4.0),
+                Constraint::ge(x().abs().sqrt() - y().exp(), 1.0),
+            ]),
+            square_domain(1.5),
+        ),
+        // The paper's decrease condition on a stable linear system:
+        // ∃ x ∈ D \ X0 : ∇W · f ≥ −γ must be UNSAT.
+        (
+            Formula::and(vec![
+                outside_x0,
+                Formula::atom(Constraint::ge(grad_dot_f, -1e-6)),
+            ]),
+            square_domain(3.0),
+        ),
+    ]
+}
+
+fn assert_same_outcome(
+    a: &SatResult,
+    b: &SatResult,
+    sa: &SolverStats,
+    sb: &SolverStats,
+    context: &str,
+) {
+    assert_eq!(sa, sb, "{context}: search statistics diverge");
+    match (a, b) {
+        (SatResult::DeltaSat(wa), SatResult::DeltaSat(wb)) => {
+            assert_eq!(wa, wb, "{context}: witness boxes diverge");
+        }
+        (SatResult::Unsat, SatResult::Unsat) => {}
+        (SatResult::Unknown(_), SatResult::Unknown(_)) => {}
+        (a, b) => panic!("{context}: verdicts diverge: {a} vs {b}"),
+    }
+}
+
+#[test]
+fn batched_evaluation_is_bit_invisible() {
+    for (formula, domain) in differential_queries() {
+        let batched = DeltaSolver::new(1e-4);
+        assert!(batched.batched_evaluation(), "batching must default on");
+        let scalar = DeltaSolver::new(1e-4).with_batched_evaluation(false);
+        let (a, sa) = batched.solve_with_stats(&formula, &domain);
+        let (b, sb) = scalar.solve_with_stats(&formula, &domain);
+        assert_same_outcome(&a, &b, &sa, &sb, &format!("{formula}"));
+    }
+}
+
+#[test]
+fn batched_evaluation_matches_the_tree_reference() {
+    // The tree reference pins Newton cuts off (they change the search tree by
+    // design); the batched compiled solver must match it exactly with the
+    // same pin — the strongest end-to-end statement: batching + register
+    // allocation + specialization together are indistinguishable from the
+    // recursive tree walkers.
+    for (formula, domain) in differential_queries() {
+        let batched = DeltaSolver::new(1e-4).with_newton_cuts(false);
+        assert!(batched.batched_evaluation());
+        let reference = DeltaSolver::new(1e-4).with_tree_evaluator();
+        assert!(!reference.batched_evaluation());
+        let (a, sa) = batched.solve_with_stats(&formula, &domain);
+        let (b, sb) = reference.solve_with_stats(&formula, &domain);
+        assert_same_outcome(&a, &b, &sa, &sb, &format!("{formula}"));
+    }
+}
+
+#[test]
+fn batching_composes_with_every_acceleration_toggle() {
+    // Batching must be invisible in *every* solver configuration, not just
+    // the default: specialization off (depth-0 full-tape batches only),
+    // Newton cuts on (prefilled sweeps followed by cut-narrowed re-sweeps),
+    // and both off.
+    for (formula, domain) in differential_queries() {
+        for (spec, newton) in [(true, true), (false, true), (true, false), (false, false)] {
+            let on = DeltaSolver::new(1e-4)
+                .with_tape_specialization(spec)
+                .with_newton_cuts(newton);
+            let off = on.clone().with_batched_evaluation(false);
+            let (a, sa) = on.solve_with_stats(&formula, &domain);
+            let (b, sb) = off.solve_with_stats(&formula, &domain);
+            assert_same_outcome(
+                &a,
+                &b,
+                &sa,
+                &sb,
+                &format!("spec={spec} newton={newton} on {formula}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn batching_is_invisible_under_budget_exhaustion() {
+    // A hard query with a tiny budget: the Unknown must fire after exactly
+    // the same number of boxes either way.
+    let formula = Formula::atom(Constraint::le(
+        (x() * 37.0).sin() * (y() * 53.0).cos(),
+        -0.999_999,
+    ));
+    let domain = square_domain(10.0);
+    let on = DeltaSolver::new(1e-9).with_max_boxes(20);
+    let off = on.clone().with_batched_evaluation(false);
+    let (a, sa) = on.solve_with_stats(&formula, &domain);
+    let (b, sb) = off.solve_with_stats(&formula, &domain);
+    assert!(matches!(a, SatResult::Unknown(_)));
+    assert_same_outcome(&a, &b, &sa, &sb, "budget exhaustion");
+}
+
+#[test]
+fn batching_is_invisible_at_high_precision() {
+    // Deep searches exercise the full specialization stack (and therefore
+    // deep per-view register allocations) and long prefill chains.
+    let formula = Formula::atom(Constraint::eq(
+        x().powi(2) + y().powi(2) + (x() * 5.0).sin() * 0.2,
+        1.0,
+    ));
+    let domain = square_domain(2.0);
+    for precision in [1e-3, 1e-6, 1e-9] {
+        let on = DeltaSolver::new(precision);
+        let off = on.clone().with_batched_evaluation(false);
+        let (a, sa) = on.solve_with_stats(&formula, &domain);
+        let (b, sb) = off.solve_with_stats(&formula, &domain);
+        assert_same_outcome(&a, &b, &sa, &sb, &format!("precision {precision}"));
+    }
+}

@@ -1,0 +1,493 @@
+//! Batched struct-of-lanes interval evaluation over allocated tapes.
+//!
+//! The δ-SAT search and the family-sweep engine both produce *many sibling
+//! boxes* that must run through the *same* compiled program.  Evaluating
+//! them one at a time pays the interpreter's instruction-dispatch cost once
+//! per instruction **per box**; the batched evaluator amortises it across a
+//! compile-time lane count `L`: every register of an
+//! [`AllocatedTape`](crate::AllocatedTape) holds `[lo; L]`/`[hi; L]`
+//! fixed-width bound arrays ([`LaneBuf`]), each instruction is decoded once
+//! and applied to all lanes in a tight loop, and the whole register file
+//! (`DEFAULT_REGISTERS × L` intervals) stays resident in L1.
+//!
+//! Lanes are fully independent — no interval kernel mixes values across
+//! lanes — so the batch is *bit-identical per lane* to scalar evaluation:
+//! each lane performs exactly the operations of
+//! [`Tape::eval_interval_into`](crate::Tape::eval_interval_into) in the
+//! same order.  That independence is also what makes ragged batches safe:
+//! a batch of `active < L` boxes simply runs its lane loops to `active`,
+//! and the unused trailing lanes are never computed or read, so NaN or
+//! ±∞ bounds in one lane can never contaminate another.
+//!
+//! # Examples
+//!
+//! ```
+//! use nncps_expr::{AllocatedTape, BatchScratch, Expr, Tape};
+//! use nncps_interval::IntervalBox;
+//!
+//! let x = Expr::var(0);
+//! let tape = Tape::compile(&(x.clone() * 2.0).tanh());
+//! let alloc = AllocatedTape::from_tape(&tape, nncps_expr::DEFAULT_REGISTERS);
+//!
+//! let boxes: Vec<IntervalBox> = (0..3)
+//!     .map(|i| IntervalBox::from_bounds(&[(i as f64, i as f64 + 1.0)]))
+//!     .collect();
+//! let lanes: Vec<&IntervalBox> = boxes.iter().collect();
+//!
+//! // Four-lane batch over three boxes (one ragged lane).
+//! let mut scratch = BatchScratch::<4>::default();
+//! let mut roots = Vec::new();
+//! alloc.eval_interval_batch(&tape, &lanes, &mut scratch, &mut roots);
+//! let mut slots = Vec::new();
+//! for (k, region) in boxes.iter().enumerate() {
+//!     tape.eval_interval_into(region, &mut slots);
+//!     let scalar = slots[tape.root_slot(0)];
+//!     assert_eq!(roots[k].lo().to_bits(), scalar.lo().to_bits());
+//!     assert_eq!(roots[k].hi().to_bits(), scalar.hi().to_bits());
+//! }
+//! ```
+
+use nncps_interval::{Interval, IntervalBox};
+
+use crate::ops::{BinaryOp, UnaryOp};
+use crate::regalloc::{AllocatedTape, RegInstr, RootLoc};
+use crate::Tape;
+
+/// Branchless twin of the interval crate's *lower*-endpoint outward
+/// rounding: one ulp down for finite values, `f64::MAX` for `+∞` (an
+/// overflowed lower endpoint), and NaN/`−∞` passed through.  Written as
+/// pure selects over the bit pattern so the lane loops that call it
+/// autovectorize; it MUST return the same bits as `Interval` arithmetic's
+/// rounding for every input — the lane-oracle differential tests pin this.
+#[inline]
+fn down_lane(x: f64) -> f64 {
+    let bits = x.to_bits();
+    let abs = bits & 0x7fff_ffff_ffff_ffff;
+    // `next_down` for finite inputs: ±0 steps to −tiny, positive values
+    // step one bit down, negative values one bit up (greater magnitude).
+    let stepped = if bits >> 63 == 0 {
+        bits.wrapping_sub(1)
+    } else {
+        bits.wrapping_add(1)
+    };
+    let next_bits = if abs == 0 {
+        0x8000_0000_0000_0001
+    } else {
+        stepped
+    };
+    let rounded = if x.is_finite() {
+        f64::from_bits(next_bits)
+    } else {
+        x
+    };
+    if x == f64::INFINITY {
+        f64::MAX
+    } else {
+        rounded
+    }
+}
+
+/// Branchless twin of the *upper*-endpoint outward rounding (mirror image
+/// of [`down_lane`]): one ulp up for finite values, `f64::MIN` for `−∞`.
+#[inline]
+fn up_lane(x: f64) -> f64 {
+    let bits = x.to_bits();
+    let abs = bits & 0x7fff_ffff_ffff_ffff;
+    let stepped = if bits >> 63 == 0 {
+        bits.wrapping_add(1)
+    } else {
+        bits.wrapping_sub(1)
+    };
+    let next_bits = if abs == 0 { 0x1 } else { stepped };
+    let rounded = if x.is_finite() {
+        f64::from_bits(next_bits)
+    } else {
+        x
+    };
+    if x == f64::NEG_INFINITY {
+        f64::MIN
+    } else {
+        rounded
+    }
+}
+
+/// One multi-lane register: the bounds of `L` intervals in structure-of-
+/// lanes layout (`lo[k]`/`hi[k]` are lane `k`'s interval).
+///
+/// The empty interval round-trips through this representation unchanged
+/// (`[+∞, −∞]` bounds), and interval kernels never produce NaN bounds, so
+/// storing raw bounds and rebuilding with [`Interval::new`] is the exact
+/// identity on every value the evaluator can hold.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneBuf<const L: usize> {
+    lo: [f64; L],
+    hi: [f64; L],
+}
+
+impl<const L: usize> Default for LaneBuf<L> {
+    fn default() -> Self {
+        LaneBuf {
+            lo: [0.0; L],
+            hi: [0.0; L],
+        }
+    }
+}
+
+impl<const L: usize> LaneBuf<L> {
+    /// Lane `k`'s interval.
+    #[inline]
+    pub fn get(&self, k: usize) -> Interval {
+        Interval::new(self.lo[k], self.hi[k])
+    }
+
+    /// Sets lane `k`'s interval.
+    #[inline]
+    pub fn set(&mut self, k: usize, value: Interval) {
+        self.lo[k] = value.lo();
+        self.hi[k] = value.hi();
+    }
+}
+
+/// True iff the stored bounds encode the empty interval (or a NaN bound,
+/// which no stored interval has — it is rejected by [`Interval::new`]).
+/// The negated comparison is deliberate: NaN must count as empty, exactly
+/// as [`Interval::new`] rejects it.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+#[inline]
+fn lane_empty(lo: f64, hi: f64) -> bool {
+    !(lo <= hi)
+}
+
+/// Vectorizable interval addition over the first `n` lanes — bit-identical
+/// to `Interval + Interval`: outward-rounded bounds, with the lane forced
+/// to `EMPTY` exactly when the scalar kernel would return it (an empty
+/// operand, or a NaN endpoint sum such as `+∞ + (−∞)`).
+#[inline]
+fn add_lanes<const L: usize>(a: &LaneBuf<L>, b: &LaneBuf<L>, out: &mut LaneBuf<L>, n: usize) {
+    for k in 0..n {
+        let rl = down_lane(a.lo[k] + b.lo[k]);
+        let rh = up_lane(a.hi[k] + b.hi[k]);
+        let empty =
+            lane_empty(a.lo[k], a.hi[k]) || lane_empty(b.lo[k], b.hi[k]) || lane_empty(rl, rh);
+        out.lo[k] = if empty { f64::INFINITY } else { rl };
+        out.hi[k] = if empty { f64::NEG_INFINITY } else { rh };
+    }
+}
+
+/// Vectorizable interval subtraction — bit-identical to `a + (−b)`, the
+/// scalar kernel's own definition.
+#[inline]
+fn sub_lanes<const L: usize>(a: &LaneBuf<L>, b: &LaneBuf<L>, out: &mut LaneBuf<L>, n: usize) {
+    for k in 0..n {
+        let rl = down_lane(a.lo[k] + (-b.hi[k]));
+        let rh = up_lane(a.hi[k] + (-b.lo[k]));
+        let empty =
+            lane_empty(a.lo[k], a.hi[k]) || lane_empty(b.lo[k], b.hi[k]) || lane_empty(rl, rh);
+        out.lo[k] = if empty { f64::INFINITY } else { rl };
+        out.hi[k] = if empty { f64::NEG_INFINITY } else { rh };
+    }
+}
+
+/// Vectorizable interval multiplication — the scalar kernel's four-product
+/// envelope with its NaN-to-zero convention (`0 · ∞` contributes `0`),
+/// folded through `f64::min`/`f64::max` in the same candidate order.  For
+/// non-empty operands the rounded envelope can never be empty (`lo ≤ hi`
+/// by construction), so only operand emptiness forces `EMPTY`.
+#[inline]
+fn mul_lanes<const L: usize>(a: &LaneBuf<L>, b: &LaneBuf<L>, out: &mut LaneBuf<L>, n: usize) {
+    for k in 0..n {
+        let (al, ah) = (a.lo[k], a.hi[k]);
+        let (bl, bh) = (b.lo[k], b.hi[k]);
+        let c1 = al * bl;
+        let c1 = if c1.is_nan() { 0.0 } else { c1 };
+        let c2 = al * bh;
+        let c2 = if c2.is_nan() { 0.0 } else { c2 };
+        let c3 = ah * bl;
+        let c3 = if c3.is_nan() { 0.0 } else { c3 };
+        let c4 = ah * bh;
+        let c4 = if c4.is_nan() { 0.0 } else { c4 };
+        let lo = f64::INFINITY.min(c1).min(c2).min(c3).min(c4);
+        let hi = f64::NEG_INFINITY.max(c1).max(c2).max(c3).max(c4);
+        let empty = lane_empty(al, ah) || lane_empty(bl, bh);
+        out.lo[k] = if empty { f64::INFINITY } else { down_lane(lo) };
+        out.hi[k] = if empty {
+            f64::NEG_INFINITY
+        } else {
+            up_lane(hi)
+        };
+    }
+}
+
+/// Vectorizable elementwise minimum — bit-identical to `Interval::min`:
+/// `min` of the bounds (which preserves `lo ≤ hi` and never produces NaN
+/// for non-empty operands), `EMPTY` if either operand is.
+#[inline]
+fn min_lanes<const L: usize>(a: &LaneBuf<L>, b: &LaneBuf<L>, out: &mut LaneBuf<L>, n: usize) {
+    for k in 0..n {
+        let empty = lane_empty(a.lo[k], a.hi[k]) || lane_empty(b.lo[k], b.hi[k]);
+        out.lo[k] = if empty {
+            f64::INFINITY
+        } else {
+            a.lo[k].min(b.lo[k])
+        };
+        out.hi[k] = if empty {
+            f64::NEG_INFINITY
+        } else {
+            a.hi[k].min(b.hi[k])
+        };
+    }
+}
+
+/// Vectorizable elementwise maximum (mirror of [`min_lanes`]).
+#[inline]
+fn max_lanes<const L: usize>(a: &LaneBuf<L>, b: &LaneBuf<L>, out: &mut LaneBuf<L>, n: usize) {
+    for k in 0..n {
+        let empty = lane_empty(a.lo[k], a.hi[k]) || lane_empty(b.lo[k], b.hi[k]);
+        out.lo[k] = if empty {
+            f64::INFINITY
+        } else {
+            a.lo[k].max(b.lo[k])
+        };
+        out.hi[k] = if empty {
+            f64::NEG_INFINITY
+        } else {
+            a.hi[k].max(b.hi[k])
+        };
+    }
+}
+
+/// Vectorizable interval negation — bit-identical to `−Interval` with no
+/// select at all: swapping and negating the bounds maps the empty
+/// encoding `[+∞, −∞]` to itself.
+#[inline]
+fn neg_lanes<const L: usize>(a: &LaneBuf<L>, out: &mut LaneBuf<L>, n: usize) {
+    for k in 0..n {
+        out.lo[k] = -a.hi[k];
+        out.hi[k] = -a.lo[k];
+    }
+}
+
+/// Reusable scratch of the batched evaluators: the multi-lane register
+/// file and spill arena.  Buffers grow to the largest program evaluated
+/// and are reused afterwards — zero heap allocations once warm.
+#[derive(Debug, Clone)]
+pub struct BatchScratch<const L: usize> {
+    regs: Vec<LaneBuf<L>>,
+    spill: Vec<LaneBuf<L>>,
+}
+
+impl<const L: usize> Default for BatchScratch<L> {
+    fn default() -> Self {
+        BatchScratch {
+            regs: Vec::new(),
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl<const L: usize> BatchScratch<L> {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+}
+
+impl AllocatedTape {
+    /// Evaluates up to `L` boxes through the allocated program in one
+    /// sweep, collecting the root enclosures.
+    ///
+    /// `regions` holds the `active ≤ L` lanes; `roots` is resized to
+    /// `num_roots × active` in root-major order (`roots[r * active + k]`
+    /// is root `r` on lane `k`; roots dropped by specialization yield
+    /// [`Interval::EMPTY`]).  Every lane is bit-identical to evaluating
+    /// that box alone through
+    /// [`Tape::eval_interval_into`] /
+    /// [`TapeView::eval_interval_into`](crate::TapeView::eval_interval_into)
+    /// on the source program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions` is empty or holds more than `L` boxes, `tape`
+    /// is not the parent of the source program, or a region has fewer
+    /// dimensions than the variables referenced.
+    pub fn eval_interval_batch<const L: usize>(
+        &self,
+        tape: &Tape,
+        regions: &[&IntervalBox],
+        scratch: &mut BatchScratch<L>,
+        roots: &mut Vec<Interval>,
+    ) {
+        self.eval_batch_inner::<L, false>(tape, regions, scratch, &mut []);
+        let active = regions.len();
+        roots.clear();
+        roots.reserve(self.num_roots() * active);
+        for r in 0..self.num_roots() {
+            match self.root_loc(r) {
+                Some(RootLoc::Reg(reg)) => {
+                    let buf = &scratch.regs[reg as usize];
+                    roots.extend((0..active).map(|k| buf.get(k)));
+                }
+                Some(RootLoc::Spill(s)) => {
+                    let buf = &scratch.spill[s as usize];
+                    roots.extend((0..active).map(|k| buf.get(k)));
+                }
+                None => roots.extend((0..active).map(|_| Interval::EMPTY)),
+            }
+        }
+    }
+
+    /// Like [`AllocatedTape::eval_interval_batch`], but additionally
+    /// *records* every defined source slot per lane: `traces[k]` is
+    /// resized to [`AllocatedTape::source_len`] and filled exactly as
+    /// [`Tape::eval_interval_into`] (respectively
+    /// [`TapeView::eval_interval_into`](crate::TapeView::eval_interval_into))
+    /// would fill its slot buffer for lane `k`'s box — bit-identical, so a
+    /// recorded lane can seed an HC4 backward walk directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`AllocatedTape::eval_interval_batch`] does, or if
+    /// `traces.len() != regions.len()`.
+    pub fn eval_interval_batch_recording<const L: usize>(
+        &self,
+        tape: &Tape,
+        regions: &[&IntervalBox],
+        scratch: &mut BatchScratch<L>,
+        traces: &mut [&mut Vec<Interval>],
+    ) {
+        assert_eq!(
+            traces.len(),
+            regions.len(),
+            "one output trace per batched box"
+        );
+        self.eval_batch_inner::<L, true>(tape, regions, scratch, traces);
+    }
+
+    /// Shared batched interpreter; `RECORD` selects the recording variant.
+    fn eval_batch_inner<const L: usize, const RECORD: bool>(
+        &self,
+        tape: &Tape,
+        regions: &[&IntervalBox],
+        scratch: &mut BatchScratch<L>,
+        traces: &mut [&mut Vec<Interval>],
+    ) {
+        let active = regions.len();
+        assert!(active >= 1, "batched evaluation needs at least one box");
+        assert!(active <= L, "{active} boxes exceed the {L}-lane batch");
+        if scratch.regs.len() < self.num_registers() {
+            scratch
+                .regs
+                .resize(self.num_registers(), LaneBuf::default());
+        }
+        if scratch.spill.len() < self.num_spill_slots() {
+            scratch
+                .spill
+                .resize(self.num_spill_slots(), LaneBuf::default());
+        }
+        if RECORD {
+            for trace in traces.iter_mut() {
+                trace.clear();
+                trace.resize(self.source_len(), Interval::EMPTY);
+            }
+        }
+        // Monomorphize the full-batch case: with the lane loops bounded by
+        // the compile-time `L` the compiler unrolls them, which is where the
+        // dispatch amortization actually pays.  Ragged batches take the
+        // dynamically-bounded copy of the same code.
+        if active == L {
+            self.run_lanes::<L, RECORD, true>(tape, regions, scratch, traces);
+        } else {
+            self.run_lanes::<L, RECORD, false>(tape, regions, scratch, traces);
+        }
+    }
+
+    /// The instruction loop of the batched interpreter; `FULL` pins the lane
+    /// count to `L` at compile time (see [`AllocatedTape::eval_batch_inner`]).
+    fn run_lanes<const L: usize, const RECORD: bool, const FULL: bool>(
+        &self,
+        tape: &Tape,
+        regions: &[&IntervalBox],
+        scratch: &mut BatchScratch<L>,
+        traces: &mut [&mut Vec<Interval>],
+    ) {
+        let active = if FULL { L } else { regions.len() };
+        let regs = &mut scratch.regs;
+        let spill = &mut scratch.spill;
+        for (pc, instr) in self.instructions().iter().enumerate() {
+            // Each op computes into a fresh stack-local lane buffer and
+            // stores it once: operands are read through references (never
+            // copied), the destination register is never read, and the
+            // per-lane kernel calls sit in a tight, unrollable loop.
+            match *instr {
+                RegInstr::Const { dst, index } => {
+                    let value = tape.const_intervals[index as usize];
+                    let mut out = LaneBuf::default();
+                    for k in 0..active {
+                        out.set(k, value);
+                    }
+                    regs[dst as usize] = out;
+                }
+                RegInstr::Var { dst, var } => {
+                    let mut out = LaneBuf::default();
+                    for (k, region) in regions.iter().enumerate().take(active) {
+                        out.set(k, region[var as usize]);
+                    }
+                    regs[dst as usize] = out;
+                }
+                RegInstr::Unary { op, dst, a } => {
+                    let va = &regs[a as usize];
+                    let mut out = LaneBuf::default();
+                    match op {
+                        UnaryOp::Neg => neg_lanes(va, &mut out, active),
+                        // Transcendentals and partial-domain kernels stay
+                        // per-lane: their libm calls dominate and don't
+                        // vectorize, so delegation costs nothing extra.
+                        _ => {
+                            for k in 0..active {
+                                out.set(k, op.apply_interval(va.get(k)));
+                            }
+                        }
+                    }
+                    regs[dst as usize] = out;
+                }
+                RegInstr::Binary { op, dst, a, b } => {
+                    let va = &regs[a as usize];
+                    let vb = &regs[b as usize];
+                    let mut out = LaneBuf::default();
+                    match op {
+                        BinaryOp::Add => add_lanes(va, vb, &mut out, active),
+                        BinaryOp::Sub => sub_lanes(va, vb, &mut out, active),
+                        BinaryOp::Mul => mul_lanes(va, vb, &mut out, active),
+                        BinaryOp::Min => min_lanes(va, vb, &mut out, active),
+                        BinaryOp::Max => max_lanes(va, vb, &mut out, active),
+                        BinaryOp::Div => {
+                            for k in 0..active {
+                                out.set(k, op.apply_interval(va.get(k), vb.get(k)));
+                            }
+                        }
+                    }
+                    regs[dst as usize] = out;
+                }
+                RegInstr::Powi { dst, a, n } => {
+                    let va = &regs[a as usize];
+                    let mut out = LaneBuf::default();
+                    for k in 0..active {
+                        out.set(k, va.get(k).powi(n));
+                    }
+                    regs[dst as usize] = out;
+                }
+                RegInstr::Load { dst, spill: s } => regs[dst as usize] = spill[s as usize],
+                RegInstr::Store { spill: s, src } => spill[s as usize] = regs[src as usize],
+            }
+            if RECORD {
+                if let Some(slot) = self.defined_slot(pc) {
+                    let dst = instr.dst().expect("defining instructions have a dst");
+                    let buf = &regs[dst as usize];
+                    for (k, trace) in traces.iter_mut().enumerate() {
+                        trace[slot] = buf.get(k);
+                    }
+                }
+            }
+        }
+    }
+}

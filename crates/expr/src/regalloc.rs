@@ -1,0 +1,902 @@
+//! Linear-scan register allocation over compiled tapes.
+//!
+//! A [`Tape`] (or a specialized [`TapeView`]) is an SSA program: every slot
+//! is written exactly once and read by later slots.  Its stock evaluators
+//! materialise *every* slot in a growable buffer, which is exactly what the
+//! HC4 contractor's backward pass wants — but a forward-only evaluation
+//! (feasibility classification, batched sweeps) touches far more memory than
+//! it needs: most intermediate values die within a few instructions.
+//!
+//! [`AllocatedTape`] re-schedules the same program onto a *fixed register
+//! file* (default [`DEFAULT_REGISTERS`]) using the classic linear-scan
+//! discipline of SSA virtual machines (cf. fidget's `REGISTER_LIMIT`
+//! backends): one forward pass computes each slot's last use, a second pass
+//! walks the program keeping live values in registers and *spilling* to a
+//! spill arena — emitting explicit [`RegInstr::Store`] / [`RegInstr::Load`]
+//! instructions — when the file overflows.  Because slots are immutable, a
+//! value is stored at most once; later evictions of a reloaded value are
+//! free.
+//!
+//! The allocation is *bit-invisible*: evaluating an allocated tape performs
+//! exactly the floating-point operations of the source program in the same
+//! order, merely routing intermediate values through registers instead of
+//! the dense slot buffer.  The batched struct-of-lanes evaluator
+//! (`crate::batch`) builds on this: a register file of a couple dozen
+//! multi-lane registers fits in L1 regardless of tape length.
+//!
+//! # Examples
+//!
+//! ```
+//! use nncps_expr::{AllocatedTape, Expr, Tape};
+//!
+//! let x = Expr::var(0);
+//! let f = (x.clone() * 2.0).tanh() + x.clone().powi(2);
+//! let tape = Tape::compile(&f);
+//! let alloc = AllocatedTape::from_tape(&tape, 4);
+//! assert_eq!(
+//!     alloc.eval_scalar(&tape, &[0.7]).to_bits(),
+//!     tape.eval(&[0.7]).to_bits(),
+//! );
+//! ```
+
+use nncps_interval::{Interval, IntervalBox};
+
+use crate::tape::OpCode;
+use crate::{BinaryOp, Tape, TapeView, UnaryOp};
+
+/// Default register-file size of an [`AllocatedTape`].
+///
+/// Two dozen registers hold the live set of the paper's Lie-derivative
+/// tapes without spilling while keeping a batched 8-lane register file
+/// (24 × 8 lanes × 2 bounds × 8 bytes = 3 KiB) comfortably inside L1.
+pub const DEFAULT_REGISTERS: usize = 24;
+
+/// Sentinel for "no SSA slot" in the side table of [`AllocatedTape::ssa`].
+const NO_SSA: u32 = u32::MAX;
+
+/// One instruction of a register-allocated program.
+///
+/// Register operands (`dst`, `a`, `b`, `src`) index the fixed register
+/// file; `spill` indexes the spill arena.  `Const` keeps indexing the
+/// *parent tape's* constant pools (exactly like [`TapeView`]), so an
+/// allocated tape borrows its constants instead of copying them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegInstr {
+    /// Load constant-pool entry `index` into register `dst`.
+    Const {
+        /// Destination register.
+        dst: u16,
+        /// Index into the parent tape's constant pools.
+        index: u32,
+    },
+    /// Load variable `var` into register `dst`.
+    Var {
+        /// Destination register.
+        dst: u16,
+        /// Variable index.
+        var: u32,
+    },
+    /// Apply a unary operator to register `a`.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// Destination register.
+        dst: u16,
+        /// Operand register.
+        a: u16,
+    },
+    /// Apply a binary operator to registers `a` and `b`.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Destination register.
+        dst: u16,
+        /// First operand register.
+        a: u16,
+        /// Second operand register.
+        b: u16,
+    },
+    /// Raise register `a` to the integer power `n`.
+    Powi {
+        /// Destination register.
+        dst: u16,
+        /// Operand register.
+        a: u16,
+        /// The exponent.
+        n: i32,
+    },
+    /// Reload spill-arena entry `spill` into register `dst`.
+    Load {
+        /// Destination register.
+        dst: u16,
+        /// Spill-arena index.
+        spill: u32,
+    },
+    /// Save register `src` to spill-arena entry `spill` (emitted once per
+    /// spilled value; SSA values are immutable, so the copy stays valid).
+    Store {
+        /// Spill-arena index.
+        spill: u32,
+        /// Source register.
+        src: u16,
+    },
+}
+
+impl RegInstr {
+    /// The destination register of a value-defining instruction (`None`
+    /// for `Store`, which writes the spill arena instead).
+    pub fn dst(&self) -> Option<u16> {
+        match *self {
+            RegInstr::Const { dst, .. }
+            | RegInstr::Var { dst, .. }
+            | RegInstr::Unary { dst, .. }
+            | RegInstr::Binary { dst, .. }
+            | RegInstr::Powi { dst, .. }
+            | RegInstr::Load { dst, .. } => Some(dst),
+            RegInstr::Store { .. } => None,
+        }
+    }
+}
+
+/// Where a root value lives after the program has run (registers hold the
+/// values that were never evicted; evicted roots live in the spill arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootLoc {
+    /// The root value is in this register.
+    Reg(u16),
+    /// The root value is in this spill-arena entry.
+    Spill(u32),
+}
+
+/// A register-allocated form of a [`Tape`] or [`TapeView`].
+///
+/// Built by [`RegAlloc`] (or the [`AllocatedTape::from_tape`] /
+/// [`AllocatedTape::from_view`] conveniences).  The allocated program is
+/// the bit-invisible register-machine schedule of its source: same
+/// operations, same order, plus `Load`/`Store` data movement.  It does not
+/// own constants — evaluation takes the parent [`Tape`] exactly like
+/// [`TapeView`] evaluation does.
+///
+/// # Examples
+///
+/// Forcing a tiny register file makes the allocator spill:
+///
+/// ```
+/// use nncps_expr::{AllocatedTape, Expr, RegInstr, Tape};
+///
+/// let x = Expr::var(0);
+/// let y = Expr::var(1);
+/// // A wide expression: many values live at once.
+/// let f = x.clone().sin() * y.clone().cos() + x.clone().exp() * y.clone().tanh();
+/// let tape = Tape::compile(&f);
+/// let alloc = AllocatedTape::from_tape(&tape, 2);
+/// assert_eq!(alloc.num_registers(), 2);
+/// assert!(alloc.num_spill_slots() > 0);
+/// assert!(alloc
+///     .instructions()
+///     .iter()
+///     .any(|i| matches!(i, RegInstr::Store { .. })));
+/// // ... and stays bit-identical to the unallocated program.
+/// assert_eq!(
+///     alloc.eval_scalar(&tape, &[0.3, -0.8]).to_bits(),
+///     tape.eval(&[0.3, -0.8]).to_bits(),
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AllocatedTape {
+    /// The register program.
+    instrs: Vec<RegInstr>,
+    /// Per instruction: the source SSA slot it defines, or [`NO_SSA`] for
+    /// pure data movement (`Load`/`Store`).  Recording evaluators use this
+    /// to materialise the full slot buffer the HC4 backward pass expects.
+    ssa: Vec<u32>,
+    /// Per source root: where its value lives after the program has run
+    /// (`None` for roots dropped by specialization).
+    root_loc: Vec<Option<RootLoc>>,
+    /// Register-file size the program was allocated for.
+    num_registers: usize,
+    /// Spill-arena size the program requires.
+    num_spill_slots: usize,
+    /// Length of the source program (slots `0..source_len`).
+    source_len: usize,
+}
+
+impl AllocatedTape {
+    /// Register-allocates a whole tape (see [`RegAlloc::allocate_tape_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers < 2` or `registers >= u16::MAX`.
+    pub fn from_tape(tape: &Tape, registers: usize) -> AllocatedTape {
+        let mut out = AllocatedTape::default();
+        RegAlloc::new().allocate_tape_into(tape, registers, &mut out);
+        out
+    }
+
+    /// Register-allocates a specialized view (see
+    /// [`RegAlloc::allocate_view_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers < 2` or `registers >= u16::MAX`.
+    pub fn from_view(view: &TapeView, registers: usize) -> AllocatedTape {
+        let mut out = AllocatedTape::default();
+        RegAlloc::new().allocate_view_into(view, registers, &mut out);
+        out
+    }
+
+    /// The allocated instruction stream.
+    pub fn instructions(&self) -> &[RegInstr] {
+        &self.instrs
+    }
+
+    /// Per instruction, the source slot it defines (`None` for
+    /// `Load`/`Store` data movement).
+    pub fn defined_slot(&self, instr: usize) -> Option<usize> {
+        let ssa = self.ssa[instr];
+        (ssa != NO_SSA).then_some(ssa as usize)
+    }
+
+    /// Register-file size the program was allocated for.
+    pub fn num_registers(&self) -> usize {
+        self.num_registers
+    }
+
+    /// Spill-arena size the program requires (0 when nothing spilled).
+    pub fn num_spill_slots(&self) -> usize {
+        self.num_spill_slots
+    }
+
+    /// Number of instructions in the source program (every source slot is
+    /// defined by exactly one allocated instruction).
+    pub fn source_len(&self) -> usize {
+        self.source_len
+    }
+
+    /// Number of root entries (equal to the source program's root count).
+    pub fn num_roots(&self) -> usize {
+        self.root_loc.len()
+    }
+
+    /// Where root `k`'s value lives after the program has run, or `None`
+    /// when the root was dropped by specialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.num_roots()`.
+    pub fn root_loc(&self, k: usize) -> Option<RootLoc> {
+        self.root_loc[k]
+    }
+
+    /// Evaluates the allocated program on scalar inputs, returning the
+    /// value of root 0.
+    ///
+    /// Bit-identical to [`Tape::eval`] on the source program.  Allocates
+    /// scratch internally; hot paths should use
+    /// [`AllocatedTape::eval_scalar_roots_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tape` is not the parent of the source program, `values`
+    /// is shorter than the variables referenced, or root 0 was dropped.
+    pub fn eval_scalar(&self, tape: &Tape, values: &[f64]) -> f64 {
+        let mut scratch = RegScratch::default();
+        let mut roots = Vec::new();
+        self.eval_scalar_roots_into(tape, values, &mut scratch, &mut roots);
+        roots[0].expect("root 0 was dropped by specialization")
+    }
+
+    /// Evaluates the allocated program on scalar inputs, collecting every
+    /// root value into `roots` (`None` for dropped roots).
+    ///
+    /// Reuses `scratch` and `roots`; zero heap allocations once warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tape` is not the parent of the source program or
+    /// `values` is shorter than the variables referenced.
+    pub fn eval_scalar_roots_into(
+        &self,
+        tape: &Tape,
+        values: &[f64],
+        scratch: &mut RegScratch,
+        roots: &mut Vec<Option<f64>>,
+    ) {
+        let regs = &mut scratch.scalar_regs;
+        let spill = &mut scratch.scalar_spill;
+        regs.clear();
+        regs.resize(self.num_registers, 0.0);
+        spill.clear();
+        spill.resize(self.num_spill_slots, 0.0);
+        for instr in &self.instrs {
+            match *instr {
+                RegInstr::Const { dst, index } => {
+                    regs[dst as usize] = tape.const_scalars[index as usize];
+                }
+                RegInstr::Var { dst, var } => regs[dst as usize] = values[var as usize],
+                RegInstr::Unary { op, dst, a } => {
+                    regs[dst as usize] = op.apply(regs[a as usize]);
+                }
+                RegInstr::Binary { op, dst, a, b } => {
+                    regs[dst as usize] = op.apply(regs[a as usize], regs[b as usize]);
+                }
+                RegInstr::Powi { dst, a, n } => regs[dst as usize] = regs[a as usize].powi(n),
+                RegInstr::Load { dst, spill: s } => regs[dst as usize] = spill[s as usize],
+                RegInstr::Store { spill: s, src } => spill[s as usize] = regs[src as usize],
+            }
+        }
+        roots.clear();
+        roots.extend(self.root_loc.iter().map(|loc| {
+            loc.map(|loc| match loc {
+                RootLoc::Reg(r) => regs[r as usize],
+                RootLoc::Spill(s) => spill[s as usize],
+            })
+        }));
+    }
+
+    /// Evaluates the allocated program over an interval box, collecting
+    /// every root enclosure into `roots` (`None` for dropped roots).
+    ///
+    /// Bit-identical to [`Tape::eval_interval_into`] (respectively
+    /// [`TapeView::eval_interval_into`]) on the source program: the same
+    /// outward-rounded interval kernels run in the same order.  Reuses
+    /// `scratch` and `roots`; zero heap allocations once warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tape` is not the parent of the source program or the
+    /// region has fewer dimensions than the variables referenced.
+    pub fn eval_interval_roots_into(
+        &self,
+        tape: &Tape,
+        region: &IntervalBox,
+        scratch: &mut RegScratch,
+        roots: &mut Vec<Option<Interval>>,
+    ) {
+        let regs = &mut scratch.interval_regs;
+        let spill = &mut scratch.interval_spill;
+        regs.clear();
+        regs.resize(self.num_registers, Interval::EMPTY);
+        spill.clear();
+        spill.resize(self.num_spill_slots, Interval::EMPTY);
+        for instr in &self.instrs {
+            match *instr {
+                RegInstr::Const { dst, index } => {
+                    regs[dst as usize] = tape.const_intervals[index as usize];
+                }
+                RegInstr::Var { dst, var } => regs[dst as usize] = region[var as usize],
+                RegInstr::Unary { op, dst, a } => {
+                    regs[dst as usize] = op.apply_interval(regs[a as usize]);
+                }
+                RegInstr::Binary { op, dst, a, b } => {
+                    regs[dst as usize] = op.apply_interval(regs[a as usize], regs[b as usize]);
+                }
+                RegInstr::Powi { dst, a, n } => regs[dst as usize] = regs[a as usize].powi(n),
+                RegInstr::Load { dst, spill: s } => regs[dst as usize] = spill[s as usize],
+                RegInstr::Store { spill: s, src } => spill[s as usize] = regs[src as usize],
+            }
+        }
+        roots.clear();
+        roots.extend(self.root_loc.iter().map(|loc| {
+            loc.map(|loc| match loc {
+                RootLoc::Reg(r) => regs[r as usize],
+                RootLoc::Spill(s) => spill[s as usize],
+            })
+        }));
+    }
+}
+
+/// Reusable scratch of the single-box [`AllocatedTape`] evaluators: the
+/// scalar and interval register files and spill arenas.
+#[derive(Debug, Clone, Default)]
+pub struct RegScratch {
+    scalar_regs: Vec<f64>,
+    scalar_spill: Vec<f64>,
+    interval_regs: Vec<Interval>,
+    interval_spill: Vec<Interval>,
+}
+
+/// Reusable linear-scan allocator state.
+///
+/// Allocation into an existing [`AllocatedTape`] reuses every internal
+/// buffer, so re-allocating per specialized view in the solver's
+/// steady-state loop performs zero heap allocations once warm (proved by
+/// `crates/deltasat/tests/allocation_free.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use nncps_expr::{AllocatedTape, Expr, RegAlloc, Tape};
+///
+/// let x = Expr::var(0);
+/// let tape = Tape::compile(&(x.clone().sin() + x.clone().cos()));
+/// let mut alloc = RegAlloc::new();
+/// let mut out = AllocatedTape::default();
+/// alloc.allocate_tape_into(&tape, 8, &mut out);
+/// assert_eq!(out.source_len(), tape.num_slots());
+/// ```
+#[derive(Debug, Default)]
+pub struct RegAlloc {
+    /// Per source slot: index of the last instruction reading it
+    /// (`usize::MAX` for roots, which stay live to the end).
+    last_use: Vec<usize>,
+    /// Per source slot: register currently holding it (`u16::MAX` = none).
+    reg_of: Vec<u16>,
+    /// Per source slot: assigned spill-arena entry (`u32::MAX` = none).
+    spill_of: Vec<u32>,
+    /// Per register: source slot currently resident (`u32::MAX` = free).
+    resident: Vec<u32>,
+}
+
+/// Sentinels of the allocator's dense maps.
+const NO_REG: u16 = u16::MAX;
+const NO_SPILL: u32 = u32::MAX;
+const FREE: u32 = u32::MAX;
+/// Root sentinel of [`TapeView`] raw roots (dropped by specialization).
+const DROPPED: u32 = u32::MAX;
+
+impl RegAlloc {
+    /// Creates a fresh allocator.
+    pub fn new() -> RegAlloc {
+        RegAlloc::default()
+    }
+
+    /// Register-allocates a whole tape into `out`, reusing both `self`'s
+    /// and `out`'s buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers < 2` (a binary operator needs two simultaneous
+    /// operand registers) or `registers > u16::MAX + 1`.
+    pub fn allocate_tape_into(&mut self, tape: &Tape, registers: usize, out: &mut AllocatedTape) {
+        self.allocate(&tape.ops, &tape.lhs, &tape.rhs, &tape.roots, registers, out);
+    }
+
+    /// Register-allocates a specialized view into `out`, reusing both
+    /// `self`'s and `out`'s buffers.
+    ///
+    /// The allocated program's SSA side table indexes *view* slots, so a
+    /// recording evaluation lines up with the view's slot buffer exactly as
+    /// [`TapeView::eval_interval_into`] fills it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers < 2` or `registers >= u16::MAX`.
+    pub fn allocate_view_into(
+        &mut self,
+        view: &TapeView,
+        registers: usize,
+        out: &mut AllocatedTape,
+    ) {
+        let (ops, lhs, rhs, roots) = view.raw_parts();
+        self.allocate(ops, lhs, rhs, roots, registers, out);
+    }
+
+    /// The linear scan over raw program columns (shared by tape and view).
+    fn allocate(
+        &mut self,
+        ops: &[OpCode],
+        lhs: &[u32],
+        rhs: &[u32],
+        roots: &[u32],
+        registers: usize,
+        out: &mut AllocatedTape,
+    ) {
+        assert!(
+            registers >= 2,
+            "register file must hold at least 2 registers, got {registers}"
+        );
+        assert!(
+            registers < u16::MAX as usize,
+            "register file too large: {registers}"
+        );
+        let n = ops.len();
+
+        // Pass 1: last use per slot; roots stay live to the end of the
+        // program so their values remain addressable afterwards.
+        self.last_use.clear();
+        self.last_use.resize(n, 0);
+        for i in 0..n {
+            match ops[i] {
+                OpCode::Const | OpCode::Var => {}
+                OpCode::Unary(_) | OpCode::Powi => self.last_use[lhs[i] as usize] = i,
+                OpCode::Binary(_) => {
+                    self.last_use[lhs[i] as usize] = i;
+                    self.last_use[rhs[i] as usize] = i;
+                }
+            }
+        }
+        for &root in roots {
+            if root != DROPPED {
+                self.last_use[root as usize] = usize::MAX;
+            }
+        }
+
+        // Pass 2: forward scan, keeping live values in registers.
+        self.reg_of.clear();
+        self.reg_of.resize(n, NO_REG);
+        self.spill_of.clear();
+        self.spill_of.resize(n, NO_SPILL);
+        self.resident.clear();
+        self.resident.resize(registers, FREE);
+        out.instrs.clear();
+        out.ssa.clear();
+        out.root_loc.clear();
+        out.num_registers = registers;
+        out.num_spill_slots = 0;
+        out.source_len = n;
+
+        for i in 0..n {
+            let (a, b) = match ops[i] {
+                OpCode::Const | OpCode::Var => (NO_REG, NO_REG),
+                OpCode::Unary(_) | OpCode::Powi => {
+                    (self.ensure_in_reg(lhs[i] as usize, NO_REG, out), NO_REG)
+                }
+                OpCode::Binary(_) => {
+                    let a = self.ensure_in_reg(lhs[i] as usize, NO_REG, out);
+                    let b = self.ensure_in_reg(rhs[i] as usize, a, out);
+                    (a, b)
+                }
+            };
+            // Operands dying here free their registers *before* the
+            // destination is chosen: the evaluator reads operands before
+            // writing `dst`, so `dst` may reuse a dying operand's register.
+            for operand in [a, b] {
+                if operand != NO_REG {
+                    let slot = self.resident[operand as usize];
+                    if slot != FREE && self.last_use[slot as usize] <= i {
+                        self.resident[operand as usize] = FREE;
+                        self.reg_of[slot as usize] = NO_REG;
+                    }
+                }
+            }
+            let dst = self.take_register(NO_REG, out);
+            self.resident[dst as usize] = i as u32;
+            self.reg_of[i] = dst;
+            out.instrs.push(match ops[i] {
+                OpCode::Const => RegInstr::Const { dst, index: lhs[i] },
+                OpCode::Var => RegInstr::Var { dst, var: lhs[i] },
+                OpCode::Unary(op) => RegInstr::Unary { op, dst, a },
+                OpCode::Binary(op) => RegInstr::Binary { op, dst, a, b },
+                OpCode::Powi => RegInstr::Powi {
+                    dst,
+                    a,
+                    n: rhs[i] as i32,
+                },
+            });
+            out.ssa.push(i as u32);
+            // A value never read and not a root dies immediately.
+            if self.last_use[i] <= i {
+                self.resident[dst as usize] = FREE;
+                self.reg_of[i] = NO_REG;
+            }
+        }
+
+        out.root_loc.extend(roots.iter().map(|&root| {
+            if root == DROPPED {
+                return None;
+            }
+            let slot = root as usize;
+            Some(if self.reg_of[slot] != NO_REG {
+                RootLoc::Reg(self.reg_of[slot])
+            } else {
+                RootLoc::Spill(self.spill_of[slot])
+            })
+        }));
+    }
+
+    /// Makes sure `slot` is in a register (reloading it from the spill
+    /// arena if necessary), never touching `locked`.
+    fn ensure_in_reg(&mut self, slot: usize, locked: u16, out: &mut AllocatedTape) -> u16 {
+        if self.reg_of[slot] != NO_REG {
+            return self.reg_of[slot];
+        }
+        let dst = self.take_register(locked, out);
+        out.instrs.push(RegInstr::Load {
+            dst,
+            spill: self.spill_of[slot],
+        });
+        out.ssa.push(NO_SSA);
+        self.resident[dst as usize] = slot as u32;
+        self.reg_of[slot] = dst;
+        dst
+    }
+
+    /// Claims a register: the lowest free one, or — when the file is full —
+    /// evicts the resident value whose last use is furthest away (emitting
+    /// its one-time `Store` if it was never spilled).  Never picks `locked`.
+    fn take_register(&mut self, locked: u16, out: &mut AllocatedTape) -> u16 {
+        for (r, &slot) in self.resident.iter().enumerate() {
+            if slot == FREE && r as u16 != locked {
+                return r as u16;
+            }
+        }
+        let victim = self
+            .resident
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| r as u16 != locked)
+            .max_by_key(|&(r, &slot)| (self.last_use[slot as usize], std::cmp::Reverse(r)))
+            .map(|(r, _)| r as u16)
+            .expect("register file has at least 2 registers");
+        let evicted = self.resident[victim as usize] as usize;
+        if self.spill_of[evicted] == NO_SPILL {
+            let spill = out.num_spill_slots as u32;
+            out.num_spill_slots += 1;
+            self.spill_of[evicted] = spill;
+            out.instrs.push(RegInstr::Store { spill, src: victim });
+            out.ssa.push(NO_SSA);
+        }
+        self.reg_of[evicted] = NO_REG;
+        self.resident[victim as usize] = FREE;
+        victim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TapeInstr;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    /// Builds a random expression DAG from a script of small integers: a
+    /// stack machine where each opcode either pushes a leaf or combines the
+    /// top of the stack.  Reused (in spirit) by the lane-oracle integration
+    /// suite; deterministic in the script, and rich in shared subtrees
+    /// because operands are cloned from arbitrary stack depths.
+    pub(crate) fn dag_from_script(script: &[usize], num_vars: usize) -> Expr {
+        let mut stack: Vec<Expr> = vec![Expr::var(0)];
+        for (i, &code) in script.iter().enumerate() {
+            let pick = |d: usize| stack[(i + d) % stack.len()].clone();
+            let e = match code % 14 {
+                0 => Expr::var(i % num_vars.max(1)),
+                1 => Expr::constant((i as f64 - 3.0) * 0.37),
+                2 => pick(0).sin(),
+                3 => pick(0).tanh(),
+                4 => pick(1).abs(),
+                5 => pick(0).exp(),
+                6 => pick(1).atan(),
+                7 => pick(0).powi((i % 4) as i32 + 2),
+                8 => pick(0) + pick(1),
+                9 => pick(0) - pick(2),
+                10 => pick(0) * pick(1),
+                11 => pick(0).min(pick(2)),
+                12 => pick(1).max(pick(0)),
+                _ => pick(0) * 0.5 + pick(1),
+            };
+            stack.push(e);
+        }
+        stack
+            .into_iter()
+            .reduce(|acc, e| acc + e)
+            .expect("stack starts non-empty")
+    }
+
+    use crate::Expr;
+
+    /// A wide expression with many simultaneously live values, forcing a
+    /// tiny register file into heavy spilling.
+    fn wide_expr() -> Expr {
+        let x = Expr::var(0);
+        let y = Expr::var(1);
+        let terms = [
+            x.clone().sin() * y.clone().cos(),
+            x.clone().exp() * y.clone().tanh(),
+            (x.clone() * y.clone()).atan(),
+            (x.clone() - y.clone()).powi(3),
+            x.clone().sigmoid() + y.clone().sqrt().abs(),
+        ];
+        let sum = terms.iter().cloned().reduce(|a, b| a + b).unwrap();
+        // A min/max cone over large sub-cones exercises liveness across
+        // the clamp structure of the paper's saturated controllers.
+        sum.clone().min(terms[0].clone().max(sum * 0.5))
+    }
+
+    /// Replays an allocated program symbolically, checking that every
+    /// operand register holds exactly the source slot the original program
+    /// reads, that loads only read stored values, and that root locations
+    /// are accurate.  This is the structural proof that liveness tracking
+    /// is correct for any schedule the allocator emits.
+    fn assert_well_formed(tape: &Tape, alloc: &AllocatedTape) {
+        let mut reg_state: Vec<Option<u32>> = vec![None; alloc.num_registers()];
+        let mut spill_state: Vec<Option<u32>> = vec![None; alloc.num_spill_slots()];
+        let mut defined = vec![false; alloc.source_len()];
+        for (pc, instr) in alloc.instructions().iter().enumerate() {
+            match *instr {
+                RegInstr::Load { dst, spill } => {
+                    let slot = spill_state[spill as usize].expect("load of an unwritten spill");
+                    reg_state[dst as usize] = Some(slot);
+                    assert!(alloc.defined_slot(pc).is_none());
+                }
+                RegInstr::Store { spill, src } => {
+                    let slot = reg_state[src as usize].expect("store of an unwritten register");
+                    spill_state[spill as usize] = Some(slot);
+                    assert!(alloc.defined_slot(pc).is_none());
+                }
+                _ => {
+                    let ssa = alloc.defined_slot(pc).expect("defining instruction") as u32;
+                    assert!(!defined[ssa as usize], "slot {ssa} defined twice");
+                    defined[ssa as usize] = true;
+                    let expect_operands = match tape.instr(ssa as usize) {
+                        TapeInstr::Const(..) | TapeInstr::Var(_) => (None, None),
+                        TapeInstr::Unary(_, a) | TapeInstr::Powi(a, _) => (Some(a as u32), None),
+                        TapeInstr::Binary(_, a, b) => (Some(a as u32), Some(b as u32)),
+                    };
+                    let got_operands = match *instr {
+                        RegInstr::Unary { a, .. } | RegInstr::Powi { a, .. } => {
+                            (reg_state[a as usize], None)
+                        }
+                        RegInstr::Binary { a, b, .. } => {
+                            (reg_state[a as usize], reg_state[b as usize])
+                        }
+                        _ => (None, None),
+                    };
+                    assert_eq!(
+                        got_operands,
+                        (
+                            expect_operands.0.map(Some).unwrap_or_default(),
+                            expect_operands.1.map(Some).unwrap_or_default()
+                        ),
+                        "instruction {pc} reads the wrong values"
+                    );
+                    let dst = instr.dst().unwrap();
+                    reg_state[dst as usize] = Some(ssa);
+                }
+            }
+        }
+        assert!(defined.iter().all(|&d| d), "every source slot is defined");
+        for k in 0..alloc.num_roots() {
+            let root = tape.roots[k];
+            match alloc.root_loc(k).expect("tape roots are never dropped") {
+                RootLoc::Reg(r) => assert_eq!(reg_state[r as usize], Some(root)),
+                RootLoc::Spill(s) => assert_eq!(spill_state[s as usize], Some(root)),
+            }
+        }
+    }
+
+    /// Bitwise comparison of allocated scalar and interval evaluation
+    /// against the stock tape evaluators.
+    fn assert_bit_identical(tape: &Tape, alloc: &AllocatedTape, values: &[f64]) {
+        let mut scratch = RegScratch::default();
+        let mut scalar_roots = Vec::new();
+        alloc.eval_scalar_roots_into(tape, values, &mut scratch, &mut scalar_roots);
+        let mut slots = Vec::new();
+        tape.eval_scalar_into(values, &mut slots);
+        for k in 0..tape.num_roots() {
+            assert_eq!(
+                scalar_roots[k].unwrap().to_bits(),
+                slots[tape.root_slot(k)].to_bits(),
+                "scalar root {k} diverged"
+            );
+        }
+
+        let bounds: Vec<(f64, f64)> = values.iter().map(|&v| (v - 0.25, v + 0.5)).collect();
+        let region = IntervalBox::from_bounds(&bounds);
+        let mut interval_roots = Vec::new();
+        alloc.eval_interval_roots_into(tape, &region, &mut scratch, &mut interval_roots);
+        let mut islots = Vec::new();
+        tape.eval_interval_into(&region, &mut islots);
+        for k in 0..tape.num_roots() {
+            let got = interval_roots[k].unwrap();
+            let want = islots[tape.root_slot(k)];
+            assert_eq!(got.lo().to_bits(), want.lo().to_bits());
+            assert_eq!(got.hi().to_bits(), want.hi().to_bits());
+        }
+    }
+
+    #[test]
+    fn tiny_register_files_spill_and_stay_bit_identical() {
+        let tape = Tape::compile(&wide_expr());
+        let full = AllocatedTape::from_tape(&tape, DEFAULT_REGISTERS);
+        for registers in [2, 3, 4, 8, DEFAULT_REGISTERS] {
+            let alloc = AllocatedTape::from_tape(&tape, registers);
+            assert_eq!(alloc.num_registers(), registers);
+            assert_eq!(alloc.source_len(), tape.num_slots());
+            assert_well_formed(&tape, &alloc);
+            assert_bit_identical(&tape, &alloc, &[0.7, -0.4]);
+            assert_bit_identical(&tape, &alloc, &[-2.5, 1.9]);
+            if registers == 2 {
+                let stores = alloc
+                    .instructions()
+                    .iter()
+                    .filter(|i| matches!(i, RegInstr::Store { .. }))
+                    .count();
+                assert!(stores > 0, "2 registers must force spilling");
+                assert!(alloc.num_spill_slots() >= stores);
+            }
+        }
+        // A comfortable register file for this tape should avoid spills
+        // entirely (the live set is small).
+        assert_eq!(full.num_spill_slots(), 0);
+    }
+
+    #[test]
+    fn liveness_spans_min_max_dependency_cones() {
+        // Both cones of the clamp stay live across each other's
+        // evaluation; a 3-register file must juggle them through spills
+        // without ever handing an operator a stale value.
+        let x = Expr::var(0);
+        let y = Expr::var(1);
+        let cone_a = (x.clone().sin() + y.clone().cos()) * (x.clone() - y.clone()).tanh();
+        let cone_b = (x.clone() * y.clone()).exp() + x.clone().atan() * 0.3;
+        let clamped = cone_a
+            .clone()
+            .max(cone_b.clone())
+            .min(cone_a * 0.5 + cone_b);
+        let tape = Tape::compile(&clamped);
+        for registers in [2, 3, 4] {
+            let alloc = AllocatedTape::from_tape(&tape, registers);
+            assert_well_formed(&tape, &alloc);
+            assert_bit_identical(&tape, &alloc, &[0.31, -1.2]);
+        }
+    }
+
+    #[test]
+    fn multiple_roots_stay_addressable_after_the_program() {
+        let x = Expr::var(0);
+        let exprs: Vec<Expr> = (0..6)
+            .map(|i| (x.clone() * (i as f64 + 0.5)).tanh() + x.clone().powi(i + 2))
+            .collect();
+        let tape = Tape::compile_many(&exprs);
+        // 2 registers cannot hold 6 roots: most roots must end in the
+        // spill arena, and their recorded locations must stay accurate.
+        let alloc = AllocatedTape::from_tape(&tape, 2);
+        assert_well_formed(&tape, &alloc);
+        assert_bit_identical(&tape, &alloc, &[0.83]);
+        let spilled_roots = (0..alloc.num_roots())
+            .filter(|&k| matches!(alloc.root_loc(k), Some(RootLoc::Spill(_))))
+            .count();
+        assert!(spilled_roots >= 4, "got {spilled_roots} spilled roots");
+    }
+
+    #[test]
+    fn allocator_and_output_buffers_are_reusable() {
+        let tape_a = Tape::compile(&wide_expr());
+        let tape_b = Tape::compile(&(Expr::var(0).sin() + 1.0));
+        let mut ra = RegAlloc::new();
+        let mut out = AllocatedTape::default();
+        ra.allocate_tape_into(&tape_a, 4, &mut out);
+        let len_a = out.instructions().len();
+        // Re-allocating a different (smaller) program into the same
+        // buffers must fully reset the output.
+        ra.allocate_tape_into(&tape_b, 4, &mut out);
+        assert!(out.instructions().len() < len_a);
+        assert_eq!(out.source_len(), tape_b.num_slots());
+        assert_well_formed(&tape_b, &out);
+        assert_bit_identical(&tape_b, &out, &[1.1]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_allocated_eval_matches_unallocated_eval_bitwise(
+            script in vec(0usize..14, 4..80),
+            registers in 2usize..27,
+            a in -3.0f64..3.0,
+            b in -3.0f64..3.0,
+            c in -3.0f64..3.0,
+        ) {
+            let expr = dag_from_script(&script, 3);
+            let tape = Tape::compile(&expr);
+            let alloc = AllocatedTape::from_tape(&tape, registers);
+            assert_well_formed(&tape, &alloc);
+            let values = [a, b, c];
+            let mut scratch = RegScratch::default();
+            let mut roots = Vec::new();
+            alloc.eval_scalar_roots_into(&tape, &values, &mut scratch, &mut roots);
+            prop_assert_eq!(
+                roots[0].unwrap().to_bits(),
+                tape.eval(&values).to_bits()
+            );
+            let region = IntervalBox::from_bounds(&[(a, a + 0.7), (b, b + 0.1), (c, c + 2.0)]);
+            let mut iroots = Vec::new();
+            alloc.eval_interval_roots_into(&tape, &region, &mut scratch, &mut iroots);
+            let mut slots = Vec::new();
+            tape.eval_interval_into(&region, &mut slots);
+            let want = slots[tape.root_slot(0)];
+            let got = iroots[0].unwrap();
+            prop_assert_eq!(got.lo().to_bits(), want.lo().to_bits());
+            prop_assert_eq!(got.hi().to_bits(), want.hi().to_bits());
+        }
+    }
+}

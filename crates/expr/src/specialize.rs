@@ -196,6 +196,13 @@ impl TapeView {
         }
     }
 
+    /// Raw program columns for crate-internal passes (register allocation
+    /// walks `ops`/`lhs`/`rhs`/`roots` directly; dropped roots carry the
+    /// `DROPPED` sentinel).
+    pub(crate) fn raw_parts(&self) -> (&[OpCode], &[u32], &[u32], &[u32]) {
+        (&self.ops, &self.lhs, &self.rhs, &self.roots)
+    }
+
     /// Number of instructions in the view.
     pub fn len(&self) -> usize {
         self.ops.len()

@@ -1,0 +1,266 @@
+//! The differential lane oracle: every lane of the batched evaluator must
+//! be *bitwise* identical to evaluating that lane's box alone — through
+//! the scalar tape interpreter and through the original expression tree —
+//! at every lane count, for ragged batches, for lanes carrying NaN-width
+//! or ±∞ bounds, and for register-allocated `TapeView` specializations.
+//!
+//! This is the PR-2 bit-identity discipline applied to the batched SIMD
+//! path: batching is an acceleration, so it must be invisible.
+
+use nncps_expr::{
+    AllocatedTape, BatchScratch, Expr, RegAlloc, SpecializeScratch, Tape, TapeView,
+    DEFAULT_REGISTERS,
+};
+use nncps_interval::{Interval, IntervalBox};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Builds a random expression DAG from a script of small integers (a stack
+/// machine; operands are cloned from arbitrary stack depths, so shared
+/// subtrees — and hence CSE hits — are common).
+fn dag_from_script(script: &[usize], num_vars: usize) -> Expr {
+    let mut stack: Vec<Expr> = vec![Expr::var(0)];
+    for (i, &code) in script.iter().enumerate() {
+        let pick = |d: usize| stack[(i + d) % stack.len()].clone();
+        let e = match code % 14 {
+            0 => Expr::var(i % num_vars.max(1)),
+            1 => Expr::constant((i as f64 - 3.0) * 0.37),
+            2 => pick(0).sin(),
+            3 => pick(0).tanh(),
+            4 => pick(1).abs(),
+            5 => pick(0).exp(),
+            6 => pick(1).atan(),
+            7 => pick(0).powi((i % 4) as i32 + 2),
+            8 => pick(0) + pick(1),
+            9 => pick(0) - pick(2),
+            10 => pick(0) * pick(1),
+            11 => pick(0).min(pick(2)),
+            12 => pick(1).max(pick(0)),
+            _ => pick(0) * 0.5 + pick(1),
+        };
+        stack.push(e);
+    }
+    stack
+        .into_iter()
+        .reduce(|acc, e| acc + e)
+        .expect("stack starts non-empty")
+}
+
+fn assert_interval_bits(got: Interval, want: Interval, context: &str) {
+    assert_eq!(
+        got.lo().to_bits(),
+        want.lo().to_bits(),
+        "{context}: lower bound diverged ({} vs {})",
+        got.lo(),
+        want.lo()
+    );
+    assert_eq!(
+        got.hi().to_bits(),
+        want.hi().to_bits(),
+        "{context}: upper bound diverged ({} vs {})",
+        got.hi(),
+        want.hi()
+    );
+}
+
+/// The oracle itself: runs `boxes` through the batched evaluator at lane
+/// width `L` (ragged when `boxes.len() < L`) and checks every root of
+/// every lane bitwise against (a) the scalar tape interpreter and (b) the
+/// expression tree, and the recorded traces against the tape's full slot
+/// buffer.
+fn check_batch_against_oracles<const L: usize>(exprs: &[Expr], tape: &Tape, boxes: &[IntervalBox]) {
+    assert!(!boxes.is_empty() && boxes.len() <= L);
+    let alloc = AllocatedTape::from_tape(tape, DEFAULT_REGISTERS);
+    let lanes: Vec<&IntervalBox> = boxes.iter().collect();
+    let mut scratch = BatchScratch::<L>::default();
+
+    // Roots-only batch vs scalar tape vs tree.
+    let mut roots = Vec::new();
+    alloc.eval_interval_batch(tape, &lanes, &mut scratch, &mut roots);
+    let active = boxes.len();
+    let mut slots = Vec::new();
+    for (k, region) in boxes.iter().enumerate() {
+        tape.eval_interval_into(region, &mut slots);
+        for (r, expr) in exprs.iter().enumerate() {
+            let batched = roots[r * active + k];
+            let scalar = slots[tape.root_slot(r)];
+            assert_interval_bits(batched, scalar, &format!("L={L} lane {k} root {r} vs tape"));
+            let tree = expr.eval_box(region);
+            assert_interval_bits(batched, tree, &format!("L={L} lane {k} root {r} vs tree"));
+        }
+    }
+
+    // Recording batch: every lane's trace must equal the tape's full slot
+    // buffer for that lane's box.
+    let mut trace_storage: Vec<Vec<Interval>> = (0..active).map(|_| Vec::new()).collect();
+    {
+        let mut traces: Vec<&mut Vec<Interval>> = trace_storage.iter_mut().collect();
+        alloc.eval_interval_batch_recording(tape, &lanes, &mut scratch, &mut traces);
+    }
+    for (k, region) in boxes.iter().enumerate() {
+        tape.eval_interval_into(region, &mut slots);
+        assert_eq!(trace_storage[k].len(), slots.len());
+        for (slot, (&got, &want)) in trace_storage[k].iter().zip(slots.iter()).enumerate() {
+            assert_interval_bits(got, want, &format!("L={L} lane {k} trace slot {slot}"));
+        }
+    }
+}
+
+/// Specialization oracle: derive a `TapeView` for the hull of the batch,
+/// register-allocate the *view*, and compare every lane bitwise against
+/// the view's own scalar interpreter.
+fn check_specialized_batch<const L: usize>(tape: &Tape, hull: &IntervalBox, boxes: &[IntervalBox]) {
+    let full = TapeView::full(tape);
+    let mut slots = Vec::new();
+    full.eval_interval_into(tape, hull, &mut slots);
+    let keep_root = vec![true; tape.num_roots()];
+    let mut scratch = SpecializeScratch::default();
+    let mut view = TapeView::default();
+    if !full.respecialize_into(tape, &slots, &keep_root, &mut scratch, &mut view) {
+        // Nothing simplified over this hull; the full view *is* the view.
+        view = full;
+    }
+    let mut alloc = AllocatedTape::default();
+    RegAlloc::new().allocate_view_into(&view, DEFAULT_REGISTERS, &mut alloc);
+    assert_eq!(alloc.source_len(), view.len());
+
+    let lanes: Vec<&IntervalBox> = boxes.iter().collect();
+    let mut batch_scratch = BatchScratch::<L>::default();
+    let mut trace_storage: Vec<Vec<Interval>> = (0..boxes.len()).map(|_| Vec::new()).collect();
+    {
+        let mut traces: Vec<&mut Vec<Interval>> = trace_storage.iter_mut().collect();
+        alloc.eval_interval_batch_recording(tape, &lanes, &mut batch_scratch, &mut traces);
+    }
+    let mut view_slots = Vec::new();
+    for (k, region) in boxes.iter().enumerate() {
+        view.eval_interval_into(tape, region, &mut view_slots);
+        for (slot, (&got, &want)) in trace_storage[k].iter().zip(view_slots.iter()).enumerate() {
+            assert_interval_bits(
+                got,
+                want,
+                &format!("L={L} specialized lane {k} view slot {slot}"),
+            );
+        }
+    }
+}
+
+/// Sub-boxes of a base region, bisection-style (the shapes the δ-SAT
+/// search actually batches): lane `k` takes a contiguous fraction of every
+/// dimension, offset by `k`.
+fn sibling_boxes(base: &IntervalBox, count: usize) -> Vec<IntervalBox> {
+    (0..count)
+        .map(|k| {
+            let bounds: Vec<(f64, f64)> = base
+                .intervals()
+                .iter()
+                .enumerate()
+                .map(|(d, iv)| {
+                    let width = iv.width();
+                    let step = width / count as f64;
+                    let lo = iv.lo() + step * (((k + d) % count) as f64);
+                    (lo, lo + step)
+                })
+                .collect();
+            IntervalBox::from_bounds(&bounds)
+        })
+        .collect()
+}
+
+#[test]
+fn fixed_controller_expression_matches_oracles_at_all_lane_counts() {
+    // The shape of the paper's Lie-derivative queries: a tanh controller
+    // composed with polynomial dynamics, plus a clamp.
+    let x = Expr::var(0);
+    let y = Expr::var(1);
+    let u = ((x.clone() * 0.8 + y.clone() * -1.3).tanh() * 2.0 + x.clone() * 0.1).tanh();
+    let lie = u.clone() * y.clone() + x.clone().powi(2) * y.clone().sin()
+        - (x.clone() + y.clone() * 0.25).exp() * 1e-3;
+    let clamped = lie
+        .clone()
+        .min(Expr::constant(5.0))
+        .max(lie.clone() * 0.5 - 1.0);
+    let exprs = [lie, clamped];
+    let tape = Tape::compile_many(&exprs);
+    let base = IntervalBox::from_bounds(&[(-2.0, 2.0), (-1.5, 1.5)]);
+
+    for count in 1..=8 {
+        let boxes = sibling_boxes(&base, count);
+        if count <= 1 {
+            check_batch_against_oracles::<1>(&exprs, &tape, &boxes);
+        }
+        if count <= 4 {
+            check_batch_against_oracles::<4>(&exprs, &tape, &boxes);
+        }
+        check_batch_against_oracles::<8>(&exprs, &tape, &boxes);
+    }
+}
+
+#[test]
+fn nan_and_infinite_lanes_stay_confined_to_their_lane() {
+    let x = Expr::var(0);
+    let y = Expr::var(1);
+    // sqrt/ln have partial domains: boxes outside produce EMPTY results;
+    // exp overflows to the MAX-clamped bound. Each pathology must stay in
+    // its own lane.
+    let f = x.clone().sqrt() + y.clone().ln() * x.clone().exp().min(y.clone());
+    let exprs = [f];
+    let tape = Tape::compile_many(&exprs);
+    let boxes = vec![
+        // Healthy lane.
+        IntervalBox::from_bounds(&[(0.5, 1.0), (0.5, 2.0)]),
+        // Fully outside sqrt's domain: EMPTY propagates.
+        IntervalBox::from_bounds(&[(-3.0, -2.0), (1.0, 2.0)]),
+        // Unbounded lane: ±∞ endpoints and exp overflow.
+        IntervalBox::from_bounds(&[(0.0, f64::INFINITY), (f64::NEG_INFINITY, 1.0)]),
+        // Another healthy lane *after* the pathological ones: it must see
+        // no contamination from its neighbours.
+        IntervalBox::from_bounds(&[(1.0, 4.0), (2.0, 3.0)]),
+    ];
+    check_batch_against_oracles::<4>(&exprs, &tape, &boxes);
+    check_batch_against_oracles::<8>(&exprs, &tape, &boxes);
+    // Ragged: only the pathological lanes.
+    check_batch_against_oracles::<4>(&exprs, &tape, &boxes[1..3]);
+}
+
+proptest! {
+    #[test]
+    fn prop_random_dags_and_batches_match_the_oracles(
+        script in vec(0usize..14, 4..60),
+        lo_a in -3.0f64..2.5, lo_b in -3.0f64..2.5, lo_c in -3.0f64..2.5,
+        width in 0.1f64..2.0,
+        count in 1usize..9,
+    ) {
+        let expr = dag_from_script(&script, 3);
+        let exprs = [expr];
+        let tape = Tape::compile_many(&exprs);
+        let base = IntervalBox::from_bounds(&[
+            (lo_a, lo_a + width),
+            (lo_b, lo_b + 0.5 * width),
+            (lo_c, lo_c + 1.5 * width),
+        ]);
+        let boxes = sibling_boxes(&base, count);
+        if count <= 1 {
+            check_batch_against_oracles::<1>(&exprs, &tape, &boxes);
+        }
+        if count <= 4 {
+            check_batch_against_oracles::<4>(&exprs, &tape, &boxes);
+        }
+        check_batch_against_oracles::<8>(&exprs, &tape, &boxes);
+    }
+
+    #[test]
+    fn prop_specialized_views_batch_bit_identically(
+        script in vec(0usize..14, 4..60),
+        lo_a in -2.0f64..1.5, lo_b in -2.0f64..1.5,
+        count in 1usize..9,
+    ) {
+        let expr = dag_from_script(&script, 2);
+        let tape = Tape::compile_many(&[expr]);
+        let hull = IntervalBox::from_bounds(&[(lo_a, lo_a + 1.0), (lo_b, lo_b + 0.8)]);
+        let boxes = sibling_boxes(&hull, count);
+        if count <= 4 {
+            check_specialized_batch::<4>(&tape, &hull, &boxes);
+        }
+        check_specialized_batch::<8>(&tape, &hull, &boxes);
+    }
+}

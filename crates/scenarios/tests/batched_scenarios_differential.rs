@@ -1,0 +1,79 @@
+//! Registry-level proof that batched sibling evaluation is invisible to the
+//! scenario reports: every built-in scenario, re-run with
+//! `smt_batched_evaluation` off, must produce the same fingerprint (verdict,
+//! reason, level, certificate bits, counterexample witnesses) and the same
+//! deterministic counters.  Since the checked-in `SCENARIOS_expected.json`
+//! baseline predates batching, this is also the proof that the CI
+//! scenario-regression gate stays green with batching default-on.
+
+use nncps_scenarios::{run_scenario, Registry, Scenario};
+
+/// The scenario with batched evaluation forced off (everything else equal).
+fn scalar_variant(scenario: &Scenario) -> Scenario {
+    let mut config = scenario.config().clone();
+    assert!(
+        config.smt_batched_evaluation,
+        "scenario `{}` must default to batched evaluation",
+        scenario.name()
+    );
+    config.smt_batched_evaluation = false;
+    Scenario::new(
+        scenario.name(),
+        scenario.description(),
+        scenario.plant().clone(),
+        scenario.spec().clone(),
+        config,
+        scenario.expected(),
+    )
+}
+
+#[test]
+fn every_builtin_scenario_is_batching_invariant() {
+    let registry = Registry::builtin();
+    assert!(
+        registry.len() >= 8,
+        "the built-in registry holds 8+ scenarios"
+    );
+    for scenario in &registry {
+        let batched = run_scenario(scenario);
+        let scalar = run_scenario(&scalar_variant(scenario));
+        let name = scenario.name();
+        assert_eq!(
+            batched.fingerprint(),
+            scalar.fingerprint(),
+            "scenario `{name}`: fingerprint diverges with batching off"
+        );
+        assert_eq!(
+            batched.verdict, scalar.verdict,
+            "scenario `{name}`: verdict diverges"
+        );
+        assert_eq!(
+            batched.counterexample_witnesses, scalar.counterexample_witnesses,
+            "scenario `{name}`: counterexample witnesses diverge"
+        );
+        assert!(
+            batched.matches_expected,
+            "scenario `{name}` no longer matches its expected verdict"
+        );
+        // Every deterministic counter must agree; only
+        // `instructions_executed` is allowed to differ (the batched sweeps
+        // account for full child programs up front, the scalar path counts
+        // incremental prefix extensions — both are cost instrumentation,
+        // excluded from fingerprints by design).
+        let (a, b) = (&batched.stats, &scalar.stats);
+        assert_eq!(a.generator_iterations, b.generator_iterations, "{name}");
+        assert_eq!(a.lp_solves, b.lp_solves, "{name}");
+        assert_eq!(a.smt_decrease_checks, b.smt_decrease_checks, "{name}");
+        assert_eq!(a.counterexamples, b.counterexamples, "{name}");
+        assert_eq!(a.level_iterations, b.level_iterations, "{name}");
+        assert_eq!(a.boxes_explored, b.boxes_explored, "{name}");
+        assert_eq!(a.boxes_pruned, b.boxes_pruned, "{name}");
+        assert_eq!(a.bisections, b.bisections, "{name}");
+        assert_eq!(a.clauses_examined, b.clauses_examined, "{name}");
+        assert_eq!(
+            a.specialized_tape_len_sum, b.specialized_tape_len_sum,
+            "{name}"
+        );
+        assert_eq!(a.newton_cuts, b.newton_cuts, "{name}");
+    }
+}
