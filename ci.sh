@@ -71,6 +71,39 @@ else
     echo "==> family-sweep: (skipped in quick mode)"
 fi
 
+# --- chaos: fault injection ---------------------------------------------------
+# Build with the fault-injection feature, arm exactly one deterministic panic
+# (first solver box pop, single-threaded => first member of the 24-member CI
+# family), and require the structured failure surface: 23 verdicts + 1
+# crashed row in the report and the dedicated "crashed members" exit code 3.
+# Then re-run the same featured build UNARMED: its deterministic report must
+# be byte-identical to the default build's pinned form from the family-sweep
+# stage — the compiled-in hooks are bit-invisible until armed.
+if [ "$quick" != "quick" ]; then
+    echo "==> chaos: seeded panic in 1 of 24 linear-ci-grid members (fault-injection build)"
+    chaos_report="$PWD/target/chaos_sweep.json"
+    unarmed_report="$PWD/target/chaos_unarmed.json"
+    set +e
+    NNCPS_FAULTS="solver.box_pop=panic:nth=1" \
+        cargo run --release --features fault-injection --bin nncps-batch -- \
+        --family linear-ci-grid --quiet --threads 1 --out-deterministic "$chaos_report"
+    chaos_code=$?
+    set -e
+    [ "$chaos_code" -eq 3 ] \
+        || { echo "chaos run exited $chaos_code, expected 3 (crashed members)"; exit 1; }
+    verdicts=$(grep -c '"verdict"' "$chaos_report")
+    crashes=$(grep -c '"payload"' "$chaos_report")
+    [ "$verdicts" -eq 23 ] && [ "$crashes" -eq 1 ] \
+        || { echo "chaos run produced $verdicts verdicts + $crashes crash rows, expected 23 + 1"; exit 1; }
+    cargo run --release --features fault-injection --bin nncps-batch -- \
+        --family linear-ci-grid --quiet --threads 1 --out-deterministic "$unarmed_report"
+    cmp "$sweep_a" "$unarmed_report" \
+        || { echo "unarmed fault-injection build drifts from the pinned deterministic report"; exit 1; }
+    echo "    chaos: 23 verdicts + 1 crashed row, exit 3; unarmed featured build byte-identical"
+else
+    echo "==> chaos: (skipped in quick mode)"
+fi
+
 if [ "$quick" != "quick" ]; then
     echo "==> bench smoke: tape-vs-tree + specialization microbenches"
     cargo bench --bench substrate_micro -- substrate/tape_vs_tree
@@ -126,6 +159,23 @@ if [ "$quick" != "quick" ]; then
         "$bench_json" BENCH_pr6.json
     cargo run --release -p nncps_bench --bin bench-compare -- \
         --bench "substrate/batched_eval/decrease_query_50/batched" \
+        "$bench_json" BENCH_pr6.json
+
+    # PR 7: resource governance.  The budget-poll overhead on the headline
+    # decrease query is held to <=2% (best-case sample times, governed vs
+    # ungoverned measured back-to-back in one process), and the governed
+    # lane is anchored against the BENCH_pr6.json record of the ungoverned
+    # headline so the pair cannot drift away together.
+    echo "==> bench-regression: governance overhead vs BENCH_pr6.json"
+    CRITERION_JSON="$bench_json" \
+        cargo bench --bench substrate_micro -- "substrate/govern/decrease_query_50"
+    cargo run --release -p nncps_bench --bin bench-compare -- \
+        "$bench_json" --overhead \
+        "substrate/govern/decrease_query_50/ungoverned" \
+        "substrate/govern/decrease_query_50/governed" --max-pct 2
+    cargo run --release -p nncps_bench --bin bench-compare -- \
+        --bench "substrate/govern/decrease_query_50/governed" \
+        --baseline-bench "substrate/deltasat/decrease_query/50" \
         "$bench_json" BENCH_pr6.json
 else
     echo "==> bench-regression: (skipped in quick mode)"

@@ -413,6 +413,7 @@ fn batched_eval_bench(c: &mut Criterion) {
                     &SweepOptions {
                         threads: 1,
                         warm_start: true,
+                        ..SweepOptions::default()
                     },
                 )
                 .expect("the CI family expands");
@@ -489,6 +490,7 @@ fn family_sweep_bench(c: &mut Criterion) {
                     &SweepOptions {
                         threads: 1,
                         warm_start,
+                        ..SweepOptions::default()
                     },
                 )
                 .expect("the CI family expands");
@@ -499,10 +501,37 @@ fn family_sweep_bench(c: &mut Criterion) {
     group.finish();
 }
 
+/// PR 7: budget-poll overhead on the headline decrease query.  The
+/// `ungoverned` lane re-measures the pinned headline in this run; the
+/// `governed` lane runs the identical query under a fuel budget generous
+/// enough to never trip, so the difference is pure governance overhead
+/// (one charge + three relaxed atomic loads per box pop).  ci.sh holds the
+/// governed lane to ≤2% over the ungoverned lane and anchors it against
+/// the BENCH_pr6.json record of the ungoverned headline.
+fn govern_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/govern");
+    // Generous sampling: the ≤2% overhead gate compares best-case
+    // (minimum) sample times, which converge with sample count even on a
+    // noisy shared host where medians swing several percent.
+    group.sample_size(40);
+    let domain = IntervalBox::from_bounds(&[(-5.0, 5.0), (-1.6, 1.6)]);
+    let query = Formula::atom(Constraint::ge(lie_derivative(50), -1e-6));
+    group.bench_function("decrease_query_50/ungoverned", |b| {
+        let solver = DeltaSolver::new(1e-4);
+        b.iter(|| solver.solve(&query, &domain));
+    });
+    group.bench_function("decrease_query_50/governed", |b| {
+        let budget = nncps_deltasat::Budget::unlimited().with_fuel(u64::MAX / 2);
+        let solver = DeltaSolver::new(1e-4).with_budget(budget);
+        b.iter(|| solver.solve(&query, &domain));
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(8));
     targets = lp_bench, deltasat_bench, tape_vs_tree_bench, specialize_bench,
-        batched_eval_bench, nn_bench, sim_bench, family_sweep_bench
+        batched_eval_bench, nn_bench, sim_bench, family_sweep_bench, govern_bench
 }
 criterion_main!(benches);

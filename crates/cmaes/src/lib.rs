@@ -39,3 +39,6 @@ mod params;
 
 pub use optimizer::{evaluate_population, seeded_rng, CmaEs, Generation, OptimizationResult};
 pub use params::CmaesParams;
+// Governance vocabulary for `CmaEs::with_budget` and
+// `OptimizationResult::exhaustion`.
+pub use nncps_parallel::{Budget, ExhaustionReason};

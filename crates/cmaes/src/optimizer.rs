@@ -1,6 +1,7 @@
 //! The CMA-ES state and update equations.
 
 use nncps_linalg::{Matrix, SymmetricEigen, Vector};
+use nncps_parallel::{Budget, ExhaustionReason};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
@@ -33,6 +34,10 @@ pub struct OptimizationResult {
     pub evaluations: usize,
     /// Per-generation history (best/mean fitness and step size).
     pub history: Vec<Generation>,
+    /// Why the run stopped before its generation limit or fitness target,
+    /// if a [`Budget`] attached via [`CmaEs::with_budget`] tripped; `None`
+    /// for an ungoverned or untripped run.
+    pub exhaustion: Option<ExhaustionReason>,
 }
 
 /// The `(μ/μ_w, λ)`-CMA-ES optimizer state.
@@ -51,6 +56,7 @@ pub struct CmaEs {
     eigen_scale: Vector,
     generation: usize,
     best_candidate: Option<(Vec<f64>, f64)>,
+    budget: Budget,
 }
 
 impl CmaEs {
@@ -79,7 +85,28 @@ impl CmaEs {
             eigen_scale: Vector::filled(n, 1.0),
             generation: 0,
             best_candidate: None,
+            budget: Budget::unlimited(),
         }
+    }
+
+    /// Attaches a resource [`Budget`] polled at every generation head of
+    /// [`CmaEs::optimize`]/[`CmaEs::optimize_parallel`].
+    ///
+    /// A tripped budget (cancellation, expired deadline, or fuel exhausted
+    /// by another governed stage) stops the run cooperatively between
+    /// generations: the best candidate found so far is still returned and
+    /// [`OptimizationResult::exhaustion`] records the machine-readable
+    /// reason.  CMA-ES itself never consumes fuel — fuel is the δ-SAT
+    /// solver's deterministic currency — so an untripped budget leaves the
+    /// optimization path bit-identical to an ungoverned run.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The resource budget governing this optimizer.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// The strategy parameters in use.
@@ -315,7 +342,12 @@ impl CmaEs {
     {
         let mut history = Vec::new();
         let mut evaluations = 0usize;
+        let mut exhaustion = None;
         for g in 0..max_generations {
+            if let Some(reason) = self.budget.check() {
+                exhaustion = Some(reason);
+                break;
+            }
             let candidates = self.ask(rng);
             let fitnesses = evaluate(&candidates);
             evaluations += fitnesses.len();
@@ -342,6 +374,7 @@ impl CmaEs {
             generations: history.len(),
             evaluations,
             history,
+            exhaustion,
         }
     }
 
@@ -474,6 +507,54 @@ mod tests {
         for (x, t) in result.best_candidate.iter().zip(target.iter()) {
             assert!((x - t).abs() < 1e-3, "{x} vs {t}");
         }
+    }
+
+    #[test]
+    fn cancelled_budget_stops_before_the_first_generation() {
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let mut rng = seeded_rng(5);
+        let mut cma = CmaEs::new(vec![3.0; 3], 1.0, CmaesParams::new(3)).with_budget(budget);
+        let result = cma.optimize(sphere, 100, 1e-12, &mut rng);
+        assert_eq!(result.generations, 0);
+        assert_eq!(result.evaluations, 0);
+        assert_eq!(result.exhaustion, Some(ExhaustionReason::Cancelled));
+        assert!(cma.budget().is_cancelled());
+    }
+
+    #[test]
+    fn untripped_budget_leaves_the_run_identical() {
+        let governed = {
+            let mut rng = seeded_rng(7);
+            let mut cma = CmaEs::new(vec![3.0; 5], 1.0, CmaesParams::new(5))
+                .with_budget(Budget::unlimited().with_fuel(u64::MAX / 2));
+            cma.optimize(sphere, 60, 1e-12, &mut rng)
+        };
+        let ungoverned = {
+            let mut rng = seeded_rng(7);
+            let mut cma = CmaEs::new(vec![3.0; 5], 1.0, CmaesParams::new(5));
+            cma.optimize(sphere, 60, 1e-12, &mut rng)
+        };
+        assert_eq!(governed, ungoverned);
+        assert_eq!(governed.exhaustion, None);
+    }
+
+    #[test]
+    fn mid_run_cancellation_keeps_the_best_so_far() {
+        // Run 3 generations, cancel the shared budget, resume: the resumed
+        // run must stop at its first poll with the prior best intact.
+        let budget = Budget::unlimited();
+        let mut cma =
+            CmaEs::new(vec![3.0; 3], 1.0, CmaesParams::new(3)).with_budget(budget.clone());
+        let mut rng = seeded_rng(9);
+        let warmup = cma.optimize(sphere, 3, f64::NEG_INFINITY, &mut rng);
+        assert_eq!(warmup.generations, 3);
+        budget.cancel();
+        let resumed = cma.optimize(sphere, 100, f64::NEG_INFINITY, &mut rng);
+        assert_eq!(resumed.generations, 0);
+        assert_eq!(resumed.exhaustion, Some(ExhaustionReason::Cancelled));
+        assert_eq!(resumed.best_fitness, warmup.best_fitness);
+        assert_eq!(resumed.best_candidate, warmup.best_candidate);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Level-set selection: finding `ℓ` such that `X0 ⊆ {W ≤ ℓ}` and
 //! `{W ≤ ℓ} ∩ U = ∅`.
 
-use nncps_deltasat::{CompiledFormula, DeltaSolver, SolverStats};
+use nncps_deltasat::{CompiledFormula, DeltaSolver, ExhaustionReason, SatResult, SolverStats};
 use nncps_linalg::{Matrix, Vector};
 
 use crate::{GeneratorFunction, QueryBuilder, SafetySpec};
@@ -155,6 +155,19 @@ impl LevelSetSelector {
         };
         // Start in the middle of the bracket: maximal slack on both sides.
         for iteration in 1..=self.max_iterations {
+            // Cooperative governance poll at the bisection loop head: the
+            // solver's budget is shared with the whole verification run, so
+            // a cancellation, expired deadline, or fuel exhaustion from an
+            // earlier query stops the search before issuing another one.
+            if let Some(reason) = solver.budget().check() {
+                return (
+                    LevelSetResult::NotFound {
+                        reason: format!("level-set search stopped: {reason}"),
+                        iterations: iteration - 1,
+                    },
+                    stats,
+                );
+            }
             let level = 0.5 * (low + high);
             // Query (6): is some initial state outside the sublevel set?
             // Both confirmation queries are compiled to evaluation tapes
@@ -163,6 +176,15 @@ impl LevelSetSelector {
             let q6 = compile(&q6);
             let (q6_result, q6_stats) = solver.solve_compiled_with_stats(&q6, &x0_domain);
             stats.merge(&q6_stats);
+            if let Some(reason) = governed_exhaustion(&q6_result) {
+                return (
+                    LevelSetResult::NotFound {
+                        reason: format!("level-set search stopped: {reason}"),
+                        iterations: iteration,
+                    },
+                    stats,
+                );
+            }
             if !q6_result.is_unsat() {
                 // Level too small: move up.
                 low = level;
@@ -182,6 +204,15 @@ impl LevelSetSelector {
             let q7 = compile(&q7);
             let (q7_result, q7_stats) = solver.solve_compiled_with_stats(&q7, &unsafe_domain);
             stats.merge(&q7_stats);
+            if let Some(reason) = governed_exhaustion(&q7_result) {
+                return (
+                    LevelSetResult::NotFound {
+                        reason: format!("level-set search stopped: {reason}"),
+                        iterations: iteration,
+                    },
+                    stats,
+                );
+            }
             if !q7_result.is_unsat() {
                 // Level too large: move down.
                 high = level;
@@ -211,6 +242,22 @@ impl LevelSetSelector {
 impl Default for LevelSetSelector {
     fn default() -> Self {
         LevelSetSelector::new(30)
+    }
+}
+
+/// The run-global exhaustion carried by a confirmation-query answer, if any.
+///
+/// A per-query box-budget `Unknown` keeps the legacy bisection treatment
+/// (indistinguishable from SAT, so the search adjusts the bracket and moves
+/// on — later, easier queries can still confirm a level), while fuel,
+/// deadline, and cancellation are properties of the *run*: every further
+/// query would return the same answer, so the search stops immediately.
+fn governed_exhaustion(result: &SatResult) -> Option<ExhaustionReason> {
+    match result {
+        SatResult::Unknown(reason) if !matches!(reason, ExhaustionReason::Boxes(_)) => {
+            Some(*reason)
+        }
+        _ => None,
     }
 }
 
@@ -308,6 +355,43 @@ mod tests {
                 assert!(iterations >= 1);
             }
             LevelSetResult::NotFound { reason, .. } => panic!("selection failed: {reason}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_stops_the_level_search() {
+        let system = system();
+        let queries = QueryBuilder::new(&system, 1e-6);
+        let budget = nncps_deltasat::Budget::unlimited();
+        budget.cancel();
+        let solver = DeltaSolver::new(1e-3).with_budget(budget);
+        let selector = LevelSetSelector::default();
+        let result = selector.select(&circle(), system.spec(), &queries, &solver);
+        match result {
+            LevelSetResult::NotFound { reason, iterations } => {
+                assert!(reason.contains("cancelled"), "{reason}");
+                assert_eq!(iterations, 0);
+            }
+            other => panic!("expected NotFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion_mid_search_stops_the_level_search() {
+        let system = system();
+        let queries = QueryBuilder::new(&system, 1e-6);
+        // A tiny fuel allowance: the first confirmation query exhausts it
+        // and the search must stop instead of bisecting forever on Unknowns.
+        let solver =
+            DeltaSolver::new(1e-3).with_budget(nncps_deltasat::Budget::unlimited().with_fuel(10));
+        let selector = LevelSetSelector::default();
+        let result = selector.select(&circle(), system.spec(), &queries, &solver);
+        match result {
+            LevelSetResult::NotFound { reason, iterations } => {
+                assert!(reason.contains("fuel budget"), "{reason}");
+                assert!(iterations <= 1, "iterations {iterations}");
+            }
+            other => panic!("expected NotFound, got {other:?}"),
         }
     }
 

@@ -75,3 +75,6 @@ pub use synthesis::{CandidateSynthesizer, SynthesisError};
 pub use system::ClosedLoopSystem;
 pub use template::{GeneratorFunction, QuadraticTemplate};
 pub use warmstart::{WarmStart, WarmStartStats};
+// Governance vocabulary for `Verifier::verify_governed` and
+// `VerificationStats::exhaustion`.
+pub use nncps_deltasat::{Budget, ExhaustionReason};

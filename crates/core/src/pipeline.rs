@@ -4,7 +4,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use nncps_deltasat::{DeltaSolver, SatResult, SolverStats};
+use nncps_deltasat::{Budget, DeltaSolver, ExhaustionReason, SatResult, SolverStats};
 use nncps_expr::{Fingerprint, StructuralHasher};
 use nncps_sim::{Integrator, Simulator, SymbolicDynamics, Trace};
 use rand::Rng;
@@ -166,6 +166,11 @@ pub struct VerificationStats {
     pub counterexample_candidates: Vec<Vec<f64>>,
     /// Stage timings.
     pub timings: StageTimings,
+    /// Why a governed run stopped early, if its [`Budget`] tripped
+    /// (fuel, deadline, or cancellation) or a δ-SAT query exhausted its box
+    /// budget.  `None` for ungoverned runs and for inconclusive outcomes
+    /// with a non-resource cause (infeasible LP, no admissible level).
+    pub exhaustion: Option<ExhaustionReason>,
 }
 
 impl VerificationStats {
@@ -327,6 +332,47 @@ impl Verifier {
         system: &ClosedLoopSystem,
         warm: Option<&WarmStart>,
     ) -> VerificationOutcome {
+        self.verify_governed_with_warm_start(system, warm, &Budget::unlimited())
+    }
+
+    /// Runs the full procedure under a resource [`Budget`].
+    ///
+    /// Every stage polls the budget cooperatively at its loop head — the
+    /// seed-trace batch, the candidate LP/SMT loop, the δ-SAT searches
+    /// themselves, and the level-set bisection — and a tripped budget
+    /// degrades the run to [`VerificationOutcome::Inconclusive`] with the
+    /// machine-readable reason recorded in
+    /// [`VerificationStats::exhaustion`].  A fuel limit is deterministic
+    /// (fuel is counted in tape instructions executed, and the solver
+    /// forces its sequential search path under fuel), so a fuel-exhausted
+    /// run reports the same verdict and statistics at every thread count;
+    /// wall-clock deadlines and cancellation are inherently
+    /// non-deterministic and are excluded from pinned report forms.
+    ///
+    /// An untripped budget never changes the outcome: verdict, certificate
+    /// bits, witnesses, and solver statistics are identical to
+    /// [`Verifier::verify`].
+    pub fn verify_governed(
+        &self,
+        system: &ClosedLoopSystem,
+        budget: &Budget,
+    ) -> VerificationOutcome {
+        self.verify_governed_with_warm_start(system, None, budget)
+    }
+
+    /// [`Verifier::verify_governed`] with an optional [`WarmStart`]: the
+    /// combination a governed family sweep uses.
+    ///
+    /// Memoized warm-start bundles are always built *ungoverned* — a
+    /// tripped budget can never publish a truncated trace bundle that a
+    /// sibling member would then silently reuse — so governance is enforced
+    /// by polling between stages on the warm path.
+    pub fn verify_governed_with_warm_start(
+        &self,
+        system: &ClosedLoopSystem,
+        warm: Option<&WarmStart>,
+        budget: &Budget,
+    ) -> VerificationOutcome {
         let start = Instant::now();
         let mut stats = VerificationStats::default();
         let cfg = &self.config;
@@ -337,7 +383,8 @@ impl Verifier {
         let solver = DeltaSolver::new(cfg.delta)
             .with_max_boxes(cfg.max_smt_boxes)
             .with_threads(cfg.smt_threads)
-            .with_batched_evaluation(cfg.smt_batched_evaluation);
+            .with_batched_evaluation(cfg.smt_batched_evaluation)
+            .with_budget(budget.clone());
         let queries = QueryBuilder::new(system, cfg.gamma);
         let mut synthesizer = CandidateSynthesizer::with_options(spec.clone(), cfg.synthesis);
 
@@ -370,14 +417,16 @@ impl Verifier {
         // sweep computes it once per distinct (dynamics, domain, seed,
         // integrator) combination.
         let sim_start = Instant::now();
-        let simulate_seed_traces = || {
+        let initial_states: Vec<Vec<f64>> = {
             let mut rng = seeded_rng(cfg.seed);
-            let initial_states: Vec<Vec<f64>> = (0..cfg.num_seed_traces)
+            (0..cfg.num_seed_traces)
                 .map(|_| {
                     let unit: Vec<f64> = (0..domain.dim()).map(|_| rng.gen::<f64>()).collect();
                     domain.lerp_point(&unit)
                 })
-                .collect();
+                .collect()
+        };
+        let simulate_seed_traces = || {
             simulator
                 .simulate_until_batch(
                     &dynamics,
@@ -391,19 +440,67 @@ impl Verifier {
         };
         let seed_traces: Arc<Vec<Trace>> = match (warm, &sim_key_base) {
             (Some(warm), Some(base)) => {
+                // Memoized bundles are built ungoverned (see the method
+                // docs); the budget is polled right after the stage instead.
                 let key = seed_trace_key(base, cfg.seed, cfg.num_seed_traces);
                 warm.traces_or_insert(key, simulate_seed_traces)
             }
-            _ => Arc::new(simulate_seed_traces()),
+            _ => {
+                // Cold path: the governed batch stops every in-flight trace
+                // at its next step head once the budget trips.  Untripped,
+                // it is bit-identical to the ungoverned batch.
+                match simulator.simulate_until_batch_governed(
+                    &dynamics,
+                    &initial_states,
+                    |_, s| !domain.contains_point(s),
+                    cfg.threads,
+                    budget,
+                ) {
+                    Ok(traces) => Arc::new(
+                        traces
+                            .iter()
+                            .map(|trace| trace.downsampled(cfg.max_samples_per_trace))
+                            .collect(),
+                    ),
+                    Err(reason) => {
+                        stats.timings.simulation += sim_start.elapsed();
+                        stats.timings.total = start.elapsed();
+                        stats.exhaustion = Some(reason);
+                        return VerificationOutcome::Inconclusive {
+                            reason: format!("verification stopped: {reason}"),
+                            stats,
+                        };
+                    }
+                }
+            }
         };
         for trace in seed_traces.iter() {
             synthesizer.add_trace(trace);
         }
         stats.timings.simulation += sim_start.elapsed();
+        if let Some(reason) = budget.check() {
+            stats.timings.total = start.elapsed();
+            stats.exhaustion = Some(reason);
+            return VerificationOutcome::Inconclusive {
+                reason: format!("verification stopped: {reason}"),
+                stats,
+            };
+        }
 
         // --- Candidate loop: LP + decrease check (5) ------------------------
         let mut certified_generator = None;
         for iteration in 1..=cfg.max_candidate_iterations {
+            // Cooperative governance poll at the candidate loop head;
+            // `generator_iterations` still counts only iterations that
+            // actually started.
+            if let Some(reason) = budget.check() {
+                stats.timings.total = start.elapsed();
+                stats.exhaustion = Some(reason);
+                return VerificationOutcome::Inconclusive {
+                    reason: format!("verification stopped: {reason}"),
+                    stats,
+                };
+            }
             stats.generator_iterations = iteration;
 
             // The synthesizer state (options, spec, accumulated rows) fully
@@ -491,6 +588,7 @@ impl Verifier {
                 }
                 SatResult::Unknown(reason) => {
                     stats.timings.total = start.elapsed();
+                    stats.exhaustion = Some(reason);
                     return VerificationOutcome::Inconclusive {
                         reason: format!("decrease check inconclusive: {reason}"),
                         stats,
@@ -534,6 +632,10 @@ impl Verifier {
             }
             LevelSetResult::NotFound { reason, iterations } => {
                 stats.level_iterations = iterations;
+                // A budget that tripped during the level search surfaces as
+                // a NotFound; record the machine-readable reason alongside
+                // the prose (an untripped budget leaves this `None`).
+                stats.exhaustion = budget.check();
                 VerificationOutcome::Inconclusive {
                     reason: format!("level-set selection failed: {reason}"),
                     stats,
@@ -706,6 +808,82 @@ mod tests {
         };
         assert_eq!(ca.generator(), cb.generator());
         assert_eq!(ca.level(), cb.level());
+    }
+
+    #[test]
+    fn cancelled_budget_yields_inconclusive_immediately() {
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let outcome = Verifier::default().verify_governed(&stable_linear_system(), &budget);
+        match &outcome {
+            VerificationOutcome::Inconclusive { reason, stats } => {
+                assert!(reason.contains("cancelled"), "{reason}");
+                assert_eq!(stats.exhaustion, Some(ExhaustionReason::Cancelled));
+                assert_eq!(stats.generator_iterations, 0);
+            }
+            VerificationOutcome::Certified { .. } => panic!("cancelled run must not certify"),
+        }
+    }
+
+    #[test]
+    fn fuel_limited_run_degrades_to_inconclusive_with_the_reason() {
+        let budget = Budget::unlimited().with_fuel(50);
+        let outcome = Verifier::default().verify_governed(&stable_linear_system(), &budget);
+        match &outcome {
+            VerificationOutcome::Inconclusive { reason, stats } => {
+                assert!(
+                    reason.contains("fuel budget of 50 instructions exhausted"),
+                    "{reason}"
+                );
+                assert_eq!(stats.exhaustion, Some(ExhaustionReason::Fuel(50)));
+            }
+            VerificationOutcome::Certified { .. } => panic!("fuel-starved run must not certify"),
+        }
+    }
+
+    #[test]
+    fn generous_budget_matches_the_ungoverned_run() {
+        let budget = Budget::unlimited().with_fuel(u64::MAX / 2);
+        let governed = Verifier::default().verify_governed(&stable_linear_system(), &budget);
+        let ungoverned = Verifier::default().verify(&stable_linear_system());
+        assert!(governed.is_certified(), "governed: {governed}");
+        assert!(ungoverned.is_certified(), "ungoverned: {ungoverned}");
+        let (gc, uc) = (
+            governed.certificate().unwrap(),
+            ungoverned.certificate().unwrap(),
+        );
+        assert_eq!(gc.generator(), uc.generator());
+        assert_eq!(gc.level(), uc.level());
+        assert_eq!(governed.stats().solver, ungoverned.stats().solver);
+        assert_eq!(
+            governed.stats().counterexample_witnesses,
+            ungoverned.stats().counterexample_witnesses
+        );
+        assert_eq!(governed.stats().exhaustion, None);
+        assert!(budget.fuel_used() > 0);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_smt_thread_invariant() {
+        // A fuel-exhausted run must report the same verdict, reason, solver
+        // statistics, and fuel consumption at every solver thread count —
+        // fuel forces the deterministic sequential search path.
+        let mut observed = Vec::new();
+        for smt_threads in [1usize, 2, 4] {
+            let config = VerificationConfig {
+                smt_threads,
+                ..VerificationConfig::default()
+            };
+            let budget = Budget::unlimited().with_fuel(200);
+            let outcome = Verifier::new(config).verify_governed(&stable_linear_system(), &budget);
+            let VerificationOutcome::Inconclusive { reason, stats } = outcome else {
+                panic!("fuel-starved run must be inconclusive");
+            };
+            observed.push((reason, stats.exhaustion, stats.solver, budget.fuel_used()));
+        }
+        assert_eq!(observed[0], observed[1]);
+        assert_eq!(observed[1], observed[2]);
+        assert_eq!(observed[0].1, Some(ExhaustionReason::Fuel(200)));
     }
 
     #[test]

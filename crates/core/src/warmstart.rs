@@ -50,7 +50,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use nncps_deltasat::CompilationCache;
 use nncps_expr::Fingerprint;
@@ -111,7 +111,16 @@ impl WarmStart {
         key: Fingerprint,
         build: impl FnOnce() -> Vec<Trace>,
     ) -> Arc<Vec<Trace>> {
-        if let Some(found) = self.traces.lock().expect("warm-start lock").get(&key) {
+        // Poisoned locks are recovered, not propagated: every entry is a
+        // pure function of its key built *outside* the lock, so a sweep
+        // member that panicked while holding the map cannot leave a torn
+        // entry behind — a crashed member must not poison its siblings.
+        if let Some(found) = self
+            .traces
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             self.trace_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(found);
         }
@@ -120,7 +129,8 @@ impl WarmStart {
         // both builds are bit-identical by the key discipline.
         let built = Arc::new(build());
         self.trace_misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.traces.lock().expect("warm-start lock");
+        nncps_fault::panic_point(nncps_fault::SITE_WARMSTART_INSERT);
+        let mut map = self.traces.lock().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(map.entry(key).or_insert_with(|| Arc::clone(&built)))
     }
 
@@ -133,13 +143,22 @@ impl WarmStart {
         key: Fingerprint,
         build: impl FnOnce() -> Result<GeneratorFunction, SynthesisError>,
     ) -> Arc<Result<GeneratorFunction, SynthesisError>> {
-        if let Some(found) = self.candidates.lock().expect("warm-start lock").get(&key) {
+        if let Some(found) = self
+            .candidates
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             self.candidate_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(found);
         }
         let built = Arc::new(build());
         self.candidate_misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.candidates.lock().expect("warm-start lock");
+        nncps_fault::panic_point(nncps_fault::SITE_WARMSTART_INSERT);
+        let mut map = self
+            .candidates
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         Arc::clone(map.entry(key).or_insert_with(|| Arc::clone(&built)))
     }
 

@@ -44,7 +44,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use nncps_expr::{Fingerprint, StructuralHasher};
 
@@ -79,7 +79,16 @@ impl CompilationCache {
     /// gradient bundles are built eagerly, and the artifact is stored.
     pub fn compile(&self, formula: &Formula) -> Arc<CompiledFormula> {
         let key = Self::fingerprint(formula);
-        if let Some(found) = self.formulas.lock().expect("cache lock").get(&key) {
+        // Poisoned locks are recovered, not propagated: every cached value
+        // is a pure function of its key computed *outside* the lock, so a
+        // sweep member that panicked mid-insert cannot leave a torn entry —
+        // isolation of crashed members must not poison their siblings.
+        if let Some(found) = self
+            .formulas
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(found);
         }
@@ -90,7 +99,7 @@ impl CompilationCache {
         let compiled = CompiledFormula::compile(formula);
         compiled.ensure_gradients();
         let compiled = Arc::new(compiled);
-        let mut map = self.formulas.lock().expect("cache lock");
+        let mut map = self.formulas.lock().unwrap_or_else(PoisonError::into_inner);
         let entry = map.entry(key).or_insert_with(|| Arc::clone(&compiled));
         self.misses.fetch_add(1, Ordering::Relaxed);
         Arc::clone(entry)
@@ -108,7 +117,10 @@ impl CompilationCache {
 
     /// Number of distinct formulas currently cached.
     pub fn len(&self) -> usize {
-        self.formulas.lock().expect("cache lock").len()
+        self.formulas
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Whether the cache holds no compiled formulas yet.

@@ -82,3 +82,7 @@ pub use constraint::{Constraint, Feasibility, Relation};
 pub use contractor::{contract_clause, hc4_revise};
 pub use formula::Formula;
 pub use solver::{DeltaSolver, SatResult, SolverStats};
+// The governance vocabulary travels with the solver API: a `SatResult::
+// Unknown` carries an `ExhaustionReason`, and `DeltaSolver::with_budget`
+// takes a `Budget`.
+pub use nncps_parallel::{Budget, ExhaustionReason};

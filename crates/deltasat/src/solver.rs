@@ -6,6 +6,7 @@ use nncps_expr::{
     AllocatedTape, BatchScratch, RegAlloc, SpecializeScratch, TapeView, DEFAULT_REGISTERS,
 };
 use nncps_interval::{Interval, IntervalBox};
+use nncps_parallel::{Budget, ExhaustionReason};
 
 use crate::compiled::{
     ClauseFeasibility, ClauseScratch, CompiledClause, CompiledFormula, CutOutcome,
@@ -21,8 +22,10 @@ pub enum SatResult {
     DeltaSat(IntervalBox),
     /// The formula is unsatisfiable (exact result — no real solution exists).
     Unsat,
-    /// The solver exhausted its box budget before reaching a verdict.
-    Unknown(String),
+    /// The solver exhausted a resource limit — its box budget, the
+    /// governing [`Budget`]'s fuel or deadline, or a cooperative
+    /// cancellation — before reaching a verdict.
+    Unknown(ExhaustionReason),
 }
 
 impl SatResult {
@@ -168,6 +171,7 @@ pub struct DeltaSolver {
     specialize: bool,
     newton: bool,
     batched: bool,
+    budget: Budget,
 }
 
 /// What the branch-and-prune loop does with one box popped from the work
@@ -373,13 +377,47 @@ impl DeltaSolver {
             specialize: true,
             newton: true,
             batched: true,
+            budget: Budget::unlimited(),
         }
     }
 
     /// Sets the maximum number of boxes explored before giving up.
+    ///
+    /// The limit is hard: `boxes_explored` in the returned statistics never
+    /// exceeds it, sequentially or with worker threads.
     pub fn with_max_boxes(mut self, max_boxes: usize) -> Self {
         self.max_boxes = max_boxes;
         self
+    }
+
+    /// Attaches a resource [`Budget`] governing this solver's searches.
+    ///
+    /// The budget is polled at the branch-and-prune loop head: fuel is
+    /// charged from the tape instructions executed per box, and an
+    /// exhausted limit (or a raised cancellation flag) returns
+    /// [`SatResult::Unknown`] with the structured [`ExhaustionReason`].
+    ///
+    /// A **fuel limit forces the sequential search path** regardless of
+    /// [`DeltaSolver::with_threads`]: fuel is a pure function of the
+    /// sequential search tree, so the truncation point — and therefore the
+    /// verdict and statistics of a fuel-exhausted solve — is bit-identical
+    /// at any configured thread count.  Wall-clock deadlines and
+    /// cancellation stay available to the parallel search (both are
+    /// non-deterministic by nature).
+    ///
+    /// The handle's consumed fuel persists across solves: attach a fresh
+    /// `Budget` per governed run.  Fuel is counted only by the compiled
+    /// tape evaluators; the tree-walking reference executes no tape
+    /// instructions and never consumes fuel.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The governing budget handle (shared: cloning it yields another view
+    /// of the same counters, usable e.g. to cancel from another thread).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// Sets the number of HC4 contraction sweeps per box.
@@ -672,7 +710,15 @@ impl DeltaSolver {
             return SatResult::Unsat;
         }
 
-        let threads = nncps_parallel::effective_threads(self.threads);
+        // A fuel limit pins the search to the sequential path: the fuel
+        // truncation point is defined on the sequential depth-first tree,
+        // which makes fuel-exhausted verdicts and statistics bit-identical
+        // across thread counts (see `with_budget`).
+        let threads = if self.budget.has_fuel_limit() {
+            1
+        } else {
+            nncps_parallel::effective_threads(self.threads)
+        };
         if threads > 1 {
             self.solve_clause_batched(engine, domain, stats, threads)
         } else {
@@ -752,7 +798,20 @@ impl DeltaSolver {
         let mut scratch = engine.scratch();
         let mut spec: Option<SpecState> =
             (self.specialize && engine.supports_specialization()).then(SpecState::default);
-        let result = self.run_sequential(engine, domain, stats, &mut scratch, &mut spec);
+        let mut fuel_charged = 0;
+        let result = self.run_sequential(
+            engine,
+            domain,
+            stats,
+            &mut scratch,
+            &mut spec,
+            &mut fuel_charged,
+        );
+        // Charge the tail executed since the last loop-head poll, so the
+        // governing budget's fuel count stays exact across the many queries
+        // of a verification run.
+        self.budget
+            .charge_fuel((scratch.instructions_executed - fuel_charged) as u64);
         let (instructions, tape_len_sum, cuts) = scratch.take_counters();
         stats.instructions_executed += instructions;
         stats.specialized_tape_len_sum += tape_len_sum;
@@ -782,6 +841,7 @@ impl DeltaSolver {
         stats: &mut SolverStats,
         scratch: &mut ClauseScratch,
         spec: &mut Option<SpecState>,
+        fuel_charged: &mut usize,
     ) -> SatResult {
         let batching = self.batched && matches!(engine, ClauseEngine::Compiled(_));
         let mut stack: Vec<(IntervalBox, u32, Option<Vec<Interval>>)> =
@@ -795,10 +855,24 @@ impl DeltaSolver {
         let mut trace_pool: Vec<Vec<Interval>> = Vec::new();
         let mut batch_scratch: BatchScratch<{ Self::SIBLING_LANES }> = BatchScratch::new();
         while let Some((mut region, depth, trace)) = stack.pop() {
-            stats.boxes_explored += 1;
-            if stats.boxes_explored > self.max_boxes {
-                return SatResult::Unknown(format!("box budget of {} exhausted", self.max_boxes));
+            nncps_fault::panic_point(nncps_fault::SITE_SOLVER_BOX_POP);
+            if nncps_fault::fuel_exhaustion(nncps_fault::SITE_SOLVER_BOX_POP) {
+                self.budget.exhaust_fuel();
             }
+            // Governance poll: charge the instructions executed since the
+            // last pop, then check cancellation, fuel, and deadline (in
+            // that order) before the solver's own box budget.
+            let delta = (scratch.instructions_executed - *fuel_charged) as u64;
+            *fuel_charged = scratch.instructions_executed;
+            if let Some(reason) = self.budget.charge_and_check(delta) {
+                return SatResult::Unknown(reason);
+            }
+            // Check-before-pop box budget: the reported `boxes_explored`
+            // never exceeds `max_boxes`.
+            if stats.boxes_explored >= self.max_boxes {
+                return SatResult::Unknown(ExhaustionReason::Boxes(self.max_boxes));
+            }
+            stats.boxes_explored += 1;
             // Trim the view stack to this box's depth-first path.
             if let Some(state) = spec.as_mut() {
                 while state.views.len() > depth as usize {
@@ -958,25 +1032,36 @@ impl DeltaSolver {
     ) -> SatResult {
         let mut stack = vec![domain.clone()];
         while !stack.is_empty() {
-            // Budget accounting: per-worker caps are trimmed toward the
-            // remaining allowance, but a round of `workers` capped subtrees
-            // can still collectively overshoot `max_boxes` by up to
-            // `workers − 1` boxes (the caps round up), so the budget is a
-            // soft limit; Unknown is reported on the round after the budget
-            // is exhausted, mirroring the sequential search's
-            // report-on-exceeding-pop behavior.
+            // Governance poll at the round head.  Fuel-limited solves never
+            // reach this path (they force the sequential search), so only
+            // the non-deterministic limits — cancellation and the
+            // wall-clock deadline — can trip here.
+            if let Some(reason) = self.budget.check() {
+                return SatResult::Unknown(reason);
+            }
+            // Budget accounting: the round's per-root caps are sized so
+            // their sum never exceeds the remaining allowance, making
+            // `max_boxes` a hard limit — the reported `boxes_explored`
+            // never overshoots it, mirroring the sequential search's
+            // check-before-pop behavior.
             let remaining_budget = self.max_boxes.saturating_sub(stats.boxes_explored);
             if remaining_budget == 0 {
-                stats.boxes_explored += 1; // the pop that broke the budget
-                return SatResult::Unknown(format!("box budget of {} exhausted", self.max_boxes));
+                return SatResult::Unknown(ExhaustionReason::Boxes(self.max_boxes));
             }
-            let workers = threads.min(stack.len());
-            let cap = Self::BOXES_PER_WORKER
-                .min(remaining_budget.div_ceil(workers))
-                .max(1);
+            let workers = threads.min(stack.len()).min(remaining_budget);
+            let round_total = remaining_budget.min(workers * Self::BOXES_PER_WORKER);
+            let base_cap = round_total / workers;
+            let extra = round_total % workers;
             // `split_off` keeps order: `roots` runs bottom → top of stack.
-            let roots = stack.split_off(stack.len() - workers);
-            let results = nncps_parallel::parallel_map_owned(roots, threads, |root| {
+            // The leftover boxes from `round_total` go to the topmost
+            // (highest-priority) roots, which follow the sequential path.
+            let roots: Vec<(IntervalBox, usize)> = stack
+                .split_off(stack.len() - workers)
+                .into_iter()
+                .enumerate()
+                .map(|(i, root)| (root, base_cap + usize::from(i >= workers - extra)))
+                .collect();
+            let results = nncps_parallel::parallel_map_owned(roots, threads, |(root, cap)| {
                 self.explore_subtree(engine, root, cap)
             });
             // Merge bottom → top: the last δ-SAT outcome seen is the one
@@ -1028,6 +1113,14 @@ impl DeltaSolver {
         let mut stack = vec![root];
         let mut pool: Vec<IntervalBox> = Vec::new();
         while let Some(mut region) = stack.pop() {
+            nncps_fault::panic_point(nncps_fault::SITE_SOLVER_BOX_POP);
+            // Cooperative cancellation: stop the subtree walk early (the
+            // unexplored remainder is preserved as leftover) so the round
+            // head can surface the structured reason promptly.
+            if self.budget.is_cancelled() {
+                stack.push(region);
+                break;
+            }
             result.explored += 1;
             match self.process_box(engine, &mut scratch, &mut region, None, false) {
                 BoxOutcome::Pruned => {
@@ -1190,8 +1283,12 @@ mod tests {
         ));
         let solver = DeltaSolver::new(1e-9).with_max_boxes(3);
         let (result, stats) = solver.solve_with_stats(&formula, &square_domain(10.0));
-        assert!(matches!(result, SatResult::Unknown(_)));
-        assert!(stats.boxes_explored >= 3);
+        assert!(matches!(
+            result,
+            SatResult::Unknown(ExhaustionReason::Boxes(3))
+        ));
+        // The box budget is a hard limit, reported exactly.
+        assert_eq!(stats.boxes_explored, 3);
     }
 
     #[test]
@@ -1424,8 +1521,13 @@ mod tests {
         ));
         let solver = DeltaSolver::new(1e-9).with_max_boxes(5).with_threads(4);
         let (result, stats) = solver.solve_with_stats(&formula, &square_domain(10.0));
-        assert!(matches!(result, SatResult::Unknown(_)));
-        assert!(stats.boxes_explored > 5);
+        assert!(matches!(
+            result,
+            SatResult::Unknown(ExhaustionReason::Boxes(5))
+        ));
+        // The speculative workers' per-round caps sum to at most the
+        // remaining allowance, so the budget never overshoots.
+        assert!(stats.boxes_explored <= 5);
     }
 
     #[test]
@@ -1470,7 +1572,12 @@ mod tests {
         assert!(!reference.tape_specialization());
         assert!(!reference.newton_cuts());
         assert_eq!(format!("{}", SatResult::Unsat), "unsat");
-        assert!(format!("{}", SatResult::Unknown("budget".into())).contains("budget"));
+        // The Boxes display string is byte-compatible with the pre-governance
+        // reason (scenario fingerprints hash it).
+        assert_eq!(
+            format!("{}", SatResult::Unknown(ExhaustionReason::Boxes(7))),
+            "unknown (box budget of 7 exhausted)"
+        );
         let sat = SatResult::DeltaSat(IntervalBox::from_point(&[1.0]));
         assert!(format!("{sat}").contains("delta-sat"));
         assert!(SatResult::Unsat.witness().is_none());
@@ -1480,6 +1587,104 @@ mod tests {
     #[should_panic(expected = "precision must be positive")]
     fn zero_precision_panics() {
         let _ = DeltaSolver::new(0.0);
+    }
+
+    /// A deep-search δ-SAT query for the governance tests: enough boxes to
+    /// burn nontrivial fuel before the witness is found.
+    fn deep_query() -> (Formula, IntervalBox) {
+        (
+            Formula::atom(Constraint::eq((x() * 4.0).sin() * (y() * 4.0).cos(), 0.25)),
+            square_domain(3.0),
+        )
+    }
+
+    #[test]
+    fn fuel_exhaustion_reports_unknown_with_the_limit() {
+        // `deep_query` completes in a few thousand instructions; a fuel
+        // limit well under that total is guaranteed to exhaust mid-search.
+        let (formula, domain) = deep_query();
+        let solver = DeltaSolver::new(1e-6).with_budget(Budget::unlimited().with_fuel(300));
+        let (result, stats) = solver.solve_with_stats(&formula, &domain);
+        assert!(
+            matches!(result, SatResult::Unknown(ExhaustionReason::Fuel(300))),
+            "got {result}"
+        );
+        assert!(solver.budget().fuel_used() >= 300);
+        assert!(stats.instructions_executed > 0);
+    }
+
+    #[test]
+    fn fuel_limited_runs_are_thread_count_invariant() {
+        // The acceptance criterion of the governance layer: a fuel-exhausted
+        // solve yields the same verdict and the same search statistics at
+        // any configured thread count, because a fuel limit forces the
+        // sequential search path.
+        let (formula, domain) = deep_query();
+        let runs: Vec<(SatResult, SolverStats)> = [1usize, 2, 4]
+            .into_iter()
+            .map(|threads| {
+                DeltaSolver::new(1e-6)
+                    .with_threads(threads)
+                    .with_budget(Budget::unlimited().with_fuel(500))
+                    .solve_with_stats(&formula, &domain)
+            })
+            .collect();
+        for (result, stats) in &runs {
+            assert!(
+                matches!(result, SatResult::Unknown(ExhaustionReason::Fuel(500))),
+                "expected fuel exhaustion, got {result}"
+            );
+            assert_eq!(stats.boxes_explored, runs[0].1.boxes_explored);
+            assert_eq!(stats.instructions_executed, runs[0].1.instructions_executed);
+            assert_eq!(stats.bisections, runs[0].1.bisections);
+        }
+    }
+
+    #[test]
+    fn generous_fuel_does_not_change_the_result() {
+        let (formula, domain) = deep_query();
+        let free = DeltaSolver::new(1e-6);
+        let governed =
+            DeltaSolver::new(1e-6).with_budget(Budget::unlimited().with_fuel(u64::MAX / 2));
+        let (a, sa) = free.solve_with_stats(&formula, &domain);
+        let (b, sb) = governed.solve_with_stats(&formula, &domain);
+        assert_eq!(a.witness(), b.witness());
+        assert_eq!(sa, sb);
+        // The budget's fuel mirror agrees with the solver's own counter.
+        assert_eq!(
+            governed.budget().fuel_used(),
+            sb.instructions_executed as u64
+        );
+    }
+
+    #[test]
+    fn cancellation_stops_sequential_and_parallel_searches() {
+        let (formula, domain) = deep_query();
+        for threads in [1usize, 4] {
+            let budget = Budget::unlimited();
+            budget.cancel();
+            let solver = DeltaSolver::new(1e-6)
+                .with_threads(threads)
+                .with_budget(budget);
+            let (result, stats) = solver.solve_with_stats(&formula, &domain);
+            assert!(
+                matches!(result, SatResult::Unknown(ExhaustionReason::Cancelled)),
+                "threads={threads}: got {result}"
+            );
+            assert_eq!(stats.boxes_explored, 0);
+        }
+    }
+
+    #[test]
+    fn expired_deadline_reports_unknown() {
+        let (formula, domain) = deep_query();
+        let solver = DeltaSolver::new(1e-6)
+            .with_budget(Budget::unlimited().with_deadline(std::time::Duration::ZERO));
+        let (result, _) = solver.solve_with_stats(&formula, &domain);
+        assert!(matches!(
+            result,
+            SatResult::Unknown(ExhaustionReason::Deadline)
+        ));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use nncps_deltasat::{ClauseFeasibility, CompiledClause, Constraint, CutOutcome};
 use nncps_expr::{
@@ -42,8 +43,19 @@ fn allocations() -> usize {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
+/// The allocation counter is process-global, so tests running on concurrent
+/// harness threads would observe each other's allocations and fail
+/// spuriously.  Each test holds this lock for its whole body; a panicked
+/// holder must not take the others down with it, so poison is recovered.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 #[test]
 fn steady_state_box_loop_does_not_allocate() {
+    let _serial = serialize();
     let x = Expr::var(0);
     let y = Expr::var(1);
     // A clause with transcendentals, sharing, and two constraints — the same
@@ -116,6 +128,7 @@ fn steady_state_box_loop_does_not_allocate() {
 /// their high-water marks, the loop must not allocate.
 #[test]
 fn batched_sibling_evaluation_steady_state_does_not_allocate() {
+    let _serial = serialize();
     let x = Expr::var(0);
     let y = Expr::var(1);
     let shared = (x.clone() * 0.7 + y.clone()).tanh();
@@ -202,6 +215,7 @@ fn batched_sibling_evaluation_steady_state_does_not_allocate() {
 /// use, so `ensure_gradients` is part of the warm-up.
 #[test]
 fn specialization_and_newton_steady_state_does_not_allocate() {
+    let _serial = serialize();
     let x = Expr::var(0);
     let y = Expr::var(1);
     // A ring equality keeps the search tree deep (the interval-Newton step

@@ -352,6 +352,7 @@ impl Tape {
     /// Root `k` of the result corresponds to `roots[k]`; subexpressions
     /// common to several roots are computed once per evaluation.
     pub fn compile_many(roots: &[Expr]) -> Tape {
+        nncps_fault::panic_point(nncps_fault::SITE_TAPE_COMPILE);
         let mut builder = Builder::default();
         let root_slots: Vec<u32> = roots.iter().map(|r| builder.lower(r)).collect();
         builder.compact(root_slots)

@@ -52,6 +52,7 @@ impl Tableau {
 
     /// Performs a pivot on (`pivot_row`, `pivot_col`).
     fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
+        nncps_fault::panic_point(nncps_fault::SITE_LP_PIVOT);
         let width = self.cols + 1;
         let pivot_value = self.at(pivot_row, pivot_col);
         debug_assert!(pivot_value.abs() > EPS, "pivot too small");

@@ -15,6 +15,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod govern;
+
+pub use govern::{Budget, ExhaustionReason};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Resolves a thread-count knob: `0` means "one per available core".
@@ -85,6 +89,66 @@ where
         .collect()
 }
 
+/// The structured remains of one panicked [`parallel_map_isolated`] item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Crash {
+    /// The panic payload, downcast to a string when possible.
+    pub payload: String,
+}
+
+impl Crash {
+    fn from_payload(payload: Box<dyn std::any::Any + Send>) -> Self {
+        let payload = if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        Crash { payload }
+    }
+}
+
+impl std::fmt::Display for Crash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "panicked: {}", self.payload)
+    }
+}
+
+/// Like [`parallel_map`], but isolates panics: a panicking `f(item)` becomes
+/// an `Err(Crash)` in that item's output slot instead of tearing down the
+/// whole map.  Output order still matches input order, and the non-panicking
+/// items' results are exactly what [`parallel_map`] would have produced.
+///
+/// `f` must not hold locks across the closure body that sibling items also
+/// take, or a panic can poison them — the sweep engine's caches recover from
+/// poisoning for exactly this reason.
+///
+/// # Examples
+///
+/// ```
+/// use nncps_parallel::parallel_map_isolated;
+///
+/// let out = parallel_map_isolated(&[1, 2, 3], 1, |&x| {
+///     assert!(x != 2, "two is right out");
+///     x * 10
+/// });
+/// assert_eq!(out[0].as_ref().unwrap(), &10);
+/// assert!(out[1].as_ref().unwrap_err().payload.contains("two is right out"));
+/// assert_eq!(out[2].as_ref().unwrap(), &30);
+/// ```
+pub fn parallel_map_isolated<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, Crash>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map(items, threads, |item| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)))
+            .map_err(Crash::from_payload)
+    })
+}
+
 /// Like [`parallel_map`], but consumes the items, so workers move each value
 /// into `f` instead of borrowing it — use when cloning the items would be
 /// wasteful (e.g. the δ-SAT solver's box batches).
@@ -149,5 +213,54 @@ mod tests {
     fn effective_threads_resolves_zero_to_cores() {
         assert!(effective_threads(0) >= 1);
         assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn isolated_map_contains_panics_and_preserves_order() {
+        let items: Vec<usize> = (0..31).collect();
+        for threads in [1, 4] {
+            let out = parallel_map_isolated(&items, threads, |&x| {
+                if x % 7 == 3 {
+                    panic!("poisoned item {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, slot) in out.iter().enumerate() {
+                if i % 7 == 3 {
+                    let crash = slot.as_ref().unwrap_err();
+                    assert_eq!(crash.payload, format!("poisoned item {i}"));
+                    assert!(crash.to_string().contains("panicked"));
+                } else {
+                    assert_eq!(slot.as_ref().unwrap(), &(i * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_map_matches_plain_map_without_panics() {
+        let items: Vec<i64> = (0..50).collect();
+        let plain = parallel_map(&items, 3, |&x| x * x);
+        let isolated: Vec<i64> = parallel_map_isolated(&items, 3, |&x| x * x)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(plain, isolated);
+    }
+
+    #[test]
+    fn crash_payload_downcasts_string_payloads() {
+        let out = parallel_map_isolated(&[0], 1, |_| -> () {
+            std::panic::panic_any(format!("owned {}", 42));
+        });
+        assert_eq!(out[0].as_ref().unwrap_err().payload, "owned 42");
+        let opaque = parallel_map_isolated(&[0], 1, |_| -> () {
+            std::panic::panic_any(7usize);
+        });
+        assert_eq!(
+            opaque[0].as_ref().unwrap_err().payload,
+            "non-string panic payload"
+        );
     }
 }

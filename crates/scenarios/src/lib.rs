@@ -47,9 +47,10 @@ pub use json::{Json, JsonError};
 #[doc(hidden)]
 pub use registry::SMOKE_MANIFEST;
 pub use registry::{builtin_families, families_from_toml_str, Registry};
-pub use report::{BatchReport, FamilyRollup, RunStats, ScenarioResult};
+pub use report::{BatchReport, CrashedMember, FamilyRollup, RunStats, ScenarioResult};
 pub use runner::{
-    run_batch, run_scenario, run_scenario_cached, run_sweep, BatchOptions, SweepCache, SweepOptions,
+    run_batch, run_scenario, run_scenario_cached, run_scenario_governed, run_sweep, BatchOptions,
+    SweepCache, SweepOptions,
 };
 pub use scenario::{
     pd_controller, pendulum_controller, ExpectedVerdict, ManifestError, PlantSpec, Scenario,

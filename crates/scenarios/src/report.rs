@@ -1,6 +1,6 @@
 //! Machine-readable batch reports and the verdict-drift check that CI runs.
 
-use nncps_barrier::{VerificationOutcome, VerificationStats};
+use nncps_barrier::{ExhaustionReason, VerificationOutcome, VerificationStats};
 
 use crate::json::Json;
 use crate::scenario::Scenario;
@@ -35,6 +35,12 @@ pub struct ScenarioResult {
     pub counterexample_witnesses: Vec<Vec<f64>>,
     /// Pipeline counters (Table 1 quantities plus δ-SAT search totals).
     pub stats: RunStats,
+    /// Machine-readable resource-exhaustion cause of an inconclusive run
+    /// (`None` when the run completed or failed for a non-resource reason).
+    /// Serialized only when present, and in the deterministic report form
+    /// only for deterministic reasons (box and fuel budgets) — wall-clock
+    /// deadlines and cancellation are excluded from pinned reports.
+    pub exhaustion: Option<ExhaustionReason>,
     /// Wall-clock seconds spent inside the verifier.
     pub wall_time_s: f64,
     /// Wall-clock seconds spent building the closed-loop system (symbolic
@@ -103,6 +109,7 @@ impl ScenarioResult {
             generator_coefficients,
             counterexample_witnesses: stats.counterexample_witnesses.clone(),
             stats: RunStats::from_verification(stats),
+            exhaustion: stats.exhaustion,
             wall_time_s,
             build_time_s,
         }
@@ -185,6 +192,28 @@ impl ScenarioResult {
             ("stats".to_string(), self.stats.to_json()),
             ("fingerprint".to_string(), Json::String(self.fingerprint())),
         ];
+        // The machine-readable exhaustion cause serializes only when
+        // present, so reports without one stay byte-identical to the
+        // pre-governance schema.  Non-deterministic reasons (deadline,
+        // cancellation) appear only in the timing-bearing form.
+        if let Some(exhaustion) = self
+            .exhaustion
+            .filter(|e| include_timings || e.is_deterministic())
+        {
+            fields.push((
+                "exhaustion".to_string(),
+                Json::object([
+                    ("kind".to_string(), Json::from(exhaustion.kind())),
+                    (
+                        "limit".to_string(),
+                        match exhaustion.limit() {
+                            Some(limit) => Json::from(limit as usize),
+                            None => Json::Null,
+                        },
+                    ),
+                ]),
+            ));
+        }
         if include_timings {
             fields.push(("wall_time_s".to_string(), Json::Number(self.wall_time_s)));
             fields.push(("build_time_s".to_string(), Json::Number(self.build_time_s)));
@@ -230,6 +259,19 @@ impl ScenarioResult {
                 json.get("stats")
                     .ok_or_else(|| "result is missing `stats`".to_string())?,
             )?,
+            exhaustion: match json.get("exhaustion") {
+                Some(entry) => {
+                    let kind = entry
+                        .get("kind")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| "`exhaustion` is missing `kind`".to_string())?;
+                    let limit = entry.get("limit").and_then(Json::as_f64).map(|x| x as u64);
+                    Some(ExhaustionReason::from_parts(kind, limit).ok_or_else(|| {
+                        format!("unknown exhaustion kind `{kind}` (limit {limit:?})")
+                    })?)
+                }
+                None => None,
+            },
             wall_time_s: json
                 .get("wall_time_s")
                 .and_then(Json::as_f64)
@@ -369,6 +411,45 @@ impl RunStats {
     }
 }
 
+/// A batch or sweep member whose verification panicked.
+///
+/// The sweep engine isolates each member behind
+/// [`parallel_map_isolated`](nncps_parallel::parallel_map_isolated), so a
+/// poisoned member becomes one of these rows — with the panic payload
+/// preserved for diagnosis — while its siblings' results are exactly what
+/// an undisturbed run would have produced.  Crash rows live *outside* the
+/// fingerprinted per-scenario results: crashes are failures of the harness
+/// or injected faults, not verification semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashedMember {
+    /// The scenario (member) name.
+    pub scenario: String,
+    /// The panic payload, downcast to a string when possible.
+    pub payload: String,
+}
+
+impl CrashedMember {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("scenario".to_string(), Json::from(self.scenario.as_str())),
+            ("payload".to_string(), Json::from(self.payload.as_str())),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, String> {
+        let field = |key: &str| {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("crashed row is missing `{key}`"))
+        };
+        Ok(CrashedMember {
+            scenario: field("scenario")?,
+            payload: field("payload")?,
+        })
+    }
+}
+
 /// Per-family aggregate of a sweep run: verdict counts over the family's
 /// members, diffed against the family's pinned [`ExpectedCounts`] when it
 /// has them.
@@ -386,6 +467,9 @@ pub struct FamilyRollup {
     pub inconclusive: usize,
     /// Members whose verdict contradicted their (non-`any`) expectation.
     pub unexpected: usize,
+    /// Members that panicked instead of producing a verdict (their rows are
+    /// in [`BatchReport::crashed`]); serialized only when non-zero.
+    pub crashed: usize,
     /// The pinned certified count, if the family declares one.
     pub expected_certified: Option<usize>,
     /// The pinned inconclusive count, if the family declares one.
@@ -393,21 +477,24 @@ pub struct FamilyRollup {
 }
 
 impl FamilyRollup {
-    /// Aggregates the results of one family's members.
+    /// Aggregates the results of one family's members; `crashed` counts the
+    /// members that panicked and therefore appear in no result row.
     pub fn from_results(
         name: impl Into<String>,
         results: &[ScenarioResult],
+        crashed: usize,
         expected: Option<crate::family::ExpectedCounts>,
     ) -> Self {
         FamilyRollup {
             name: name.into(),
-            members: results.len(),
+            members: results.len() + crashed,
             certified: results.iter().filter(|r| r.verdict == "certified").count(),
             inconclusive: results
                 .iter()
                 .filter(|r| r.verdict == "inconclusive")
                 .count(),
             unexpected: results.iter().filter(|r| !r.matches_expected).count(),
+            crashed,
             expected_certified: expected.map(|c| c.certified),
             expected_inconclusive: expected.map(|c| c.inconclusive),
         }
@@ -417,7 +504,15 @@ impl FamilyRollup {
     /// gate passes; families without pinned counts always pass).
     pub fn findings(&self) -> Vec<String> {
         let mut findings = Vec::new();
-        if let (Some(certified), Some(inconclusive)) =
+        if self.crashed > 0 {
+            // A crashed member produced no verdict, so the pinned verdict
+            // counts cannot add up — report the crash itself instead of a
+            // spurious count-drift finding.
+            findings.push(format!(
+                "family `{}` has {} crashed member(s)",
+                self.name, self.crashed
+            ));
+        } else if let (Some(certified), Some(inconclusive)) =
             (self.expected_certified, self.expected_inconclusive)
         {
             if certified != self.certified || inconclusive != self.inconclusive {
@@ -442,21 +537,27 @@ impl FamilyRollup {
             Some(n) => Json::from(n),
             None => Json::Null,
         };
-        Json::object([
+        let mut fields = vec![
             ("name".to_string(), Json::from(self.name.as_str())),
             ("members".to_string(), Json::from(self.members)),
             ("certified".to_string(), Json::from(self.certified)),
             ("inconclusive".to_string(), Json::from(self.inconclusive)),
             ("unexpected".to_string(), Json::from(self.unexpected)),
-            (
-                "expected_certified".to_string(),
-                optional(self.expected_certified),
-            ),
-            (
-                "expected_inconclusive".to_string(),
-                optional(self.expected_inconclusive),
-            ),
-        ])
+        ];
+        // Serialized only when non-zero: crash-free reports keep the
+        // pre-governance byte layout.
+        if self.crashed > 0 {
+            fields.push(("crashed".to_string(), Json::from(self.crashed)));
+        }
+        fields.push((
+            "expected_certified".to_string(),
+            optional(self.expected_certified),
+        ));
+        fields.push((
+            "expected_inconclusive".to_string(),
+            optional(self.expected_inconclusive),
+        ));
+        Json::Object(fields)
     }
 
     fn from_json(json: &Json) -> Result<Self, String> {
@@ -480,6 +581,7 @@ impl FamilyRollup {
             certified: count("certified")?,
             inconclusive: count("inconclusive")?,
             unexpected: count("unexpected")?,
+            crashed: optional("crashed").unwrap_or(0),
             expected_certified: optional("expected_certified"),
             expected_inconclusive: optional("expected_inconclusive"),
         })
@@ -516,6 +618,10 @@ pub struct BatchReport {
     /// Per-family aggregates of a sweep run (empty for plain registry
     /// batches; serialized only when non-empty).
     pub families: Vec<FamilyRollup>,
+    /// Members that panicked instead of producing a result, in run order
+    /// (serialized only when non-empty, and never fingerprinted — see
+    /// [`CrashedMember`]).
+    pub crashed: Vec<CrashedMember>,
 }
 
 impl BatchReport {
@@ -548,6 +654,12 @@ impl BatchReport {
             fields.push((
                 "families".to_string(),
                 Json::Array(self.families.iter().map(FamilyRollup::to_json).collect()),
+            ));
+        }
+        if !self.crashed.is_empty() {
+            fields.push((
+                "crashed".to_string(),
+                Json::Array(self.crashed.iter().map(CrashedMember::to_json).collect()),
             ));
         }
         fields.push((
@@ -587,11 +699,24 @@ impl BatchReport {
             .iter()
             .map(FamilyRollup::from_json)
             .collect::<Result<Vec<_>, _>>()?;
+        let crashed = json
+            .get("crashed")
+            .and_then(Json::as_array)
+            .unwrap_or_default()
+            .iter()
+            .map(CrashedMember::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(BatchReport {
             threads,
             results,
             families,
+            crashed,
         })
+    }
+
+    /// Whether any member panicked instead of producing a result.
+    pub fn has_crashes(&self) -> bool {
+        !self.crashed.is_empty()
     }
 
     /// Whether every scenario produced its expected verdict.
@@ -761,6 +886,7 @@ mod tests {
                 specialized_tape_len_sum: 3600,
                 newton_cuts: 12,
             },
+            exhaustion: None,
             wall_time_s: 1.25,
             build_time_s: 0.03,
         }
@@ -774,6 +900,7 @@ mod tests {
                 sample_result("beta", "inconclusive"),
             ],
             families: Vec::new(),
+            crashed: Vec::new(),
         }
     }
 
@@ -881,6 +1008,105 @@ mod tests {
     }
 
     #[test]
+    fn exhaustion_round_trips_and_respects_the_deterministic_form() {
+        let mut report = sample_report();
+        report.results[1].exhaustion = Some(ExhaustionReason::Fuel(300));
+
+        // Deterministic reasons survive both serialization forms.
+        for include_timings in [false, true] {
+            let text = report.to_json(include_timings);
+            assert!(text.contains("\"exhaustion\""), "{text}");
+            assert!(text.contains("\"fuel\""), "{text}");
+            let back = BatchReport::from_json(&text).unwrap();
+            assert_eq!(
+                back.results[1].exhaustion,
+                Some(ExhaustionReason::Fuel(300))
+            );
+            assert_eq!(back.to_json(include_timings), text);
+        }
+        let boxes = {
+            let mut r = report.clone();
+            r.results[1].exhaustion = Some(ExhaustionReason::Boxes(2_000_000));
+            BatchReport::from_json(&r.to_json(false)).unwrap().results[1].exhaustion
+        };
+        assert_eq!(boxes, Some(ExhaustionReason::Boxes(2_000_000)));
+
+        // Non-deterministic reasons appear only in the timing-bearing form.
+        report.results[1].exhaustion = Some(ExhaustionReason::Deadline);
+        let deterministic = report.to_json(false);
+        assert!(!deterministic.contains("\"exhaustion\""), "{deterministic}");
+        let back = BatchReport::from_json(&deterministic).unwrap();
+        assert_eq!(back.results[1].exhaustion, None);
+        let timed = report.to_json(true);
+        assert!(timed.contains("\"deadline\""), "{timed}");
+        let back = BatchReport::from_json(&timed).unwrap();
+        assert_eq!(back.results[1].exhaustion, Some(ExhaustionReason::Deadline));
+
+        // The exhaustion field never feeds the fingerprint: crash-free
+        // pre-governance baselines must keep matching.
+        let mut with = sample_result("alpha", "inconclusive");
+        with.exhaustion = Some(ExhaustionReason::Fuel(7));
+        let mut without = with.clone();
+        without.exhaustion = None;
+        assert_eq!(with.fingerprint(), without.fingerprint());
+
+        // Unknown kinds are rejected on parse.
+        let tampered = report.to_json(true).replace("\"deadline\"", "\"teapot\"");
+        let err = BatchReport::from_json(&tampered).unwrap_err();
+        assert!(err.contains("unknown exhaustion kind"), "{err}");
+    }
+
+    #[test]
+    fn crashed_rows_round_trip_outside_the_results() {
+        let mut report = sample_report();
+        assert!(!report.has_crashes());
+        report.crashed = vec![CrashedMember {
+            scenario: "gamma-003".to_string(),
+            payload: "injected panic at solver.box_pop".to_string(),
+        }];
+        assert!(report.has_crashes());
+        for include_timings in [false, true] {
+            let text = report.to_json(include_timings);
+            assert!(text.contains("\"crashed\""), "{text}");
+            assert!(text.contains("solver.box_pop"), "{text}");
+            let back = BatchReport::from_json(&text).unwrap();
+            assert_eq!(back.crashed, report.crashed);
+            assert_eq!(back.to_json(include_timings), text);
+        }
+        // A crash-free report serializes without the field at all.
+        let clean = sample_report().to_json(false);
+        assert!(!clean.contains("\"crashed\""), "{clean}");
+
+        // A crashed member suppresses the count-drift finding in favour of
+        // a crash finding.
+        let results = vec![sample_result("fam-000", "certified")];
+        let crashed_rollup = FamilyRollup::from_results(
+            "fam",
+            &results,
+            1,
+            Some(crate::family::ExpectedCounts {
+                certified: 2,
+                inconclusive: 0,
+            }),
+        );
+        assert_eq!(crashed_rollup.members, 2);
+        assert_eq!(crashed_rollup.crashed, 1);
+        let findings = crashed_rollup.findings();
+        assert!(
+            findings.iter().any(|f| f.contains("1 crashed member")),
+            "{findings:?}"
+        );
+        assert!(
+            findings.iter().all(|f| !f.contains("counts drifted")),
+            "{findings:?}"
+        );
+        // And the rollup's crashed count round-trips.
+        report.families = vec![crashed_rollup.clone()];
+        let back = BatchReport::from_json(&report.to_json(false)).unwrap();
+        assert_eq!(back.families, vec![crashed_rollup]);
+    }
+
+    #[test]
     fn from_json_rejects_malformed_reports() {
         assert!(BatchReport::from_json("{}").is_err());
         assert!(BatchReport::from_json("not json").is_err());
@@ -898,6 +1124,7 @@ mod tests {
         let rollup = FamilyRollup::from_results(
             "fam",
             &results,
+            0,
             Some(crate::family::ExpectedCounts {
                 certified: 2,
                 inconclusive: 1,
@@ -930,7 +1157,7 @@ mod tests {
         report.families = vec![matching];
         assert!(report.check_family_counts().is_ok());
         // Families without pinned counts never fail the counts gate.
-        let unpinned = FamilyRollup::from_results("loose", &results, None);
+        let unpinned = FamilyRollup::from_results("loose", &results, 0, None);
         assert!(
             unpinned.findings().len() == 1,
             "only the unexpected-verdict finding remains"

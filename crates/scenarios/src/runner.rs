@@ -1,14 +1,14 @@
 //! The batch runner: the full falsify→verify pipeline over a registry, and
 //! the warm-start sweep engine over scenario families.
 
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
-use nncps_barrier::{ClosedLoopSystem, Verifier, WarmStart};
+use nncps_barrier::{Budget, ClosedLoopSystem, Verifier, WarmStart};
 use nncps_sim::ExprDynamics;
 
 use crate::family::Family;
-use crate::report::{BatchReport, FamilyRollup, ScenarioResult};
+use crate::report::{BatchReport, CrashedMember, FamilyRollup, ScenarioResult};
 use crate::scenario::{ManifestError, PlantSpec, Scenario};
 use crate::Registry;
 
@@ -26,6 +26,13 @@ pub struct BatchOptions {
     /// is governed by each scenario's own `smt_threads` setting, not by
     /// this knob).
     pub threads: usize,
+    /// Deterministic per-member fuel limit (tape instructions); `None` =
+    /// unlimited.  Each member gets a fresh [`Budget`], so the limit is
+    /// per scenario, not shared across the batch.
+    pub fuel: Option<u64>,
+    /// Per-member wall-clock deadline in milliseconds (non-deterministic;
+    /// excluded from pinned report forms); `None` = unlimited.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Options of a family sweep.
@@ -40,6 +47,12 @@ pub struct SweepOptions {
     /// wall-clock time only — the deterministic report is byte-identical
     /// either way (asserted by `tests/family_warm_start.rs`).
     pub warm_start: bool,
+    /// Deterministic per-member fuel limit (same semantics as
+    /// [`BatchOptions::fuel`]).
+    pub fuel: Option<u64>,
+    /// Per-member wall-clock deadline in milliseconds (same semantics as
+    /// [`BatchOptions::deadline_ms`]).
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for SweepOptions {
@@ -47,8 +60,26 @@ impl Default for SweepOptions {
         SweepOptions {
             threads: 0,
             warm_start: true,
+            fuel: None,
+            deadline_ms: None,
         }
     }
+}
+
+/// A fresh per-member [`Budget`] from the batch/sweep governance knobs.
+///
+/// Budgets are deliberately *not* shared across members: fuel accounting
+/// stays a deterministic per-scenario quantity, and a member's deadline
+/// clock starts when its own verification starts.
+fn member_budget(fuel: Option<u64>, deadline_ms: Option<u64>) -> Budget {
+    let mut budget = Budget::unlimited();
+    if let Some(instructions) = fuel {
+        budget = budget.with_fuel(instructions);
+    }
+    if let Some(ms) = deadline_ms {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    budget
 }
 
 /// Shared memoization state of one family sweep: the verifier's
@@ -79,7 +110,13 @@ impl SweepCache {
 
     /// Number of distinct plants whose dynamics were built so far.
     pub fn plants_built(&self) -> usize {
-        self.plants.lock().expect("sweep cache lock").len()
+        // A crashed sweep member can leave this mutex poisoned; every entry
+        // is a pure function of its key built outside the lock, so the
+        // stored state is never torn and recovery is safe.
+        self.plants
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// The symbolic closed-loop dynamics of a plant, built once per
@@ -89,7 +126,7 @@ impl SweepCache {
         if let Some((_, found)) = self
             .plants
             .lock()
-            .expect("sweep cache lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .find(|(spec, _)| spec == plant)
         {
@@ -98,7 +135,7 @@ impl SweepCache {
         // Build outside the lock (symbolic NN expansion can be slow); a
         // racing duplicate build is dropped in favour of the first insert.
         let built = Arc::new(plant.build_dynamics());
-        let mut plants = self.plants.lock().expect("sweep cache lock");
+        let mut plants = self.plants.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some((_, found)) = plants.iter().find(|(spec, _)| spec == plant) {
             return Arc::clone(found);
         }
@@ -129,6 +166,19 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
 /// state.  The result is bit-identical to the cache-free run; only the
 /// wall-time fields differ.
 pub fn run_scenario_cached(scenario: &Scenario, cache: Option<&SweepCache>) -> ScenarioResult {
+    run_scenario_governed(scenario, cache, &Budget::unlimited())
+}
+
+/// [`run_scenario_cached`] under a resource [`Budget`]: the verifier polls
+/// the budget at its stage boundaries and inner loops, degrading to an
+/// inconclusive outcome with a machine-readable
+/// [`ExhaustionReason`](nncps_barrier::ExhaustionReason) when it trips.  An
+/// unlimited budget leaves the run bit-identical to [`run_scenario_cached`].
+pub fn run_scenario_governed(
+    scenario: &Scenario,
+    cache: Option<&SweepCache>,
+    budget: &Budget,
+) -> ScenarioResult {
     let build_start = Instant::now();
     let system = match cache {
         Some(cache) => {
@@ -140,25 +190,58 @@ pub fn run_scenario_cached(scenario: &Scenario, cache: Option<&SweepCache>) -> S
     let build_time_s = build_start.elapsed().as_secs_f64();
     let verifier = Verifier::new(scenario.config().clone());
     let verify_start = Instant::now();
-    let outcome = verifier.verify_with_warm_start(&system, cache.map(SweepCache::warm_start));
+    let outcome = verifier.verify_governed_with_warm_start(
+        &system,
+        cache.map(SweepCache::warm_start),
+        budget,
+    );
     let wall_time_s = verify_start.elapsed().as_secs_f64();
     ScenarioResult::from_outcome(scenario, &outcome, wall_time_s, build_time_s)
+}
+
+/// Splits the order-preserving isolated fan-out into the surviving results
+/// and the crashed-member rows, tagging each crash with its scenario name.
+fn partition_outcomes(
+    outcomes: Vec<Result<ScenarioResult, nncps_parallel::Crash>>,
+    scenarios: &[Scenario],
+) -> (Vec<ScenarioResult>, Vec<CrashedMember>) {
+    let mut results = Vec::with_capacity(outcomes.len());
+    let mut crashed = Vec::new();
+    for (outcome, scenario) in outcomes.into_iter().zip(scenarios) {
+        match outcome {
+            Ok(result) => results.push(result),
+            Err(crash) => crashed.push(CrashedMember {
+                scenario: scenario.name().to_string(),
+                payload: crash.payload,
+            }),
+        }
+    }
+    (results, crashed)
 }
 
 /// Runs every scenario of the registry and collects the batch report.
 ///
 /// The scenarios fan out over `options.threads` workers via the workspace's
 /// parallel layer; the report lists results in registry order regardless of
-/// completion order.
+/// completion order.  Each member runs panic-isolated
+/// ([`nncps_parallel::parallel_map_isolated`]): a member that panics becomes
+/// a [`CrashedMember`] row in the report while every other member completes
+/// normally.
 pub fn run_batch(registry: &Registry, options: &BatchOptions) -> BatchReport {
-    let scenarios: Vec<&Scenario> = registry.iter().collect();
-    let results = nncps_parallel::parallel_map(&scenarios, options.threads, |scenario| {
-        run_scenario(scenario)
+    let scenarios: Vec<Scenario> = registry.iter().cloned().collect();
+    let outcomes = nncps_parallel::parallel_map_isolated(&scenarios, options.threads, |scenario| {
+        run_scenario_governed(
+            scenario,
+            None,
+            &member_budget(options.fuel, options.deadline_ms),
+        )
     });
+    let (results, crashed) = partition_outcomes(outcomes, &scenarios);
     BatchReport {
         threads: options.threads,
         results,
         families: Vec::new(),
+        crashed,
     }
 }
 
@@ -208,24 +291,37 @@ pub fn run_sweep(
         groups.push((start, scenarios.len()));
     }
     let cache = options.warm_start.then(SweepCache::new);
-    let results = nncps_parallel::parallel_map(&scenarios, options.threads, |scenario| {
-        run_scenario_cached(scenario, cache.as_ref())
+    let outcomes = nncps_parallel::parallel_map_isolated(&scenarios, options.threads, |scenario| {
+        run_scenario_governed(
+            scenario,
+            cache.as_ref(),
+            &member_budget(options.fuel, options.deadline_ms),
+        )
     });
+    // Count crashes per family group before partitioning strips them: a
+    // crashed member leaves no `ScenarioResult`, so the surviving results of
+    // family `f` are a contiguous slice shorter than its member count.
+    let group_crashes: Vec<usize> = groups
+        .iter()
+        .map(|&(start, end)| outcomes[start..end].iter().filter(|o| o.is_err()).count())
+        .collect();
+    let (results, crashed) = partition_outcomes(outcomes, &scenarios);
+    let mut survivors_start = 0;
     let rollups = families
         .iter()
-        .zip(&groups)
-        .map(|(family, &(start, end))| {
-            FamilyRollup::from_results(
-                family.name(),
-                &results[start..end],
-                family.expected_counts(),
-            )
+        .zip(groups.iter().zip(&group_crashes))
+        .map(|(family, (&(start, end), &fam_crashed))| {
+            let survived = (end - start) - fam_crashed;
+            let slice = &results[survivors_start..survivors_start + survived];
+            survivors_start += survived;
+            FamilyRollup::from_results(family.name(), slice, fam_crashed, family.expected_counts())
         })
         .collect();
     Ok(BatchReport {
         threads: options.threads,
         results,
         families: rollups,
+        crashed,
     })
 }
 
@@ -260,8 +356,20 @@ mod tests {
     #[test]
     fn scenario_parallelism_does_not_change_the_report() {
         let registry = small_registry();
-        let sequential = run_batch(&registry, &BatchOptions { threads: 1 });
-        let parallel = run_batch(&registry, &BatchOptions { threads: 4 });
+        let sequential = run_batch(
+            &registry,
+            &BatchOptions {
+                threads: 1,
+                ..BatchOptions::default()
+            },
+        );
+        let parallel = run_batch(
+            &registry,
+            &BatchOptions {
+                threads: 4,
+                ..BatchOptions::default()
+            },
+        );
         // Scenario-level fan-out is observationally pure: the deterministic
         // report form is byte-identical across thread counts.
         assert_eq!(sequential.to_json(false), parallel.to_json(false));
@@ -279,6 +387,7 @@ mod tests {
             &SweepOptions {
                 threads: 1,
                 warm_start: true,
+                ..SweepOptions::default()
             },
         )
         .unwrap();

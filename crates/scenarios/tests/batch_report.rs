@@ -11,7 +11,13 @@ fn smoke_registry() -> Registry {
 
 #[test]
 fn real_batch_report_round_trips_through_json() {
-    let report = run_batch(&smoke_registry(), &BatchOptions { threads: 1 });
+    let report = run_batch(
+        &smoke_registry(),
+        &BatchOptions {
+            threads: 1,
+            ..BatchOptions::default()
+        },
+    );
     assert!(report.all_match_expected());
     for include_timings in [false, true] {
         let text = report.to_json(include_timings);
@@ -35,7 +41,10 @@ fn two_batch_runs_produce_byte_identical_reports_at_fixed_threads() {
     // byte-identical between runs — verdicts, witnesses, certificates,
     // solver box counts, fingerprints, and the serialized layout itself.
     for threads in [1usize, 2] {
-        let options = BatchOptions { threads };
+        let options = BatchOptions {
+            threads,
+            ..BatchOptions::default()
+        };
         let first = run_batch(&registry, &options).to_json(false);
         let second = run_batch(&registry, &options).to_json(false);
         assert_eq!(

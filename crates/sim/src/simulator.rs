@@ -1,6 +1,7 @@
 //! The `Simulator` driver that produces traces from dynamics.
 
 use crate::{Dynamics, Integrator, Trace};
+use nncps_parallel::{Budget, ExhaustionReason};
 
 /// A fixed-horizon simulator producing [`Trace`]s of a [`Dynamics`] model.
 ///
@@ -94,7 +95,14 @@ impl Simulator {
             return trace;
         }
         for _ in 0..self.num_steps() {
+            nncps_fault::panic_point(nncps_fault::SITE_SIM_STEP);
             state = self.integrator.step(dynamics, &state, self.dt);
+            if let Some(first) = state.first_mut() {
+                // Fault site: an armed `nan` fault corrupts one state
+                // component; the domain stop predicate then truncates the
+                // trace, which is exactly how a real NaN escapes integration.
+                *first = nncps_fault::corrupt_f64(nncps_fault::SITE_SIM_STEP, *first);
+            }
             time += self.dt;
             trace.push(time, state.clone());
             if stop(time, &state) {
@@ -157,6 +165,43 @@ impl Simulator {
         crate::parallel_map(initial_states, threads, |x0| {
             self.simulate_until(dynamics, x0, &stop)
         })
+    }
+
+    /// Budget-governed version of [`Simulator::simulate_until_batch`].
+    ///
+    /// The batch polls the [`Budget`] cooperatively: once the budget trips
+    /// (cancellation, an expired wall-clock deadline, or fuel exhausted by
+    /// an earlier stage), every in-flight trace stops at its next step head
+    /// and the whole batch degrades to `Err` with the machine-readable
+    /// [`ExhaustionReason`] — partial traces are discarded, never returned.
+    /// With an untripped budget the result is bit-identical to the
+    /// ungoverned batch at every thread count.
+    pub fn simulate_until_batch_governed<D, F>(
+        &self,
+        dynamics: &D,
+        initial_states: &[Vec<f64>],
+        stop: F,
+        threads: usize,
+        budget: &Budget,
+    ) -> Result<Vec<Trace>, ExhaustionReason>
+    where
+        D: Dynamics + Sync + ?Sized,
+        F: Fn(f64, &[f64]) -> bool + Sync,
+    {
+        if let Some(reason) = budget.check() {
+            return Err(reason);
+        }
+        // Fold the budget poll into the stop predicate so a tripped budget
+        // truncates every worker's trace at its next integration step; the
+        // truncated traces are thrown away below, so truncation never leaks
+        // into results.
+        let traces = crate::parallel_map(initial_states, threads, |x0| {
+            self.simulate_until(dynamics, x0, |t, s| stop(t, s) || budget.check().is_some())
+        });
+        match budget.check() {
+            Some(reason) => Err(reason),
+            None => Ok(traces),
+        }
     }
 }
 

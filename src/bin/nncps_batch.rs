@@ -15,12 +15,25 @@
 //! cargo run --release --bin nncps-batch -- --list-families
 //! cargo run --release --bin nncps-batch -- --family linear-ci-grid
 //! cargo run --release --bin nncps-batch -- --family all --out sweep.json
+//!
+//! # Resource governance (per member; see ARCHITECTURE.md):
+//! cargo run --release --bin nncps-batch -- --fuel 100000       # deterministic
+//! cargo run --release --bin nncps-batch -- --deadline-ms 5000  # wall clock
 //! ```
 //!
 //! `--check` exits nonzero on any verdict or witness-fingerprint drift
 //! against the baseline; it is the CI scenario-regression gate.  Family runs
 //! additionally gate on each family's pinned verdict *counts* (e.g.
 //! "12 certified / 12 inconclusive") and exit nonzero on count drift.
+//!
+//! Exit codes are machine-readable so CI can tell failure modes apart:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | clean run, no drift, no crashes |
+//! | 1    | usage or I/O error (bad flag, malformed manifest, unreadable baseline) |
+//! | 2    | verdict/fingerprint/count drift against the pinned expectations |
+//! | 3    | one or more members crashed (panicked); takes precedence over drift |
 
 use std::process::ExitCode;
 
@@ -29,10 +42,22 @@ use nncps_scenarios::{
     SweepOptions,
 };
 
+/// Clean run: every member completed, no drift.
+const EXIT_OK: u8 = 0;
+/// Usage or I/O error before/while producing the report.
+const EXIT_USAGE: u8 = 1;
+/// Verdict, fingerprint, or family-count drift against pinned expectations.
+const EXIT_DRIFT: u8 = 2;
+/// At least one member crashed (panicked); takes precedence over drift.
+const EXIT_CRASHED: u8 = 3;
+
+#[derive(Debug)]
 struct Args {
     manifest: Option<String>,
     filter: Option<String>,
     threads: usize,
+    fuel: Option<u64>,
+    deadline_ms: Option<u64>,
     out: Option<String>,
     out_deterministic: Option<String>,
     check: Option<String>,
@@ -45,16 +70,19 @@ struct Args {
 }
 
 const USAGE: &str = "usage: nncps-batch [--manifest FILE.toml] [--filter SUBSTRING] \
-                     [--threads N] [--out REPORT.json] [--out-deterministic REPORT.json] \
+                     [--threads N] [--fuel INSTRUCTIONS] [--deadline-ms MS] \
+                     [--out REPORT.json] [--out-deterministic REPORT.json] \
                      [--check EXPECTED.json] [--write-expected EXPECTED.json] \
                      [--family NAME|all] [--cold] [--list] [--list-families] [--quiet]";
 
 /// Parses the CLI; `Ok(None)` means `--help` was requested.
-fn parse_args() -> Result<Option<Args>, String> {
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
     let mut args = Args {
         manifest: None,
         filter: None,
         threads: 0,
+        fuel: None,
+        deadline_ms: None,
         out: None,
         out_deterministic: None,
         check: None,
@@ -65,7 +93,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         list_families: false,
         quiet: false,
     };
-    let mut argv = std::env::args().skip(1);
+    let mut argv = argv;
     while let Some(arg) = argv.next() {
         let mut value = |name: &str| {
             argv.next()
@@ -78,6 +106,20 @@ fn parse_args() -> Result<Option<Args>, String> {
                 args.threads = value("--threads")?
                     .parse()
                     .map_err(|e| format!("invalid --threads: {e}"))?
+            }
+            "--fuel" => {
+                args.fuel = Some(
+                    value("--fuel")?
+                        .parse()
+                        .map_err(|e| format!("invalid --fuel: {e}"))?,
+                )
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("invalid --deadline-ms: {e}"))?,
+                )
             }
             "--out" => args.out = Some(value("--out")?),
             "--out-deterministic" => args.out_deterministic = Some(value("--out-deterministic")?),
@@ -110,27 +152,29 @@ fn available_families(manifest: Option<&str>) -> Result<Vec<Family>, String> {
     Ok(families)
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(Some(args)) => args,
-        Ok(None) => {
-            println!("{USAGE}");
-            return ExitCode::SUCCESS;
-        }
-        Err(message) => {
-            eprintln!("{message}");
-            return ExitCode::FAILURE;
-        }
-    };
+/// Prints the crashed-member rows and folds the crash exit code into the
+/// final verdict: crashes dominate drift, drift dominates success.
+fn finish(report: &nncps_scenarios::BatchReport, drifted: bool) -> u8 {
+    for crash in &report.crashed {
+        eprintln!(
+            "nncps-batch: CRASHED: member `{}` panicked: {}",
+            crash.scenario, crash.payload
+        );
+    }
+    if report.has_crashes() {
+        EXIT_CRASHED
+    } else if drifted {
+        EXIT_DRIFT
+    } else {
+        EXIT_OK
+    }
+}
 
+/// The whole run after argument parsing.  `Err` is a one-line diagnostic
+/// reported by `main` with [`EXIT_USAGE`]; `Ok` carries the exit code.
+fn run(args: &Args) -> Result<u8, String> {
     if args.list_families {
-        let families = match available_families(args.manifest.as_deref()) {
-            Ok(families) => families,
-            Err(message) => {
-                eprintln!("nncps-batch: {message}");
-                return ExitCode::FAILURE;
-            }
-        };
+        let families = available_families(args.manifest.as_deref())?;
         for family in &families {
             let counts = match family.expected_counts() {
                 Some(c) => format!(
@@ -147,7 +191,7 @@ fn main() -> ExitCode {
                 family.description()
             );
         }
-        return ExitCode::SUCCESS;
+        return Ok(EXIT_OK);
     }
 
     // --- family sweep mode ------------------------------------------------
@@ -161,20 +205,13 @@ fn main() -> ExitCode {
             ("--list", args.list),
         ] {
             if given {
-                eprintln!(
-                    "nncps-batch: {flag} applies to registry runs, not --family sweeps \
+                return Err(format!(
+                    "{flag} applies to registry runs, not --family sweeps \
                      (family runs gate on pinned verdict counts instead)\n{USAGE}"
-                );
-                return ExitCode::FAILURE;
+                ));
             }
         }
-        let families = match available_families(args.manifest.as_deref()) {
-            Ok(families) => families,
-            Err(message) => {
-                eprintln!("nncps-batch: {message}");
-                return ExitCode::FAILURE;
-            }
-        };
+        let families = available_families(args.manifest.as_deref())?;
         let selected: Vec<Family> = if selection == "all" {
             families
         } else {
@@ -184,8 +221,9 @@ fn main() -> ExitCode {
                 .collect()
         };
         if selected.is_empty() {
-            eprintln!("nncps-batch: no family named `{selection}` (use --list-families)");
-            return ExitCode::FAILURE;
+            return Err(format!(
+                "no family named `{selection}` (use --list-families)"
+            ));
         }
         let members: usize = selected.iter().map(Family::len).sum();
         if !args.quiet {
@@ -197,19 +235,16 @@ fn main() -> ExitCode {
                 if args.cold { "off" } else { "on" },
             );
         }
-        let report = match run_sweep(
+        let report = run_sweep(
             &selected,
             &SweepOptions {
                 threads: args.threads,
                 warm_start: !args.cold,
+                fuel: args.fuel,
+                deadline_ms: args.deadline_ms,
             },
-        ) {
-            Ok(report) => report,
-            Err(e) => {
-                eprintln!("nncps-batch: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
+        )
+        .map_err(|e| e.to_string())?;
         if !args.quiet {
             for rollup in &report.families {
                 eprintln!(
@@ -233,41 +268,32 @@ fn main() -> ExitCode {
             eprintln!("nncps-batch: sweep finished in {total:.2}s of scenario time");
         }
         if let Some(path) = &args.out_deterministic {
-            if let Err(e) = std::fs::write(path, report.to_json(false)) {
-                eprintln!("nncps-batch: cannot write {path}: {e}");
-                return ExitCode::FAILURE;
-            }
+            std::fs::write(path, report.to_json(false))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
         }
         if let Some(path) = &args.out {
-            if let Err(e) = std::fs::write(path, report.to_json(true)) {
-                eprintln!("nncps-batch: cannot write {path}: {e}");
-                return ExitCode::FAILURE;
-            }
+            std::fs::write(path, report.to_json(true))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
         } else if args.quiet || args.out_deterministic.is_some() {
             // Stay silent (the CI determinism probe diffs the files).
         } else {
             print!("{}", report.to_json(true));
         }
-        return match report.check_family_counts() {
-            Ok(()) => ExitCode::SUCCESS,
+        let drifted = match report.check_family_counts() {
+            Ok(()) => false,
             Err(findings) => {
                 for finding in &findings {
                     eprintln!("nncps-batch: DRIFT: {finding}");
                 }
-                ExitCode::FAILURE
+                true
             }
         };
+        return Ok(finish(&report, drifted));
     }
 
     // --- registry mode ----------------------------------------------------
     let registry = match &args.manifest {
-        Some(path) => match Registry::from_toml_file(path) {
-            Ok(registry) => registry,
-            Err(e) => {
-                eprintln!("nncps-batch: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
+        Some(path) => Registry::from_toml_file(path).map_err(|e| e.to_string())?,
         None => Registry::builtin(),
     };
     let registry = match &args.filter {
@@ -275,8 +301,7 @@ fn main() -> ExitCode {
         None => registry,
     };
     if registry.is_empty() {
-        eprintln!("nncps-batch: no scenarios selected");
-        return ExitCode::FAILURE;
+        return Err("no scenarios selected".to_string());
     }
 
     if args.list {
@@ -289,8 +314,17 @@ fn main() -> ExitCode {
                 scenario.description()
             );
         }
-        return ExitCode::SUCCESS;
+        return Ok(EXIT_OK);
     }
+
+    // Read the baseline before the (expensive) run so a bad path fails fast.
+    let baseline = match &args.check {
+        Some(path) => Some(
+            std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read baseline {path}: {e}"))?,
+        ),
+        None => None,
+    };
 
     if !args.quiet {
         eprintln!(
@@ -307,6 +341,8 @@ fn main() -> ExitCode {
         &registry,
         &BatchOptions {
             threads: args.threads,
+            fuel: args.fuel,
+            deadline_ms: args.deadline_ms,
         },
     );
     if !args.quiet {
@@ -327,25 +363,19 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &args.write_expected {
-        if let Err(e) = std::fs::write(path, report.expected_json()) {
-            eprintln!("nncps-batch: cannot write {path}: {e}");
-            return ExitCode::FAILURE;
-        }
+        std::fs::write(path, report.expected_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
         if !args.quiet {
             eprintln!("nncps-batch: baseline written to {path}");
         }
     }
     if let Some(path) = &args.out_deterministic {
-        if let Err(e) = std::fs::write(path, report.to_json(false)) {
-            eprintln!("nncps-batch: cannot write {path}: {e}");
-            return ExitCode::FAILURE;
-        }
+        std::fs::write(path, report.to_json(false))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
     if let Some(path) = &args.out {
-        if let Err(e) = std::fs::write(path, report.to_json(true)) {
-            eprintln!("nncps-batch: cannot write {path}: {e}");
-            return ExitCode::FAILURE;
-        }
+        std::fs::write(path, report.to_json(true))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
     } else if args.check.is_none()
         && args.write_expected.is_none()
         && args.out_deterministic.is_none()
@@ -353,20 +383,14 @@ fn main() -> ExitCode {
         print!("{}", report.to_json(true));
     }
 
-    let mut failed = false;
-    if let Some(path) = &args.check {
-        let baseline = match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(e) => {
-                eprintln!("nncps-batch: cannot read baseline {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        match report.check_against_expected(&baseline) {
+    let mut drifted = false;
+    if let Some(baseline) = &baseline {
+        match report.check_against_expected(baseline) {
             Ok(()) => {
                 if !args.quiet {
                     eprintln!(
-                        "nncps-batch: no drift against {path} ({} scenario(s))",
+                        "nncps-batch: no drift against {} ({} scenario(s))",
+                        args.check.as_deref().unwrap_or_default(),
                         report.results.len()
                     );
                 }
@@ -375,7 +399,7 @@ fn main() -> ExitCode {
                 for finding in &findings {
                     eprintln!("nncps-batch: DRIFT: {finding}");
                 }
-                failed = true;
+                drifted = true;
             }
         }
     }
@@ -386,11 +410,127 @@ fn main() -> ExitCode {
                 result.name, result.expected, result.verdict
             );
         }
-        failed = true;
+        drifted = true;
     }
-    if failed {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
+    Ok(finish(&report, drifted))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("nncps-batch: {message}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    match run(&args) {
+        Ok(code) => ExitCode::from(code),
+        Err(message) => {
+            eprintln!("nncps-batch: {message}");
+            ExitCode::from(EXIT_USAGE)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Result<Option<Args>, String> {
+        parse_args(argv.iter().map(|s| s.to_string()))
+    }
+
+    /// A unique scratch path that never existed (no file is created).
+    fn scratch(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("nncps-batch-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn governance_flags_parse_and_bad_values_are_diagnosed() {
+        let args = parse(&["--fuel", "12345", "--deadline-ms", "250"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.fuel, Some(12345));
+        assert_eq!(args.deadline_ms, Some(250));
+        let err = parse(&["--fuel", "lots"]).unwrap_err();
+        assert!(err.contains("invalid --fuel"), "{err}");
+        let err = parse(&["--deadline-ms"]).unwrap_err();
+        assert!(err.contains("--deadline-ms needs a value"), "{err}");
+        let err = parse(&["--frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown argument"), "{err}");
+    }
+
+    #[test]
+    fn malformed_manifest_is_a_one_line_usage_error() {
+        let path = scratch("bad-manifest.toml");
+        std::fs::write(&path, "[[scenario]]\nthis is not toml = = =\n").unwrap();
+        let args = parse(&["--manifest", path.to_str().unwrap()])
+            .unwrap()
+            .unwrap();
+        let err = run(&args).unwrap_err();
+        assert!(!err.contains('\n'), "diagnostic must be one line: {err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_manifest_file_is_a_usage_error() {
+        let path = scratch("no-such-manifest.toml");
+        let args = parse(&["--manifest", path.to_str().unwrap()])
+            .unwrap()
+            .unwrap();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains(path.to_str().unwrap()), "{err}");
+    }
+
+    #[test]
+    fn unreadable_check_baseline_fails_fast_before_the_run() {
+        let path = scratch("no-such-baseline.json");
+        let args = parse(&["--check", path.to_str().unwrap(), "--quiet"])
+            .unwrap()
+            .unwrap();
+        // The baseline is read before any scenario runs, so this returns
+        // immediately even though the builtin registry would take minutes.
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("cannot read baseline"), "{err}");
+        assert!(!err.contains('\n'), "diagnostic must be one line: {err:?}");
+    }
+
+    #[test]
+    fn unknown_family_and_conflicting_flags_are_usage_errors() {
+        let args = parse(&["--family", "no-such-family"]).unwrap().unwrap();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("no family named `no-such-family`"), "{err}");
+
+        let args = parse(&["--family", "all", "--check", "x.json"])
+            .unwrap()
+            .unwrap();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("--check applies to registry runs"), "{err}");
+    }
+
+    #[test]
+    fn exit_codes_fold_crashes_over_drift() {
+        use nncps_scenarios::{BatchReport, CrashedMember};
+        let clean = BatchReport {
+            threads: 1,
+            results: Vec::new(),
+            families: Vec::new(),
+            crashed: Vec::new(),
+        };
+        assert_eq!(finish(&clean, false), EXIT_OK);
+        assert_eq!(finish(&clean, true), EXIT_DRIFT);
+        let crashed = BatchReport {
+            crashed: vec![CrashedMember {
+                scenario: "boom".to_string(),
+                payload: "injected".to_string(),
+            }],
+            ..clean
+        };
+        assert_eq!(finish(&crashed, false), EXIT_CRASHED);
+        assert_eq!(finish(&crashed, true), EXIT_CRASHED, "crash beats drift");
     }
 }

@@ -76,6 +76,7 @@ fn warm_and_cold_sweeps_are_byte_identical_at_1_and_2_threads() {
                 &SweepOptions {
                     threads,
                     warm_start,
+                    ..SweepOptions::default()
                 },
             )
             .expect("fixture families expand");
@@ -146,6 +147,7 @@ fn builtin_ci_family_counts_hold_warm_and_cold() {
         &SweepOptions {
             threads: 1,
             warm_start: false,
+            ..SweepOptions::default()
         },
     )
     .unwrap();
