@@ -104,6 +104,62 @@ else
     echo "==> chaos: (skipped in quick mode)"
 fi
 
+# --- serve: verification-as-a-service round trip ------------------------------
+# Start the daemon on an ephemeral port with an on-disk store, submit the CI
+# family twice through the nncps-batch client, and require both reports
+# byte-identical to the in-process sweep pinned by the family-sweep stage.
+# Then SIGTERM the daemon (no clean-shutdown request): the content-addressed
+# store must survive — a restarted daemon over the same directory serves the
+# identical report from disk, and honours a protocol-level shutdown.
+if [ "$quick" != "quick" ]; then
+    echo "==> serve: daemon double-submission + SIGTERM + disk-warm restart"
+    serve_store="$PWD/target/serve_store"
+    serve_log="$PWD/target/serve_banner.txt"
+    serve_a="$PWD/target/serve_sweep_a.json"
+    serve_b="$PWD/target/serve_sweep_b.json"
+    serve_c="$PWD/target/serve_sweep_c.json"
+    rm -rf "$serve_store"
+
+    scrape_addr() {
+        addr=""
+        for _ in $(seq 1 100); do
+            addr=$(sed -n 's/^nncps-serve: listening on //p' "$serve_log" | head -n 1)
+            [ -n "$addr" ] && return 0
+            sleep 0.1
+        done
+        echo "nncps-serve never printed its banner:"; cat "$serve_log"
+        return 1
+    }
+
+    ./target/release/nncps-serve --store "$serve_store" --threads 2 > "$serve_log" &
+    serve_pid=$!
+    scrape_addr || { kill "$serve_pid" 2>/dev/null; exit 1; }
+    ./target/release/nncps-batch --connect "$addr" --family linear-ci-grid \
+        --quiet --out-deterministic "$serve_a"
+    ./target/release/nncps-batch --connect "$addr" --family linear-ci-grid \
+        --quiet --out-deterministic "$serve_b"
+    cmp "$sweep_a" "$serve_a" \
+        || { echo "served report drifts from the in-process sweep"; kill "$serve_pid"; exit 1; }
+    cmp "$serve_a" "$serve_b" \
+        || { echo "warm resubmission is not byte-identical"; kill "$serve_pid"; exit 1; }
+    kill -TERM "$serve_pid"
+    wait "$serve_pid" 2>/dev/null || true
+
+    ./target/release/nncps-serve --store "$serve_store" --threads 2 > "$serve_log" &
+    serve_pid=$!
+    scrape_addr || { kill "$serve_pid" 2>/dev/null; exit 1; }
+    ./target/release/nncps-batch --connect "$addr" --family linear-ci-grid \
+        --quiet --out-deterministic "$serve_c" --shutdown
+    wait "$serve_pid" \
+        || { echo "daemon exited nonzero after a protocol shutdown"; exit 1; }
+    cmp "$serve_a" "$serve_c" \
+        || { echo "disk-warm restarted daemon drifts from the pinned report"; exit 1; }
+    rm -rf "$serve_store"
+    echo "    serve: double submission + disk-warm restart byte-identical; store survived SIGTERM"
+else
+    echo "==> serve: (skipped in quick mode)"
+fi
+
 if [ "$quick" != "quick" ]; then
     echo "==> bench smoke: tape-vs-tree + specialization microbenches"
     cargo bench --bench substrate_micro -- substrate/tape_vs_tree
@@ -177,6 +233,19 @@ if [ "$quick" != "quick" ]; then
         --bench "substrate/govern/decrease_query_50/governed" \
         --baseline-bench "substrate/deltasat/decrease_query/50" \
         "$bench_json" BENCH_pr6.json
+
+    # PR 8: verification-as-a-service.  Both lanes verify the two-member
+    # smoke family with fresh caches; `served` routes the work through
+    # ServeEngine::handle_line (request parse, pool dispatch, event + report
+    # serialization).  The protocol path is held to ≤5% overhead over the
+    # direct in-process sweep (best-case sample times, one process).
+    echo "==> bench-regression: service request overhead"
+    CRITERION_JSON="$bench_json" \
+        cargo bench --bench substrate_micro -- "substrate/serve"
+    cargo run --release -p nncps_bench --bin bench-compare -- \
+        "$bench_json" --overhead \
+        "substrate/serve/direct" \
+        "substrate/serve/served" --max-pct 5
 else
     echo "==> bench-regression: (skipped in quick mode)"
 fi

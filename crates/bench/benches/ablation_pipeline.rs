@@ -10,8 +10,8 @@
 //!   per trace; this sweep quantifies the LP-size/accuracy trade-off.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nncps_barrier::{VerificationConfig, Verifier};
-use nncps_bench::{fast_config, paper_system};
+use nncps_barrier::VerificationConfig;
+use nncps_bench::{fast_config, paper_system, verify_once};
 
 fn seed_trace_ablation(c: &mut Criterion) {
     let system = paper_system(10);
@@ -25,7 +25,7 @@ fn seed_trace_ablation(c: &mut Criterion) {
                 ..fast_config()
             };
             b.iter(|| {
-                let outcome = Verifier::new(config.clone()).verify(&system);
+                let outcome = verify_once(&system, config.clone());
                 (outcome.is_certified(), outcome.stats().generator_iterations)
             });
         });
@@ -43,7 +43,7 @@ fn delta_ablation(c: &mut Criterion) {
                 delta,
                 ..fast_config()
             };
-            b.iter(|| Verifier::new(config.clone()).verify(&system).is_certified());
+            b.iter(|| verify_once(&system, config.clone()).is_certified());
         });
     }
     group.finish();
@@ -62,7 +62,7 @@ fn downsampling_ablation(c: &mut Criterion) {
                     max_samples_per_trace: samples,
                     ..fast_config()
                 };
-                b.iter(|| Verifier::new(config.clone()).verify(&system).is_certified());
+                b.iter(|| verify_once(&system, config.clone()).is_certified());
             },
         );
     }

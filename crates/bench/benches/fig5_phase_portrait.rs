@@ -8,14 +8,13 @@
 //! synthesizing the certified barrier.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nncps_barrier::Verifier;
-use nncps_bench::{fast_config, paper_spec, paper_system};
+use nncps_bench::{fast_config, paper_spec, paper_system, verify_once};
 use nncps_sim::{Integrator, Simulator};
 
 fn print_figure5_summary() {
     let spec = paper_spec();
     let system = paper_system(10);
-    let outcome = Verifier::new(fast_config()).verify(&system);
+    let outcome = verify_once(&system, fast_config());
     eprintln!();
     eprintln!("Figure 5 — phase portrait ingredients");
     let x0 = spec.initial_set();
@@ -86,7 +85,7 @@ fn fig5(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("10_neurons", |b| {
         b.iter(|| {
-            let outcome = Verifier::new(fast_config()).verify(&system);
+            let outcome = verify_once(&system, fast_config());
             assert!(outcome.is_certified());
             outcome.certificate().map(|c| c.level())
         });

@@ -528,10 +528,74 @@ fn govern_bench(c: &mut Criterion) {
     group.finish();
 }
 
+/// PR 8: request overhead of the verification service.  Both lanes perform
+/// the same verification work — the two-member smoke family, fresh caches
+/// every iteration, one scenario thread — but `served` routes it through the
+/// full protocol path on a freshly built [`ServeEngine`] (request parse,
+/// worker-pool dispatch, member-event serialization, report embedding),
+/// while `direct` calls the sweep engine in process and serializes the same
+/// deterministic report.  The difference between their best-case times is
+/// pure service overhead; ci.sh holds it to ≤5%.
+fn serve_bench(c: &mut Criterion) {
+    use nncps_scenarios::{
+        run_sweep, AxisParam, Family, ParamAxis, Registry, ServeEngine, ServeOptions, SweepOptions,
+        SMOKE_MANIFEST,
+    };
+
+    let registry = Registry::from_toml_str(SMOKE_MANIFEST).expect("smoke manifest parses");
+    let base = registry
+        .get("smoke-stable-spiral")
+        .expect("smoke scenario exists")
+        .clone();
+    let families = vec![Family::new("smoke-pair", "delta pair", base)
+        .with_axis(ParamAxis::grid(AxisParam::Delta, vec![1e-3, 1e-4]))
+        .with_counts(2, 0)];
+
+    let mut group = c.benchmark_group("substrate/serve");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.bench_function("direct", |b| {
+        b.iter(|| {
+            let report = run_sweep(
+                &families,
+                &SweepOptions {
+                    threads: 1,
+                    warm_start: true,
+                    ..SweepOptions::default()
+                },
+            )
+            .expect("smoke family expands");
+            black_box(report.to_json(false).len())
+        });
+    });
+    group.bench_function("served", |b| {
+        b.iter(|| {
+            let engine = ServeEngine::new(
+                families.clone(),
+                &ServeOptions {
+                    threads: 1,
+                    store: None,
+                },
+            )
+            .expect("engine builds");
+            let mut last = 0usize;
+            engine.handle_line(
+                "{\"op\": \"submit\", \"family\": \"smoke-pair\"}",
+                &mut |r| {
+                    last = r.len();
+                },
+            );
+            black_box(last)
+        });
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(8));
     targets = lp_bench, deltasat_bench, tape_vs_tree_bench, specialize_bench,
-        batched_eval_bench, nn_bench, sim_bench, family_sweep_bench, govern_bench
+        batched_eval_bench, nn_bench, sim_bench, family_sweep_bench, govern_bench,
+        serve_bench
 }
 criterion_main!(benches);

@@ -11,8 +11,9 @@
 //! `NNCPS_FULL_TABLE1=1` to sweep all twelve widths (10 … 1000 neurons).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nncps_barrier::Verifier;
-use nncps_bench::{fast_config, format_table1_row, paper_system, run_table1_row, table1_widths};
+use nncps_bench::{
+    fast_config, format_table1_row, paper_system, run_table1_row, table1_widths, verify_once,
+};
 
 fn table1(c: &mut Criterion) {
     let widths = table1_widths();
@@ -39,7 +40,7 @@ fn table1(c: &mut Criterion) {
         let system = paper_system(width);
         group.bench_with_input(BenchmarkId::from_parameter(width), &system, |b, system| {
             b.iter(|| {
-                let outcome = Verifier::new(fast_config()).verify(system);
+                let outcome = verify_once(system, fast_config());
                 assert!(outcome.is_certified(), "width {width} failed: {outcome}");
                 outcome.stats().timings.total
             });

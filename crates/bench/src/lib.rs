@@ -18,10 +18,9 @@
 //! # Examples
 //!
 //! ```
-//! use nncps_bench::{paper_system, fast_config};
-//! use nncps_barrier::Verifier;
+//! use nncps_bench::{paper_system, fast_config, verify_once};
 //!
-//! let outcome = Verifier::new(fast_config()).verify(&paper_system(10));
+//! let outcome = verify_once(&paper_system(10), fast_config());
 //! assert!(outcome.is_certified());
 //! ```
 
@@ -29,7 +28,8 @@
 #![warn(missing_docs)]
 
 use nncps_barrier::{
-    ClosedLoopSystem, SafetySpec, VerificationConfig, VerificationStats, Verifier,
+    ClosedLoopSystem, SafetySpec, VerificationConfig, VerificationOutcome, VerificationRequest,
+    VerificationSession, VerificationStats,
 };
 use nncps_dubins::{reference_controller, ErrorDynamics, Path, TrainingOptions};
 use nncps_interval::IntervalBox;
@@ -99,11 +99,18 @@ pub fn fig4_path() -> Path {
     Path::figure4_path()
 }
 
+/// One cold verification through the session API — the canonical way the
+/// benches run the pipeline end to end with no cache reuse between samples
+/// (a warm sample would measure memo lookups, not verification).
+pub fn verify_once(system: &ClosedLoopSystem, config: VerificationConfig) -> VerificationOutcome {
+    VerificationSession::new().verify(&VerificationRequest::over(system).with_config(config).cold())
+}
+
 /// Runs one verification of the case study and returns its statistics — one
 /// row of Table 1.
 pub fn run_table1_row(hidden_neurons: usize) -> (bool, VerificationStats) {
     let system = paper_system(hidden_neurons);
-    let outcome = Verifier::new(fast_config()).verify(&system);
+    let outcome = verify_once(&system, fast_config());
     (outcome.is_certified(), outcome.stats().clone())
 }
 

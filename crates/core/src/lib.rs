@@ -31,10 +31,19 @@
 //! | the closed-loop model description | [`system`] |
 //! | the end-to-end procedure          | [`pipeline`] |
 //!
+//! All verification flows through one entry point:
+//! [`VerificationSession::verify`] takes a [`VerificationRequest`]
+//! (system + config + budget) and returns a
+//! [`VerificationOutcome`]; the session owns every cache that outlives a
+//! single request (warm-start memo layers, a whole-outcome memo, and an
+//! optional on-disk [`DiskStore`]).
+//!
 //! # Examples
 //!
 //! ```
-//! use nncps_barrier::{ClosedLoopSystem, SafetySpec, VerificationConfig, Verifier};
+//! use nncps_barrier::{
+//!     ClosedLoopSystem, SafetySpec, VerificationRequest, VerificationSession,
+//! };
 //! use nncps_expr::Expr;
 //! use nncps_interval::IntervalBox;
 //!
@@ -46,8 +55,8 @@
 //!         IntervalBox::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]),
 //!     ),
 //! );
-//! let verifier = Verifier::new(VerificationConfig::default());
-//! let outcome = verifier.verify(&system);
+//! let session = VerificationSession::new();
+//! let outcome = session.verify(&VerificationRequest::over(&system));
 //! assert!(outcome.is_certified());
 //! ```
 
@@ -58,7 +67,9 @@ pub mod certificate;
 pub mod level_set;
 pub mod pipeline;
 pub mod queries;
+pub mod session;
 pub mod sets;
+pub mod store;
 pub mod synthesis;
 pub mod system;
 pub mod template;
@@ -67,14 +78,17 @@ pub mod warmstart;
 pub use certificate::BarrierCertificate;
 pub use level_set::{LevelSetResult, LevelSetSelector};
 pub use pipeline::{
-    StageTimings, VerificationConfig, VerificationOutcome, VerificationStats, Verifier,
+    ConfigError, StageTimings, VerificationConfig, VerificationConfigBuilder, VerificationOutcome,
+    VerificationStats, Verifier,
 };
 pub use queries::QueryBuilder;
+pub use session::{SessionStats, VerificationRequest, VerificationSession};
 pub use sets::{Halfspace, SafetySpec};
+pub use store::{DiskStore, DiskStoreStats, STORE_FORMAT_VERSION};
 pub use synthesis::{CandidateSynthesizer, SynthesisError};
 pub use system::ClosedLoopSystem;
 pub use template::{GeneratorFunction, QuadraticTemplate};
 pub use warmstart::{WarmStart, WarmStartStats};
-// Governance vocabulary for `Verifier::verify_governed` and
+// Governance vocabulary for `VerificationRequest::with_budget` and
 // `VerificationStats::exhaustion`.
 pub use nncps_deltasat::{Budget, ExhaustionReason};

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use nncps_deltasat::{Budget, DeltaSolver, ExhaustionReason, SatResult, SolverStats};
 use nncps_expr::{Fingerprint, StructuralHasher};
-use nncps_sim::{Integrator, Simulator, SymbolicDynamics, Trace};
+use nncps_sim::{Integrator, Simulator, Trace};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
@@ -86,6 +86,161 @@ pub struct VerificationConfig {
     /// on by default, off only for differential testing of the batched
     /// evaluation layer.
     pub smt_batched_evaluation: bool,
+}
+
+impl VerificationConfig {
+    /// A typed builder that validates the configuration at construction —
+    /// nonsense values (δ ≤ 0, zero seed traces, empty iteration budgets)
+    /// are rejected here instead of surfacing as panics or silent
+    /// non-termination deep inside the solver.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nncps_barrier::VerificationConfig;
+    ///
+    /// let config = VerificationConfig::builder()
+    ///     .num_seed_traces(8)
+    ///     .sim_duration(5.0)
+    ///     .threads(1)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(config.gamma, 1e-6); // the paper's slack is the default
+    /// assert!(VerificationConfig::builder().delta(0.0).build().is_err());
+    /// ```
+    pub fn builder() -> VerificationConfigBuilder {
+        VerificationConfigBuilder {
+            config: VerificationConfig::default(),
+        }
+    }
+
+    /// Validates an already-assembled configuration (the builder's
+    /// [`build`](VerificationConfigBuilder::build) calls this; entry points
+    /// that accept externally-supplied configurations call it directly).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn positive_finite(name: &'static str, value: f64) -> Result<(), ConfigError> {
+            if value > 0.0 && value.is_finite() {
+                Ok(())
+            } else {
+                Err(ConfigError {
+                    message: format!("{name} must be positive and finite, got {value}"),
+                })
+            }
+        }
+        fn nonzero(name: &'static str, value: usize) -> Result<(), ConfigError> {
+            if value == 0 {
+                Err(ConfigError {
+                    message: format!("{name} must be at least 1"),
+                })
+            } else {
+                Ok(())
+            }
+        }
+        positive_finite("sim_dt", self.sim_dt)?;
+        positive_finite("sim_duration", self.sim_duration)?;
+        positive_finite("delta (δ-SAT precision)", self.delta)?;
+        if !(self.gamma >= 0.0 && self.gamma.is_finite()) {
+            return Err(ConfigError {
+                message: format!(
+                    "gamma (decrease slack) must be non-negative and finite, got {}",
+                    self.gamma
+                ),
+            });
+        }
+        nonzero("num_seed_traces", self.num_seed_traces)?;
+        nonzero("max_smt_boxes", self.max_smt_boxes)?;
+        nonzero("max_candidate_iterations", self.max_candidate_iterations)?;
+        nonzero("max_level_iterations", self.max_level_iterations)?;
+        if self.max_samples_per_trace < 2 {
+            return Err(ConfigError {
+                message: format!(
+                    "max_samples_per_trace must be at least 2 (a decrease \
+                     constraint needs consecutive samples), got {}",
+                    self.max_samples_per_trace
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// An invalid [`VerificationConfig`] caught at construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid verification config: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`VerificationConfig`] — see
+/// [`VerificationConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct VerificationConfigBuilder {
+    config: VerificationConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $field:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $field(mut self, value: $ty) -> Self {
+                self.config.$field = value;
+                self
+            }
+        )*
+    };
+}
+
+impl VerificationConfigBuilder {
+    builder_setters! {
+        /// Number of random initial states simulated to seed the LP.
+        num_seed_traces: usize,
+        /// Simulation step size.
+        sim_dt: f64,
+        /// Simulation horizon per trace.
+        sim_duration: f64,
+        /// The slack `γ` of the decrease condition.
+        gamma: f64,
+        /// Precision `δ` of the δ-SAT solver.
+        delta: f64,
+        /// Box budget per δ-SAT query.
+        max_smt_boxes: usize,
+        /// Maximum number of candidate-generator iterations.
+        max_candidate_iterations: usize,
+        /// Maximum number of level-set bisection iterations.
+        max_level_iterations: usize,
+        /// Maximum number of samples kept per trace.
+        max_samples_per_trace: usize,
+        /// Seed for the deterministic initial-state RNG.
+        seed: u64,
+        /// LP constraint-generation options.
+        synthesis: SynthesisOptions,
+        /// Worker threads for seed-trace simulation (bit-invisible).
+        threads: usize,
+        /// Worker threads for the δ-SAT searches (bit-*visible*; see the
+        /// field docs on [`VerificationConfig::smt_threads`]).
+        smt_threads: usize,
+        /// Batched sibling evaluation in the δ-SAT searches
+        /// (bit-invisible).
+        smt_batched_evaluation: bool,
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field when any value
+    /// is out of range.
+    pub fn build(self) -> Result<VerificationConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 impl Default for VerificationConfig {
@@ -273,101 +428,38 @@ impl Verifier {
         &self.config
     }
 
-    /// Runs the full procedure on any plant that exports its vector field
-    /// symbolically, pairing it with the given safety specification.
+    /// The pipeline engine: the full procedure of Figure 1 over an optional
+    /// [`WarmStart`] and under a resource [`Budget`].
     ///
-    /// This is the scenario-generic entry point: the registry hands plants
-    /// behind the [`SymbolicDynamics`] trait (the Dubins error dynamics, the
-    /// pendulum, manifest-loaded systems) and the verifier closes the loop
-    /// itself.  Equivalent to building the [`ClosedLoopSystem`] by hand and
-    /// calling [`Verifier::verify`].
+    /// This is deliberately *not* public — the one public entry point is
+    /// [`VerificationSession::verify`](crate::VerificationSession::verify),
+    /// which wraps this engine with the outcome memo, the disk store, and
+    /// the memo-safety rules.  The behavioural contracts the session relies
+    /// on:
     ///
-    /// # Panics
-    ///
-    /// Panics if the plant dimension differs from the specification
-    /// dimension.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use nncps_barrier::{SafetySpec, VerificationConfig, Verifier};
-    /// use nncps_expr::Expr;
-    /// use nncps_interval::IntervalBox;
-    /// use nncps_sim::ExprDynamics;
-    ///
-    /// let plant = ExprDynamics::new(vec![-Expr::var(0), -Expr::var(1)]);
-    /// let spec = SafetySpec::rectangular(
-    ///     IntervalBox::from_bounds(&[(-0.5, 0.5), (-0.5, 0.5)]),
-    ///     IntervalBox::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]),
-    /// );
-    /// let outcome = Verifier::default().verify_dynamics(&plant, &spec);
-    /// assert!(outcome.is_certified());
-    /// ```
-    pub fn verify_dynamics<D: SymbolicDynamics>(
-        &self,
-        plant: &D,
-        spec: &crate::SafetySpec,
-    ) -> VerificationOutcome {
-        let system = ClosedLoopSystem::new(plant.symbolic_vector_field(), spec.clone());
-        self.verify(&system)
-    }
-
-    /// Runs the full procedure on a closed-loop system.
-    pub fn verify(&self, system: &ClosedLoopSystem) -> VerificationOutcome {
-        self.verify_with_warm_start(system, None)
-    }
-
-    /// Runs the full procedure, optionally reusing memoized artifacts from a
-    /// [`WarmStart`] shared across a scenario-family sweep.
-    ///
-    /// With `warm == None` this is exactly [`Verifier::verify`].  With a
-    /// warm-start handle, compiled δ-SAT queries, seed-trace bundles, and LP
-    /// candidates are looked up under structural identity keys before being
-    /// recomputed; every reused artifact is bit-identical to recomputation
-    /// (see the [`warmstart`](crate::warmstart) module docs), so the outcome
-    /// — verdict, certificate bits, witnesses, solver statistics — is
-    /// identical to a cold run.  Only wall-clock timings differ.
-    pub fn verify_with_warm_start(
-        &self,
-        system: &ClosedLoopSystem,
-        warm: Option<&WarmStart>,
-    ) -> VerificationOutcome {
-        self.verify_governed_with_warm_start(system, warm, &Budget::unlimited())
-    }
-
-    /// Runs the full procedure under a resource [`Budget`].
-    ///
-    /// Every stage polls the budget cooperatively at its loop head — the
-    /// seed-trace batch, the candidate LP/SMT loop, the δ-SAT searches
-    /// themselves, and the level-set bisection — and a tripped budget
-    /// degrades the run to [`VerificationOutcome::Inconclusive`] with the
-    /// machine-readable reason recorded in
-    /// [`VerificationStats::exhaustion`].  A fuel limit is deterministic
-    /// (fuel is counted in tape instructions executed, and the solver
-    /// forces its sequential search path under fuel), so a fuel-exhausted
-    /// run reports the same verdict and statistics at every thread count;
-    /// wall-clock deadlines and cancellation are inherently
-    /// non-deterministic and are excluded from pinned report forms.
-    ///
-    /// An untripped budget never changes the outcome: verdict, certificate
-    /// bits, witnesses, and solver statistics are identical to
-    /// [`Verifier::verify`].
-    pub fn verify_governed(
-        &self,
-        system: &ClosedLoopSystem,
-        budget: &Budget,
-    ) -> VerificationOutcome {
-        self.verify_governed_with_warm_start(system, None, budget)
-    }
-
-    /// [`Verifier::verify_governed`] with an optional [`WarmStart`]: the
-    /// combination a governed family sweep uses.
-    ///
-    /// Memoized warm-start bundles are always built *ungoverned* — a
-    /// tripped budget can never publish a truncated trace bundle that a
-    /// sibling member would then silently reuse — so governance is enforced
-    /// by polling between stages on the warm path.
-    pub fn verify_governed_with_warm_start(
+    /// * **Warm ≡ cold, bit for bit.**  With a warm-start handle, compiled
+    ///   δ-SAT queries, seed-trace bundles, and LP candidates are looked up
+    ///   under structural identity keys before being recomputed; every
+    ///   reused artifact is bit-identical to recomputation (see the
+    ///   [`warmstart`](crate::warmstart) module docs), so verdicts,
+    ///   certificate bits, witnesses, and solver statistics are identical
+    ///   to `warm == None`.  Only wall-clock timings differ.
+    /// * **Cooperative governance.**  Every stage polls the budget at its
+    ///   loop head — the seed-trace batch, the candidate LP/SMT loop, the
+    ///   δ-SAT searches themselves, and the level-set bisection — and a
+    ///   tripped budget degrades the run to
+    ///   [`VerificationOutcome::Inconclusive`] with the machine-readable
+    ///   reason in [`VerificationStats::exhaustion`].  A fuel limit is
+    ///   deterministic (fuel counts tape instructions, and the solver
+    ///   forces its sequential search path under fuel); deadlines and
+    ///   cancellation are inherently non-deterministic and are excluded
+    ///   from pinned report forms.  An untripped budget never changes the
+    ///   outcome.
+    /// * **Memoized bundles are built ungoverned** — a tripped budget can
+    ///   never publish a truncated trace bundle that a sibling member would
+    ///   then silently reuse; governance is enforced by polling between
+    ///   stages on the warm path.
+    pub(crate) fn run(
         &self,
         system: &ClosedLoopSystem,
         warm: Option<&WarmStart>,
@@ -699,9 +791,27 @@ fn flatten_generator(generator: &crate::GeneratorFunction) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::SafetySpec;
+    use crate::{SafetySpec, VerificationRequest, VerificationSession};
     use nncps_expr::Expr;
     use nncps_interval::IntervalBox;
+
+    /// One independent run through the public session API (a fresh session
+    /// per call, so repeated calls really re-run the pipeline).
+    fn verify_with(
+        system: &ClosedLoopSystem,
+        config: VerificationConfig,
+        budget: Budget,
+    ) -> VerificationOutcome {
+        VerificationSession::new().verify(
+            &VerificationRequest::over(system)
+                .with_config(config)
+                .with_budget(budget),
+        )
+    }
+
+    fn verify_plain(system: &ClosedLoopSystem) -> VerificationOutcome {
+        verify_with(system, VerificationConfig::default(), Budget::unlimited())
+    }
 
     fn paper_style_spec() -> SafetySpec {
         SafetySpec::rectangular(
@@ -726,8 +836,7 @@ mod tests {
 
     #[test]
     fn stable_system_is_certified() {
-        let verifier = Verifier::default();
-        let outcome = verifier.verify(&stable_linear_system());
+        let outcome = verify_plain(&stable_linear_system());
         assert!(outcome.is_certified(), "outcome: {outcome}");
         let certificate = outcome.certificate().unwrap();
         // The certified invariant contains X0 and avoids U.
@@ -761,8 +870,7 @@ mod tests {
             sim_duration: 3.0,
             ..VerificationConfig::default()
         };
-        let verifier = Verifier::new(config);
-        let outcome = verifier.verify(&unstable_system());
+        let outcome = verify_with(&unstable_system(), config, Budget::unlimited());
         assert!(!outcome.is_certified());
         assert!(outcome.certificate().is_none());
         match outcome {
@@ -782,8 +890,7 @@ mod tests {
             max_candidate_iterations: 12,
             ..VerificationConfig::default()
         };
-        let verifier = Verifier::new(config);
-        let outcome = verifier.verify(&stable_linear_system());
+        let outcome = verify_with(&stable_linear_system(), config, Budget::unlimited());
         assert!(outcome.is_certified(), "outcome: {outcome}");
     }
 
@@ -793,15 +900,14 @@ mod tests {
             smt_threads: 2,
             ..VerificationConfig::default()
         };
-        let outcome = Verifier::new(config).verify(&stable_linear_system());
+        let outcome = verify_with(&stable_linear_system(), config, Budget::unlimited());
         assert!(outcome.is_certified(), "outcome: {outcome}");
     }
 
     #[test]
     fn runs_are_reproducible_for_a_fixed_seed() {
-        let verifier = Verifier::default();
-        let a = verifier.verify(&stable_linear_system());
-        let b = verifier.verify(&stable_linear_system());
+        let a = verify_plain(&stable_linear_system());
+        let b = verify_plain(&stable_linear_system());
         assert_eq!(a.is_certified(), b.is_certified());
         let (Some(ca), Some(cb)) = (a.certificate(), b.certificate()) else {
             panic!("both runs should certify");
@@ -814,7 +920,11 @@ mod tests {
     fn cancelled_budget_yields_inconclusive_immediately() {
         let budget = Budget::unlimited();
         budget.cancel();
-        let outcome = Verifier::default().verify_governed(&stable_linear_system(), &budget);
+        let outcome = verify_with(
+            &stable_linear_system(),
+            VerificationConfig::default(),
+            budget,
+        );
         match &outcome {
             VerificationOutcome::Inconclusive { reason, stats } => {
                 assert!(reason.contains("cancelled"), "{reason}");
@@ -828,7 +938,11 @@ mod tests {
     #[test]
     fn fuel_limited_run_degrades_to_inconclusive_with_the_reason() {
         let budget = Budget::unlimited().with_fuel(50);
-        let outcome = Verifier::default().verify_governed(&stable_linear_system(), &budget);
+        let outcome = verify_with(
+            &stable_linear_system(),
+            VerificationConfig::default(),
+            budget,
+        );
         match &outcome {
             VerificationOutcome::Inconclusive { reason, stats } => {
                 assert!(
@@ -844,8 +958,12 @@ mod tests {
     #[test]
     fn generous_budget_matches_the_ungoverned_run() {
         let budget = Budget::unlimited().with_fuel(u64::MAX / 2);
-        let governed = Verifier::default().verify_governed(&stable_linear_system(), &budget);
-        let ungoverned = Verifier::default().verify(&stable_linear_system());
+        let governed = verify_with(
+            &stable_linear_system(),
+            VerificationConfig::default(),
+            budget.clone(),
+        );
+        let ungoverned = verify_plain(&stable_linear_system());
         assert!(governed.is_certified(), "governed: {governed}");
         assert!(ungoverned.is_certified(), "ungoverned: {ungoverned}");
         let (gc, uc) = (
@@ -875,7 +993,7 @@ mod tests {
                 ..VerificationConfig::default()
             };
             let budget = Budget::unlimited().with_fuel(200);
-            let outcome = Verifier::new(config).verify_governed(&stable_linear_system(), &budget);
+            let outcome = verify_with(&stable_linear_system(), config, budget.clone());
             let VerificationOutcome::Inconclusive { reason, stats } = outcome else {
                 panic!("fuel-starved run must be inconclusive");
             };
@@ -905,6 +1023,42 @@ mod tests {
         assert_eq!(stats.avg_lp_time(), Duration::from_millis(5));
         assert_eq!(stats.avg_smt_time(), Duration::from_millis(5));
         assert_eq!(VerificationStats::default().avg_lp_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn config_builder_validates_at_construction() {
+        let built = VerificationConfig::builder()
+            .num_seed_traces(8)
+            .seed(99)
+            .smt_threads(2)
+            .build()
+            .unwrap();
+        assert_eq!(built.num_seed_traces, 8);
+        assert_eq!(built.seed, 99);
+        assert!(VerificationConfig::builder().delta(0.0).build().is_err());
+        assert!(VerificationConfig::builder().delta(-1e-4).build().is_err());
+        assert!(VerificationConfig::builder()
+            .num_seed_traces(0)
+            .build()
+            .is_err());
+        assert!(VerificationConfig::builder()
+            .max_candidate_iterations(0)
+            .build()
+            .is_err());
+        assert!(VerificationConfig::builder()
+            .max_samples_per_trace(1)
+            .build()
+            .is_err());
+        assert!(VerificationConfig::builder().sim_dt(0.0).build().is_err());
+        assert!(VerificationConfig::builder()
+            .gamma(f64::NAN)
+            .build()
+            .is_err());
+        let err = VerificationConfig::builder()
+            .delta(0.0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("delta"), "{err}");
     }
 
     #[test]

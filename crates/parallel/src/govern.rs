@@ -171,6 +171,20 @@ impl Budget {
         self.shared.fuel_limit.is_some()
     }
 
+    /// Whether a wall-clock deadline is set.  Deadline-governed runs are
+    /// non-deterministic, so memoization layers refuse to cache them.
+    pub fn has_deadline(&self) -> bool {
+        self.shared.deadline.is_some()
+    }
+
+    /// Whether [`Budget::exhaust_fuel`] forced this budget into exhaustion.
+    /// Forced exhaustion is a fault-injection artifact, not a pure function
+    /// of the fuel limit, so memoization layers must treat it like a
+    /// non-deterministic limit.
+    pub fn fuel_forced(&self) -> bool {
+        self.shared.fuel_forced.load(Ordering::Relaxed)
+    }
+
     /// The fuel limit, if set.
     pub fn fuel_limit(&self) -> Option<u64> {
         self.shared.fuel_limit

@@ -16,8 +16,10 @@
 #![warn(missing_docs)]
 
 pub mod govern;
+pub mod pool;
 
 pub use govern::{Budget, ExhaustionReason};
+pub use pool::WorkerPool;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -115,6 +117,24 @@ impl std::fmt::Display for Crash {
     }
 }
 
+/// Runs `f`, converting a panic into an `Err(Crash)` with the payload
+/// downcast to a string when possible.  This is the single-item form of
+/// [`parallel_map_isolated`], for callers that schedule work themselves
+/// (e.g. jobs on a [`WorkerPool`]).
+///
+/// # Examples
+///
+/// ```
+/// use nncps_parallel::catch_crash;
+///
+/// assert_eq!(catch_crash(|| 21 * 2).unwrap(), 42);
+/// let crash = catch_crash(|| -> i32 { panic!("boom") }).unwrap_err();
+/// assert_eq!(crash.payload, "boom");
+/// ```
+pub fn catch_crash<R>(f: impl FnOnce() -> R) -> Result<R, Crash> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(Crash::from_payload)
+}
+
 /// Like [`parallel_map`], but isolates panics: a panicking `f(item)` becomes
 /// an `Err(Crash)` in that item's output slot instead of tearing down the
 /// whole map.  Output order still matches input order, and the non-panicking
@@ -143,10 +163,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    parallel_map(items, threads, |item| {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)))
-            .map_err(Crash::from_payload)
-    })
+    parallel_map(items, threads, |item| catch_crash(|| f(item)))
 }
 
 /// Like [`parallel_map`], but consumes the items, so workers move each value

@@ -1,0 +1,280 @@
+//! A long-lived work-stealing worker pool on `std` threads.
+//!
+//! [`parallel_map`](crate::parallel_map) spawns scoped workers per call and
+//! tears them down when the map returns — the right shape for a one-shot
+//! batch, but wrong for a resident service that fields many requests over
+//! its lifetime.  [`WorkerPool`] keeps its workers alive between
+//! submissions: jobs land on per-worker deques (round-robin), each worker
+//! drains its own deque from the front and steals from a sibling's back
+//! when idle, so an uneven submission (one huge family next to a tiny one)
+//! still saturates every worker.
+//!
+//! The pool makes **no ordering promises** — completion order is whatever
+//! the scheduler produces.  Deterministic-report callers impose order above
+//! the pool by tagging jobs with their index and reassembling (the serve
+//! engine does exactly this), which keeps streaming-in-completion-order and
+//! byte-stable reports from fighting each other.
+//!
+//! A panicking job is contained to that job: the worker catches the unwind
+//! and moves on.  Callers that need the payload route it through
+//! [`catch_crash`](crate::catch_crash) inside the job instead.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queues: Vec<VecDeque<Job>>,
+    /// Round-robin cursor for [`WorkerPool::spawn`] placements.
+    next_queue: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+/// A fixed-size pool of long-lived worker threads with per-worker deques
+/// and idle-time stealing (see the [module docs](self)).
+///
+/// Dropping the pool shuts it down: queued jobs still run to completion,
+/// then the workers exit and are joined.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::mpsc;
+/// use nncps_parallel::WorkerPool;
+///
+/// let pool = WorkerPool::new(2);
+/// let (tx, rx) = mpsc::channel();
+/// for i in 0..8u64 {
+///     let tx = tx.clone();
+///     pool.spawn(move || tx.send(i * i).unwrap());
+/// }
+/// let mut squares: Vec<u64> = rx.iter().take(8).collect();
+/// squares.sort_unstable();
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Starts a pool with `threads` workers (`0` = one per available core).
+    /// With the `threads` feature disabled the pool degrades to a single
+    /// worker, matching [`parallel_map`](crate::parallel_map)'s sequential
+    /// fallback.
+    pub fn new(threads: usize) -> Self {
+        let threads = if cfg!(feature = "threads") {
+            crate::effective_threads(threads).max(1)
+        } else {
+            1
+        };
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queues: (0..threads).map(|_| VecDeque::new()).collect(),
+                next_queue: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|home| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, home))
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job.  Jobs are placed round-robin across the per-worker
+    /// deques; an idle worker steals from its siblings, so placement only
+    /// affects locality, never whether a job runs.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let slot = state.next_queue;
+        state.next_queue = (slot + 1) % state.queues.len();
+        state.queues[slot].push_back(Box::new(job));
+        drop(state);
+        self.shared.work_ready.notify_one();
+    }
+
+    /// Number of jobs currently queued (not yet picked up by a worker).
+    pub fn queued(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .queues
+            .iter()
+            .map(VecDeque::len)
+            .sum()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            // A worker that panicked outside a job (it cannot: jobs are
+            // unwind-caught) would surface here; ignore so Drop never
+            // panics while unwinding.
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, home: usize) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                // Own deque first (front = submission order), then steal
+                // from the back of a sibling's deque.
+                if let Some(job) = state.queues[home].pop_front() {
+                    break Some(job);
+                }
+                let siblings = state.queues.len();
+                let stolen = (1..siblings)
+                    .map(|offset| (home + offset) % siblings)
+                    .find_map(|victim| state.queues[victim].pop_back());
+                if let Some(job) = stolen {
+                    break Some(job);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        match job {
+            // Contain per-job panics: the job owner routes payloads through
+            // `catch_crash` if it wants them; the pool itself must survive.
+            Some(job) => {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            }
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn all_jobs_run_once_across_thread_counts() {
+        for threads in [1usize, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(pool.threads(), threads);
+            let counter = Arc::new(AtomicUsize::new(0));
+            let (tx, rx) = mpsc::channel();
+            for _ in 0..64 {
+                let counter = Arc::clone(&counter);
+                let tx = tx.clone();
+                pool.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    tx.send(()).unwrap();
+                });
+            }
+            for _ in 0..64 {
+                rx.recv().unwrap();
+            }
+            assert_eq!(counter.load(Ordering::Relaxed), 64);
+        }
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_kill_the_pool() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..16 {
+            let tx = tx.clone();
+            pool.spawn(move || {
+                if i % 3 == 0 {
+                    panic!("job {i} goes down");
+                }
+                tx.send(i).unwrap();
+            });
+        }
+        let mut survivors: Vec<i32> = rx.iter().take(10).collect();
+        survivors.sort_unstable();
+        assert_eq!(survivors, vec![1, 2, 4, 5, 7, 8, 10, 11, 13, 14]);
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(1);
+            for _ in 0..32 {
+                let counter = Arc::clone(&counter);
+                pool.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        // Drop joined the worker, which drained its deque first.
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn stealing_spreads_an_uneven_backlog() {
+        // One slow job occupies the home worker of half the queue; the
+        // other worker must steal the rest or the channel never fills.
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..20u32 {
+            let tx = tx.clone();
+            pool.spawn(move || {
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+                tx.send(i).unwrap();
+            });
+        }
+        let received: Vec<u32> = rx.iter().take(20).collect();
+        assert_eq!(received.len(), 20);
+    }
+
+    #[test]
+    fn zero_resolves_to_available_cores() {
+        let pool = WorkerPool::new(0);
+        assert!(pool.threads() >= 1);
+        assert_eq!(pool.queued(), 0);
+    }
+}

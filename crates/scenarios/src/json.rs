@@ -195,6 +195,48 @@ impl Json {
         }
     }
 
+    /// Serializes onto a single line (no indentation, no trailing newline) —
+    /// the framing unit of the `nncps-serve` line protocol, where one
+    /// document must occupy exactly one `\n`-terminated line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the document contains a non-finite number.
+    pub fn to_line(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+            // Scalars never contain newlines (strings escape them).
+            scalar => scalar.write(out, 0),
+        }
+    }
+
     /// Parses a JSON document.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let mut parser = Parser {

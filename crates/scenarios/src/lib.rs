@@ -40,6 +40,7 @@ pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod serve;
 pub mod toml;
 
 pub use family::{AxisParam, ExpectedCounts, Family, ParamAxis};
@@ -55,3 +56,4 @@ pub use runner::{
 pub use scenario::{
     pd_controller, pendulum_controller, ExpectedVerdict, ManifestError, PlantSpec, Scenario,
 };
+pub use serve::{Directive, ServeEngine, ServeOptions, PROTOCOL_VERSION};

@@ -768,23 +768,49 @@ impl BatchReport {
     }
 
     /// Diffs this run against a checked-in baseline (the text of
-    /// `SCENARIOS_expected.json`).  Returns the list of drift findings;
-    /// empty means the gate passes.
-    pub fn check_against_expected(&self, baseline: &str) -> Result<(), Vec<String>> {
+    /// `SCENARIOS_expected.json`).
+    ///
+    /// `Ok(warnings)` means the gate passes; the warnings list any baseline
+    /// fields this version does not understand (written by a newer tool and
+    /// ignored here — forward compatibility is warn-and-ignore, never a hard
+    /// failure).  `Err(findings)` lists genuine drift: verdict or fingerprint
+    /// changes, missing members, or an unparseable/incompatible baseline.
+    pub fn check_against_expected(&self, baseline: &str) -> Result<Vec<String>, Vec<String>> {
         let parsed = match Json::parse(baseline) {
             Ok(json) => json,
             Err(e) => return Err(vec![format!("cannot parse baseline: {e}")]),
         };
         let mut findings = Vec::new();
+        let mut warnings = Vec::new();
         if parsed.get("schema").and_then(Json::as_str) != Some("nncps-scenarios-expected/v1") {
             findings.push("baseline has an unsupported schema".to_string());
             return Err(findings);
+        }
+        if let Some(fields) = parsed.as_object() {
+            for (key, _) in fields {
+                if key != "schema" && key != "scenarios" {
+                    warnings.push(format!(
+                        "baseline has unknown field `{key}` (written by a newer \
+                         tool?); ignoring it"
+                    ));
+                }
+            }
         }
         let expected = parsed
             .get("scenarios")
             .and_then(Json::as_array)
             .unwrap_or_default();
         for entry in expected {
+            if let Some(fields) = entry.as_object() {
+                for (key, _) in fields {
+                    if !matches!(key.as_str(), "name" | "verdict" | "fingerprint") {
+                        warnings.push(format!(
+                            "baseline entry `{}` has unknown field `{key}`; ignoring it",
+                            entry.get("name").and_then(Json::as_str).unwrap_or("?"),
+                        ));
+                    }
+                }
+            }
             let Some(name) = entry.get("name").and_then(Json::as_str) else {
                 findings.push("baseline entry without a name".to_string());
                 continue;
@@ -830,7 +856,7 @@ impl BatchReport {
             }
         }
         if findings.is_empty() {
-            Ok(())
+            Ok(warnings)
         } else {
             Err(findings)
         }
@@ -966,7 +992,43 @@ mod tests {
     fn expected_baseline_check_passes_on_itself() {
         let report = sample_report();
         let baseline = report.expected_json();
-        assert!(report.check_against_expected(&baseline).is_ok());
+        assert_eq!(report.check_against_expected(&baseline), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn unknown_baseline_fields_warn_instead_of_failing() {
+        let report = sample_report();
+        // Simulate a baseline written by a future tool: extra top-level and
+        // per-entry fields that this version has never heard of.
+        let mut parsed = Json::parse(&report.expected_json()).unwrap();
+        let Json::Object(fields) = &mut parsed else {
+            panic!("baseline is an object");
+        };
+        fields.push(("store_epoch".to_string(), Json::Number(7.0)));
+        let Some((_, Json::Array(entries))) = fields.iter_mut().find(|(k, _)| k == "scenarios")
+        else {
+            panic!("baseline has scenarios");
+        };
+        let Json::Object(entry) = &mut entries[0] else {
+            panic!("entries are objects");
+        };
+        entry.push(("wall_time_budget".to_string(), Json::Number(1.5)));
+        let future = parsed.to_string();
+        let warnings = report
+            .check_against_expected(&future)
+            .expect("unknown fields must not fail the gate");
+        assert!(
+            warnings.iter().any(|w| w.contains("`store_epoch`")),
+            "{warnings:?}"
+        );
+        assert!(
+            warnings.iter().any(|w| w.contains("`wall_time_budget`")),
+            "{warnings:?}"
+        );
+        // Drift detection still works on the known fields of that baseline.
+        let mut drifted = report.clone();
+        drifted.results[0].verdict = "inconclusive".to_string();
+        assert!(drifted.check_against_expected(&future).is_err());
     }
 
     #[test]

@@ -4,7 +4,9 @@
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-use nncps_barrier::{Budget, ClosedLoopSystem, Verifier, WarmStart};
+use nncps_barrier::{
+    Budget, ClosedLoopSystem, VerificationRequest, VerificationSession, WarmStart,
+};
 use nncps_sim::ExprDynamics;
 
 use crate::family::Family;
@@ -71,7 +73,7 @@ impl Default for SweepOptions {
 /// Budgets are deliberately *not* shared across members: fuel accounting
 /// stays a deterministic per-scenario quantity, and a member's deadline
 /// clock starts when its own verification starts.
-fn member_budget(fuel: Option<u64>, deadline_ms: Option<u64>) -> Budget {
+pub(crate) fn member_budget(fuel: Option<u64>, deadline_ms: Option<u64>) -> Budget {
     let mut budget = Budget::unlimited();
     if let Some(instructions) = fuel {
         budget = budget.with_fuel(instructions);
@@ -82,30 +84,45 @@ fn member_budget(fuel: Option<u64>, deadline_ms: Option<u64>) -> Budget {
     budget
 }
 
-/// Shared memoization state of one family sweep: the verifier's
-/// [`WarmStart`] (compiled δ-SAT queries, seed-trace bundles, LP
-/// candidates) plus the built symbolic dynamics per distinct [`PlantSpec`]
-/// (family members sharing a plant expand the neural controller into its
-/// symbolic closed loop once).
+/// Shared memoization state of one family sweep: a
+/// [`VerificationSession`] (compiled δ-SAT queries, simulation bundles, LP
+/// candidates, whole-outcome memo, optionally disk-backed) plus the built
+/// symbolic dynamics per distinct [`PlantSpec`] (family members sharing a
+/// plant expand the neural controller into its symbolic closed loop once).
 ///
 /// Workers share one instance read-mostly; every cached artifact is a pure
 /// function of its key, so sweep results are independent of hit/miss
 /// patterns and thread interleavings.
 #[derive(Debug, Default)]
 pub struct SweepCache {
-    warm: WarmStart,
+    session: Arc<VerificationSession>,
     plants: Mutex<Vec<(PlantSpec, Arc<ExprDynamics>)>>,
 }
 
 impl SweepCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with in-memory caches only.
     pub fn new() -> Self {
         SweepCache::default()
     }
 
+    /// A cache over an existing (possibly disk-backed) session — the
+    /// constructor a resident server uses so its store outlives every
+    /// sweep.
+    pub fn with_session(session: Arc<VerificationSession>) -> Self {
+        SweepCache {
+            session,
+            plants: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The verification session shared by this cache's members.
+    pub fn session(&self) -> &VerificationSession {
+        &self.session
+    }
+
     /// The verifier-level warm-start state (for hit/miss reporting).
     pub fn warm_start(&self) -> &WarmStart {
-        &self.warm
+        self.session.warm_start()
     }
 
     /// Number of distinct plants whose dynamics were built so far.
@@ -188,13 +205,16 @@ pub fn run_scenario_governed(
         None => scenario.build_system(),
     };
     let build_time_s = build_start.elapsed().as_secs_f64();
-    let verifier = Verifier::new(scenario.config().clone());
+    let request = VerificationRequest::over(&system)
+        .with_config(scenario.config().clone())
+        .with_budget(budget.clone());
     let verify_start = Instant::now();
-    let outcome = verifier.verify_governed_with_warm_start(
-        &system,
-        cache.map(SweepCache::warm_start),
-        budget,
-    );
+    let outcome = match cache {
+        Some(cache) => cache.session().verify(&request),
+        // Cache-free runs stay genuinely cold: the pipeline executes from
+        // scratch with no memo layers, exactly as before the session API.
+        None => VerificationSession::new().verify(&request.cold()),
+    };
     let wall_time_s = verify_start.elapsed().as_secs_f64();
     ScenarioResult::from_outcome(scenario, &outcome, wall_time_s, build_time_s)
 }
@@ -277,6 +297,31 @@ pub fn run_sweep(
     families: &[Family],
     options: &SweepOptions,
 ) -> Result<BatchReport, ManifestError> {
+    let (scenarios, groups) = expand_families(families)?;
+    let cache = options.warm_start.then(SweepCache::new);
+    let outcomes = nncps_parallel::parallel_map_isolated(&scenarios, options.threads, |scenario| {
+        run_scenario_governed(
+            scenario,
+            cache.as_ref(),
+            &member_budget(options.fuel, options.deadline_ms),
+        )
+    });
+    Ok(assemble_sweep_report(
+        families,
+        &groups,
+        outcomes,
+        &scenarios,
+        options.threads,
+    ))
+}
+
+/// The flat member list plus each family's `[start, end)` slice of it.
+pub(crate) type ExpandedFamilies = (Vec<Scenario>, Vec<(usize, usize)>);
+
+/// Expands families into the flat member list plus each family's
+/// `[start, end)` slice of it, rejecting duplicate family names.  Shared
+/// between [`run_sweep`] and the serve engine, so both expand identically.
+pub(crate) fn expand_families(families: &[Family]) -> Result<ExpandedFamilies, ManifestError> {
     let mut scenarios: Vec<Scenario> = Vec::new();
     let mut groups: Vec<(usize, usize)> = Vec::with_capacity(families.len());
     for (index, family) in families.iter().enumerate() {
@@ -290,14 +335,19 @@ pub fn run_sweep(
         scenarios.extend(family.expand()?);
         groups.push((start, scenarios.len()));
     }
-    let cache = options.warm_start.then(SweepCache::new);
-    let outcomes = nncps_parallel::parallel_map_isolated(&scenarios, options.threads, |scenario| {
-        run_scenario_governed(
-            scenario,
-            cache.as_ref(),
-            &member_budget(options.fuel, options.deadline_ms),
-        )
-    });
+    Ok((scenarios, groups))
+}
+
+/// Assembles the sweep report from per-member outcomes in expansion order
+/// — the single definition of the report shape, so a server-side sweep is
+/// byte-identical (in deterministic form) to an in-process one.
+pub(crate) fn assemble_sweep_report(
+    families: &[Family],
+    groups: &[(usize, usize)],
+    outcomes: Vec<Result<ScenarioResult, nncps_parallel::Crash>>,
+    scenarios: &[Scenario],
+    threads: usize,
+) -> BatchReport {
     // Count crashes per family group before partitioning strips them: a
     // crashed member leaves no `ScenarioResult`, so the surviving results of
     // family `f` are a contiguous slice shorter than its member count.
@@ -305,7 +355,7 @@ pub fn run_sweep(
         .iter()
         .map(|&(start, end)| outcomes[start..end].iter().filter(|o| o.is_err()).count())
         .collect();
-    let (results, crashed) = partition_outcomes(outcomes, &scenarios);
+    let (results, crashed) = partition_outcomes(outcomes, scenarios);
     let mut survivors_start = 0;
     let rollups = families
         .iter()
@@ -317,12 +367,12 @@ pub fn run_sweep(
             FamilyRollup::from_results(family.name(), slice, fam_crashed, family.expected_counts())
         })
         .collect();
-    Ok(BatchReport {
-        threads: options.threads,
+    BatchReport {
+        threads,
         results,
         families: rollups,
         crashed,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@
 //! cargo run --release --example phase_portrait > figure5.csv
 //! ```
 
-use nncps_barrier::Verifier;
+use nncps_barrier::{VerificationRequest, VerificationSession};
 use nncps_scenarios::Registry;
 use nncps_sim::{Integrator, Simulator};
 
@@ -32,8 +32,9 @@ fn main() {
     let safe_region = spec.domain().clone();
 
     let system = scenario.build_system();
-    let verifier = Verifier::new(scenario.config().clone());
-    let outcome = verifier.verify(&system);
+    let session = VerificationSession::new();
+    let outcome =
+        session.verify(&VerificationRequest::over(&system).with_config(scenario.config().clone()));
 
     println!("kind,x,y");
     // The rectangles.

@@ -18,7 +18,7 @@
 //! To sweep *every* registered scenario and emit a JSON report, use the
 //! batch runner instead: `cargo run --release --bin nncps-batch`.
 
-use nncps_barrier::Verifier;
+use nncps_barrier::{VerificationRequest, VerificationSession};
 use nncps_scenarios::Registry;
 
 fn main() {
@@ -39,8 +39,8 @@ fn main() {
     );
 
     // --- 3. Run the verification procedure (Figure 1). ---------------------
-    let verifier = Verifier::new(config);
-    let outcome = verifier.verify(&system);
+    let session = VerificationSession::new();
+    let outcome = session.verify(&VerificationRequest::over(&system).with_config(config));
 
     // --- 4. Report. --------------------------------------------------------
     let stats = outcome.stats();

@@ -14,7 +14,7 @@
 //! # default widths: 10 20 40 50 70 80 90 100
 //! ```
 
-use nncps_barrier::Verifier;
+use nncps_barrier::{VerificationRequest, VerificationSession};
 use nncps_scenarios::{PlantSpec, Registry, Scenario};
 
 fn main() {
@@ -34,6 +34,9 @@ fn main() {
     let base = registry
         .get("dubins-paper")
         .expect("dubins-paper is built in");
+    // One session across the sweep: compiled δ-SAT formulas of structurally
+    // identical queries are reused between widths where possible.
+    let session = VerificationSession::new();
 
     println!(
         "{:>8} | {:>10} | {:>10} | {:>12} | {:>10} | {:>10} | {:>9}",
@@ -56,8 +59,8 @@ fn main() {
             base.expected(),
         );
         let system = scenario.build_system();
-        let verifier = Verifier::new(scenario.config().clone());
-        let outcome = verifier.verify(&system);
+        let outcome = session
+            .verify(&VerificationRequest::over(&system).with_config(scenario.config().clone()));
         let stats = outcome.stats();
         println!(
             "{:>8} | {:>10} | {:>10.3} | {:>12.3} | {:>10.3} | {:>10.3} | {:>9}",

@@ -38,8 +38,8 @@
 use std::process::ExitCode;
 
 use nncps_scenarios::{
-    builtin_families, families_from_toml_str, run_batch, run_sweep, BatchOptions, Family, Registry,
-    SweepOptions,
+    builtin_families, families_from_toml_str, run_batch, run_sweep, BatchOptions, BatchReport,
+    Family, Json, Registry, SweepOptions,
 };
 
 /// Clean run: every member completed, no drift.
@@ -67,13 +67,16 @@ struct Args {
     list: bool,
     list_families: bool,
     quiet: bool,
+    connect: Option<String>,
+    shutdown: bool,
 }
 
 const USAGE: &str = "usage: nncps-batch [--manifest FILE.toml] [--filter SUBSTRING] \
                      [--threads N] [--fuel INSTRUCTIONS] [--deadline-ms MS] \
                      [--out REPORT.json] [--out-deterministic REPORT.json] \
                      [--check EXPECTED.json] [--write-expected EXPECTED.json] \
-                     [--family NAME|all] [--cold] [--list] [--list-families] [--quiet]";
+                     [--family NAME|all] [--cold] [--list] [--list-families] [--quiet] \
+                     [--connect ADDR] [--shutdown]";
 
 /// Parses the CLI; `Ok(None)` means `--help` was requested.
 fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String> {
@@ -92,6 +95,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
         list: false,
         list_families: false,
         quiet: false,
+        connect: None,
+        shutdown: false,
     };
     let mut argv = argv;
     while let Some(arg) = argv.next() {
@@ -127,6 +132,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Option<Args>, String
             "--write-expected" => args.write_expected = Some(value("--write-expected")?),
             "--family" => args.family = Some(value("--family")?),
             "--cold" => args.cold = true,
+            "--connect" => args.connect = Some(value("--connect")?),
+            "--shutdown" => args.shutdown = true,
             "--list" => args.list = true,
             "--list-families" => args.list_families = true,
             "--quiet" => args.quiet = true,
@@ -170,9 +177,157 @@ fn finish(report: &nncps_scenarios::BatchReport, drifted: bool) -> u8 {
     }
 }
 
+/// Client mode: submit the family selection to a resident `nncps-serve`
+/// daemon instead of verifying in-process, stream its member events, and
+/// apply the same drift/crash gates to the returned report.
+fn run_client(args: &Args) -> Result<u8, String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let addr = args.connect.as_deref().expect("client mode has an address");
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone connection: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let read_event = |reader: &mut BufReader<TcpStream>| -> Result<Json, String> {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("connection to {addr} failed: {e}"))?;
+        if n == 0 {
+            return Err(format!(
+                "server at {addr} closed the connection mid-request"
+            ));
+        }
+        Json::parse(line.trim()).map_err(|e| format!("malformed server response: {e}"))
+    };
+
+    let mut code = EXIT_OK;
+    if let Some(selection) = &args.family {
+        let mut request = vec![
+            ("op".to_string(), Json::from("submit")),
+            ("family".to_string(), Json::from(selection.as_str())),
+        ];
+        if let Some(fuel) = args.fuel {
+            request.push(("fuel".to_string(), Json::Number(fuel as f64)));
+        }
+        if let Some(ms) = args.deadline_ms {
+            request.push(("deadline_ms".to_string(), Json::Number(ms as f64)));
+        }
+        writeln!(writer, "{}", Json::object(request).to_line())
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        let report = loop {
+            let event = read_event(&mut reader)?;
+            match event.get("event").and_then(Json::as_str) {
+                Some("member") if !args.quiet => {
+                    eprintln!(
+                        "  {:<24} {:<13} ({:.2}s)",
+                        event.get("name").and_then(Json::as_str).unwrap_or("?"),
+                        event.get("verdict").and_then(Json::as_str).unwrap_or("?"),
+                        event
+                            .get("wall_time_s")
+                            .and_then(Json::as_f64)
+                            .unwrap_or(0.0),
+                    );
+                }
+                Some("crash") => eprintln!(
+                    "nncps-batch: CRASHED: member `{}` panicked: {}",
+                    event.get("name").and_then(Json::as_str).unwrap_or("?"),
+                    event.get("payload").and_then(Json::as_str).unwrap_or(""),
+                ),
+                Some("error") => {
+                    return Err(format!(
+                        "server rejected the request: {}",
+                        event.get("message").and_then(Json::as_str).unwrap_or("?")
+                    ))
+                }
+                Some("done") => break event,
+                // Unknown events from a newer server are skipped, matching
+                // the warn-and-ignore stance of the baseline checker.
+                _ => {}
+            }
+        };
+        let deterministic = report
+            .get("report")
+            .and_then(Json::as_str)
+            .ok_or("done event carries no report")?;
+        let timed = report
+            .get("report_timed")
+            .and_then(Json::as_str)
+            .unwrap_or(deterministic);
+        if let Some(path) = &args.out_deterministic {
+            std::fs::write(path, deterministic).map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        if let Some(path) = &args.out {
+            std::fs::write(path, timed).map_err(|e| format!("cannot write {path}: {e}"))?;
+        } else if !args.quiet && args.out_deterministic.is_none() {
+            print!("{timed}");
+        }
+        // Re-apply the sweep gates locally: the daemon reports, the client
+        // decides the exit code (same rules as an in-process sweep).
+        let parsed = BatchReport::from_json(deterministic)
+            .map_err(|e| format!("cannot parse server report: {e}"))?;
+        let drifted = match parsed.check_family_counts() {
+            Ok(()) => false,
+            Err(findings) => {
+                for finding in &findings {
+                    eprintln!("nncps-batch: DRIFT: {finding}");
+                }
+                true
+            }
+        };
+        code = finish(&parsed, drifted);
+    }
+    if args.shutdown {
+        writeln!(
+            writer,
+            "{}",
+            Json::object([("op".to_string(), Json::from("shutdown"))]).to_line()
+        )
+        .map_err(|e| format!("cannot send shutdown: {e}"))?;
+        let event = read_event(&mut reader)?;
+        if event.get("event").and_then(Json::as_str) != Some("bye") {
+            return Err(format!("unexpected shutdown response: {event:?}"));
+        }
+        if !args.quiet {
+            eprintln!("nncps-batch: server at {addr} acknowledged shutdown");
+        }
+    }
+    Ok(code)
+}
+
 /// The whole run after argument parsing.  `Err` is a one-line diagnostic
 /// reported by `main` with [`EXIT_USAGE`]; `Ok` carries the exit code.
 fn run(args: &Args) -> Result<u8, String> {
+    if args.connect.is_some() {
+        // Server-side verification: only the sweep-shaped flags make sense.
+        for (flag, given) in [
+            ("--check", args.check.is_some()),
+            ("--write-expected", args.write_expected.is_some()),
+            ("--filter", args.filter.is_some()),
+            ("--manifest", args.manifest.is_some()),
+            ("--list", args.list),
+            ("--list-families", args.list_families),
+            ("--cold", args.cold),
+        ] {
+            if given {
+                return Err(format!(
+                    "{flag} does not apply to --connect (the server owns its \
+                     catalogue and caches)\n{USAGE}"
+                ));
+            }
+        }
+        if args.family.is_none() && !args.shutdown {
+            return Err(format!(
+                "--connect needs --family NAME|all and/or --shutdown\n{USAGE}"
+            ));
+        }
+        return run_client(args);
+    }
+    if args.shutdown {
+        return Err(format!("--shutdown only applies with --connect\n{USAGE}"));
+    }
     if args.list_families {
         let families = available_families(args.manifest.as_deref())?;
         for family in &families {
@@ -386,7 +541,12 @@ fn run(args: &Args) -> Result<u8, String> {
     let mut drifted = false;
     if let Some(baseline) = &baseline {
         match report.check_against_expected(baseline) {
-            Ok(()) => {
+            Ok(warnings) => {
+                // Forward-compat: fields written by a newer tool are ignored
+                // with a warning, never a hard failure.
+                for warning in &warnings {
+                    eprintln!("nncps-batch: warning: {warning}");
+                }
                 if !args.quiet {
                     eprintln!(
                         "nncps-batch: no drift against {} ({} scenario(s))",

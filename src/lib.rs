@@ -7,10 +7,16 @@
 //! (`tests/`). See the repository `README.md` for the paper-step → module
 //! map and `ARCHITECTURE.md` for the pipeline design.
 //!
+//! The working vocabulary — requests, sessions, configs, budgets, the
+//! scenario registry, the serve engine — is re-exported at the root, so one
+//! `use nncps::...` line covers the common flows.
+//!
 //! # Examples
 //!
 //! ```
-//! use nncps::barrier::{ClosedLoopSystem, SafetySpec, Verifier, VerificationConfig};
+//! use nncps::{
+//!     ClosedLoopSystem, SafetySpec, VerificationRequest, VerificationSession,
+//! };
 //! use nncps::expr::Expr;
 //! use nncps::interval::IntervalBox;
 //!
@@ -22,7 +28,8 @@
 //!         IntervalBox::from_bounds(&[(-3.0, 3.0), (-3.0, 3.0)]),
 //!     ),
 //! );
-//! let outcome = Verifier::new(VerificationConfig::default()).verify(&system);
+//! let session = VerificationSession::new();
+//! let outcome = session.verify(&VerificationRequest::over(&system));
 //! assert!(outcome.is_certified());
 //! ```
 
@@ -40,3 +47,14 @@ pub use nncps_lp as lp;
 pub use nncps_nn as nn;
 pub use nncps_scenarios as scenarios;
 pub use nncps_sim as sim;
+
+// The one-import facade: the types a typical caller needs, at the root.
+pub use nncps_barrier::{
+    BarrierCertificate, Budget, ClosedLoopSystem, ConfigError, DiskStore, ExhaustionReason,
+    SafetySpec, VerificationConfig, VerificationConfigBuilder, VerificationOutcome,
+    VerificationRequest, VerificationSession, Verifier, WarmStart,
+};
+pub use nncps_scenarios::{
+    run_batch, run_scenario, run_sweep, BatchOptions, BatchReport, Family, Registry, Scenario,
+    ServeEngine, ServeOptions, SweepOptions,
+};

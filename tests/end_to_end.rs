@@ -1,7 +1,10 @@
 //! End-to-end integration tests: the paper's case study from controller
 //! construction through barrier-certificate verification.
 
-use nncps_barrier::{ClosedLoopSystem, SafetySpec, VerificationConfig, Verifier};
+use nncps_barrier::{
+    ClosedLoopSystem, SafetySpec, VerificationConfig, VerificationOutcome, VerificationRequest,
+    VerificationSession,
+};
 use nncps_dubins::{reference_controller, ErrorDynamics};
 use nncps_interval::IntervalBox;
 use nncps_nn::{network_from_weights, Activation};
@@ -36,10 +39,16 @@ fn paper_system(hidden_neurons: usize) -> ClosedLoopSystem {
     ClosedLoopSystem::new(dynamics.symbolic_vector_field(), paper_spec())
 }
 
+/// One verification through the session API (the single public entry point);
+/// a fresh session per call keeps every test run independent.
+fn verify_once(system: &ClosedLoopSystem, config: VerificationConfig) -> VerificationOutcome {
+    VerificationSession::new().verify(&VerificationRequest::over(system).with_config(config))
+}
+
 #[test]
 fn paper_case_study_is_certified_safe() {
     let system = paper_system(10);
-    let outcome = Verifier::new(fast_config()).verify(&system);
+    let outcome = verify_once(&system, fast_config());
     assert!(outcome.is_certified(), "outcome: {outcome}");
 
     let certificate = outcome.certificate().expect("certified outcome");
@@ -76,7 +85,7 @@ fn paper_case_study_is_certified_safe() {
 #[test]
 fn statistics_reflect_the_work_performed() {
     let system = paper_system(10);
-    let outcome = Verifier::new(fast_config()).verify(&system);
+    let outcome = verify_once(&system, fast_config());
     let stats = outcome.stats();
     assert!(stats.generator_iterations >= 1);
     assert_eq!(stats.lp_solves, stats.generator_iterations);
@@ -92,7 +101,7 @@ fn verification_scales_across_controller_widths() {
     // The Table 1 sweep in miniature: a couple of widths, all certified.
     for width in [10, 30] {
         let system = paper_system(width);
-        let outcome = Verifier::new(fast_config()).verify(&system);
+        let outcome = verify_once(&system, fast_config());
         assert!(
             outcome.is_certified(),
             "width {width} not certified: {outcome}"
@@ -121,7 +130,7 @@ fn destabilizing_controller_is_not_certified() {
         sim_duration: 5.0,
         ..VerificationConfig::default()
     };
-    let outcome = Verifier::new(config).verify(&system);
+    let outcome = verify_once(&system, config);
     assert!(!outcome.is_certified(), "unsafe system must not certify");
 }
 
@@ -144,7 +153,7 @@ fn hand_written_saturating_controller_is_certified() {
     );
     let dynamics = ErrorDynamics::new(controller, 1.0);
     let system = ClosedLoopSystem::new(dynamics.symbolic_vector_field(), paper_spec());
-    let outcome = Verifier::new(fast_config()).verify(&system);
+    let outcome = verify_once(&system, fast_config());
     assert!(outcome.is_certified(), "outcome: {outcome}");
 }
 
@@ -153,7 +162,7 @@ fn certified_invariant_is_respected_by_simulation() {
     // The semantic content of the certificate: trajectories started inside X0
     // stay inside L = {W <= l} and never become unsafe.
     let system = paper_system(10);
-    let outcome = Verifier::new(fast_config()).verify(&system);
+    let outcome = verify_once(&system, fast_config());
     let certificate = outcome.certificate().expect("certified outcome");
     let spec = paper_spec();
     let dynamics = system.dynamics();

@@ -104,8 +104,9 @@ fn cached_single_scenario_run_matches_the_cold_run_bitwise() {
     for name in ["pendulum-tanh-16", "linear-unstable-canary"] {
         let scenario = registry.get(name).unwrap();
         let cold = run_scenario(scenario);
-        // Run twice through the cache: the second run hits every layer.
         let first = run_scenario_cached(scenario, Some(&cache));
+        // The exact repeat short-circuits at the session's whole-outcome
+        // memo — the strongest form of reuse, still bit-identical.
         let second = run_scenario_cached(scenario, Some(&cache));
         for warm in [&first, &second] {
             assert_eq!(cold.verdict, warm.verdict, "{name}");
@@ -121,16 +122,40 @@ fn cached_single_scenario_run_matches_the_cold_run_bitwise() {
             );
             assert_eq!(cold.stats, warm.stats, "{name}");
         }
+        // A δ-varied sibling misses the outcome memo (δ is part of the
+        // request fingerprint) but reuses the inner warm-start layers, whose
+        // keys are δ-independent: seed traces, LP candidates, compiled
+        // δ-SAT formulas.
+        let varied = nncps::scenarios::Scenario::new(
+            format!("{name}-delta-varied"),
+            "δ-varied sibling of the cached scenario",
+            scenario.plant().clone(),
+            scenario.spec().clone(),
+            nncps::barrier::VerificationConfig {
+                delta: scenario.config().delta * 0.5,
+                ..scenario.config().clone()
+            },
+            nncps::scenarios::ExpectedVerdict::Any,
+        );
+        run_scenario_cached(&varied, Some(&cache));
     }
+    let session = cache.session().stats();
+    assert!(
+        session.outcome_hits >= 2,
+        "exact repeats must hit the outcome memo: {session:?}"
+    );
     let stats = cache.warm_start().stats();
-    assert!(stats.trace_hits > 0, "second runs must hit the trace memo");
+    assert!(
+        stats.trace_hits > 0,
+        "delta-varied runs must hit the trace memo"
+    );
     assert!(
         stats.candidate_hits > 0,
-        "second runs must hit the candidate memo"
+        "delta-varied runs must hit the candidate memo"
     );
     assert!(
         stats.formula_hits > 0,
-        "second runs must hit the compilation cache"
+        "delta-varied runs must hit the compilation cache"
     );
 }
 

@@ -25,11 +25,19 @@
 //! The sweep fixture is deliberately seeded so the oracle is not vacuous: a
 //! nonsense-free minimum number of witnesses must flow through the checks.
 
-use nncps::barrier::{QueryBuilder, VerificationStats, Verifier};
+use nncps::barrier::{
+    ClosedLoopSystem, QueryBuilder, VerificationConfig, VerificationOutcome, VerificationRequest,
+    VerificationSession, VerificationStats,
+};
 use nncps::interval::IntervalBox;
 use nncps::linalg::{Matrix, Vector};
 use nncps::scenarios::{AxisParam, Family, ParamAxis, Registry, Scenario};
 use nncps::sim::Dynamics;
+
+/// One verification through the session API (the single public entry point).
+fn verify_once(system: &ClosedLoopSystem, config: VerificationConfig) -> VerificationOutcome {
+    VerificationSession::new().verify(&VerificationRequest::over(system).with_config(config))
+}
 
 /// Rebuilds the generator function from its report flattening (rows of `P`,
 /// then `q`, then `c`).
@@ -51,7 +59,7 @@ fn replay_counterexamples(scenario: &Scenario) -> usize {
     let system = scenario.build_system();
     let config = scenario.config().clone();
     let (gamma, delta) = (config.gamma, config.delta);
-    let outcome = Verifier::new(config).verify(&system);
+    let outcome = verify_once(&system, config);
     let stats: &VerificationStats = outcome.stats();
     assert_eq!(
         stats.counterexample_witnesses.len(),

@@ -6,7 +6,10 @@
 //! midpoint must (approximately) satisfy the query.  These tests check both
 //! directions on the queries the barrier pipeline actually issues.
 
-use nncps_barrier::{ClosedLoopSystem, QueryBuilder, SafetySpec, VerificationConfig, Verifier};
+use nncps_barrier::{
+    ClosedLoopSystem, QueryBuilder, SafetySpec, VerificationConfig, VerificationOutcome,
+    VerificationRequest, VerificationSession,
+};
 use nncps_deltasat::{Constraint, DeltaSolver, Formula, SatResult};
 use nncps_dubins::{reference_controller, ErrorDynamics};
 use nncps_expr::Expr;
@@ -29,6 +32,11 @@ fn fast_config() -> VerificationConfig {
         sim_duration: 8.0,
         ..VerificationConfig::default()
     }
+}
+
+/// One verification through the session API (the single public entry point).
+fn verify_once(system: &ClosedLoopSystem, config: VerificationConfig) -> VerificationOutcome {
+    VerificationSession::new().verify(&VerificationRequest::over(system).with_config(config))
 }
 
 /// Samples the spec's domain on a grid, skipping points inside `X0`.
@@ -54,7 +62,7 @@ fn unsat_decrease_check_implies_no_sampled_violation() {
     let spec = paper_spec();
     let dynamics = ErrorDynamics::new(reference_controller(10), 1.0);
     let system = ClosedLoopSystem::new(dynamics.symbolic_vector_field(), spec.clone());
-    let outcome = Verifier::new(fast_config()).verify(&system);
+    let outcome = verify_once(&system, fast_config());
     let certificate = outcome.certificate().expect("case study certifies");
     let generator = certificate.generator();
 
@@ -75,7 +83,7 @@ fn certified_level_set_separates_initial_and_unsafe_samples() {
     let spec = paper_spec();
     let dynamics = ErrorDynamics::new(reference_controller(10), 1.0);
     let system = ClosedLoopSystem::new(dynamics.symbolic_vector_field(), spec.clone());
-    let outcome = Verifier::new(fast_config()).verify(&system);
+    let outcome = verify_once(&system, fast_config());
     let certificate = outcome.certificate().expect("case study certifies");
 
     // Query (6) numerically: a fine grid of X0 lies inside L.
