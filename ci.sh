@@ -217,6 +217,19 @@ if [ "$quick" != "quick" ]; then
         --bench "substrate/batched_eval/decrease_query_50/batched" \
         "$bench_json" BENCH_pr6.json
 
+    # PR 10: choice-trace-driven respecialization.  The delta step (recorded
+    # choice trace + single emit pass over the parent view) is held to >= 2x
+    # over the full three-pass rederivation it replaced, measured within this
+    # run on the deep ReLU ladder — the compiled-NN-controller workload the
+    # incremental path exists for.
+    echo "==> bench-regression: choice-trace respecialization speedup"
+    CRITERION_JSON="$bench_json" \
+        cargo bench --bench substrate_micro -- "substrate/choice_spec/deep_relu/"
+    cargo run --release -p nncps_bench --bin bench-compare -- \
+        "$bench_json" --speedup \
+        "substrate/choice_spec/deep_relu/rederive" \
+        "substrate/choice_spec/deep_relu/delta" --min 2
+
     # PR 7: resource governance.  The budget-poll overhead on the headline
     # decrease query is held to <=2% (best-case sample times, governed vs
     # ungoverned measured back-to-back in one process), and the governed

@@ -60,8 +60,13 @@ pub struct DiskStoreStats {
     pub writes: usize,
     /// Writes skipped because the entry already existed.
     pub write_skips: usize,
-    /// Entries moved to `quarantine/` after failing validation.
+    /// Entries moved to `quarantine/` after failing validation **by this
+    /// process** (in-memory counter, resets with the store handle).
     pub quarantined: usize,
+    /// Files currently present in `quarantine/`, including those left by
+    /// earlier processes on the same root — the number a diagnosis pass
+    /// would find on disk.
+    pub quarantine_dir_entries: usize,
 }
 
 /// A write-once, content-addressed artifact store rooted at one directory
@@ -108,14 +113,20 @@ impl DiskStore {
         &self.root
     }
 
-    /// Snapshot of the activity counters.
+    /// Snapshot of the activity counters.  `quarantine_dir_entries` is read
+    /// from disk, so it also covers entries quarantined by previous
+    /// processes on the same root.
     pub fn stats(&self) -> DiskStoreStats {
+        let quarantine_dir_entries = fs::read_dir(self.root.join("quarantine"))
+            .map(|entries| entries.filter_map(Result::ok).count())
+            .unwrap_or(0);
         DiskStoreStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             write_skips: self.write_skips.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
+            quarantine_dir_entries,
         }
     }
 
@@ -143,7 +154,7 @@ impl DiskStore {
                 Some(payload.to_vec())
             }
             None => {
-                self.quarantine(kind, &path);
+                self.quarantine(kind, &path, &bytes);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -187,17 +198,27 @@ impl DiskStore {
     }
 
     /// Moves an invalid entry aside so it is diagnosable but never re-read.
-    fn quarantine(&self, kind: &str, path: &Path) {
+    ///
+    /// The destination name is suffixed with the FNV-1a hash of the corrupt
+    /// **contents**, not a pid/nonce pair: pids recycle and the nonce resets
+    /// every process, so two *different* corruptions of the same key across
+    /// restarts would otherwise land on the same name and silently overwrite
+    /// the earlier evidence.  The content hash is deterministic — distinct
+    /// corruptions get distinct files, and re-quarantining bit-identical
+    /// contents dedupes onto the existing file instead of clobbering it.
+    fn quarantine(&self, kind: &str, path: &Path, bytes: &[u8]) {
         let name = path
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_else(|| "entry".to_string());
-        let dest = self.root.join("quarantine").join(format!(
-            "{kind}-{name}-{}-{}",
-            std::process::id(),
-            self.nonce.fetch_add(1, Ordering::Relaxed),
-        ));
-        if fs::rename(path, &dest).is_err() {
+        let dest = self
+            .root
+            .join("quarantine")
+            .join(format!("{kind}-{name}-{:016x}", fnv64(bytes)));
+        if dest.exists() {
+            // Same corrupt bits already preserved: drop the duplicate.
+            let _ = fs::remove_file(path);
+        } else if fs::rename(path, &dest).is_err() {
             // Last resort: make sure the bad entry cannot be read again.
             let _ = fs::remove_file(path);
         }
@@ -457,6 +478,54 @@ mod tests {
         assert_eq!(store.load("x", key), None);
 
         assert_eq!(store.stats().quarantined, 4);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn quarantine_names_are_deterministic_across_restarts() {
+        // Two corrupt entries for the same key, hitting *different* store
+        // handles (fresh nonce, as after a restart), must both survive in
+        // `quarantine/`: the content-hash suffix keeps distinct corruptions
+        // on distinct names, while a bit-identical corruption dedupes onto
+        // the existing file instead of overwriting it.
+        let store = scratch_store("restart-quarantine");
+        let key = Fingerprint(0xaa, 0xbb);
+        assert!(store.store("outcome", key, b"evidence"));
+        let path = store.entry_path("outcome", key);
+        let good = fs::read(&path).unwrap();
+
+        let mut corrupt_a = good.clone();
+        *corrupt_a.last_mut().unwrap() ^= 0x01;
+        fs::write(&path, &corrupt_a).unwrap();
+        assert_eq!(store.load("outcome", key), None);
+
+        // "Restart": a fresh handle on the same root resets pid/nonce-style
+        // state; a *different* corruption of the same key must not clobber
+        // the first quarantined file.
+        let reopened = DiskStore::open(store.root()).expect("store reopens");
+        assert!(reopened.store("outcome", key, b"evidence"));
+        let mut corrupt_b = good.clone();
+        *corrupt_b.last_mut().unwrap() ^= 0x02;
+        fs::write(&path, &corrupt_b).unwrap();
+        assert_eq!(reopened.load("outcome", key), None);
+        let quarantine_files = || {
+            fs::read_dir(store.root().join("quarantine"))
+                .unwrap()
+                .count()
+        };
+        assert_eq!(quarantine_files(), 2, "distinct corruptions both kept");
+
+        // The identical corruption again: dedupes, never overwrites.
+        assert!(reopened.store("outcome", key, b"evidence"));
+        fs::write(&path, &corrupt_b).unwrap();
+        assert_eq!(reopened.load("outcome", key), None);
+        assert_eq!(quarantine_files(), 2, "identical corruption dedupes");
+
+        // Per-process counter vs on-disk count: the reopened handle saw two
+        // quarantines, the directory holds two files from three events.
+        assert_eq!(store.stats().quarantined, 1);
+        assert_eq!(reopened.stats().quarantined, 2);
+        assert_eq!(reopened.stats().quarantine_dir_entries, 2);
         let _ = fs::remove_dir_all(store.root());
     }
 

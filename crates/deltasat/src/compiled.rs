@@ -48,7 +48,8 @@
 use std::sync::OnceLock;
 
 use nncps_expr::{
-    AllocatedTape, Expr, SpecializeScratch, Tape, TapeInstr, TapeView, DEFAULT_REGISTERS,
+    AllocatedTape, Choice, ChoiceAnalysis, Expr, SpecializeScratch, Tape, TapeInstr, TapeView,
+    DEFAULT_REGISTERS,
 };
 use nncps_interval::{Interval, IntervalBox};
 
@@ -103,6 +104,17 @@ pub struct ClauseScratch {
     /// propagation pass share a single incrementally grown sweep, reset
     /// whenever any variable domain changes.
     valid: usize,
+    /// How many leading program slots have been *charged* to
+    /// `instructions_executed` for the current logical box.  Decoupled from
+    /// `valid` so a batch-prefilled sweep is charged exactly what the
+    /// scalar evaluation of the same box would have been charged — fuel
+    /// exhaustion points stay evaluator-invariant.
+    charged: usize,
+    /// Choice trace of the current forward sweep: per choice-site id of the
+    /// parent tape, the `min`/`max`/`abs` resolution last observed
+    /// (recorded at zero marginal cost by the recording sweeps; consumed by
+    /// [`CompiledClause::respecialize`]).
+    choices: Vec<Choice>,
     /// Backward work stack of `(slot, required)` pairs.
     stack: Vec<(usize, Interval)>,
     /// Per-atom verdict recorded by the last feasibility sweep.
@@ -132,7 +144,18 @@ impl ClauseScratch {
     /// for recycling.  Pair with [`CompiledClause::propagate_prefilled`].
     pub(crate) fn install_sweep(&mut self, trace: Vec<Interval>) -> Vec<Interval> {
         self.valid = trace.len();
+        // The prefill is free only in *evaluation*: fuel charging restarts
+        // so the box pays the same scalar-equivalent instruction count it
+        // would have paid growing the sweep itself.
+        self.charged = 0;
         std::mem::replace(&mut self.slots, trace)
+    }
+
+    /// Installs a recorded choice trace alongside a prefilled sweep (the
+    /// batched sibling evaluation recorded it for exactly this region),
+    /// returning the previous buffer for recycling.
+    pub(crate) fn install_choices(&mut self, choices: Vec<Choice>) -> Vec<Choice> {
+        std::mem::replace(&mut self.choices, choices)
     }
 
     /// Moves the instrumentation counters out of the scratch (resetting
@@ -179,10 +202,33 @@ impl Prog<'_> {
         }
     }
 
+    fn num_choices(self) -> usize {
+        match self {
+            Prog::Tape(tape) | Prog::View(tape, _) => tape.num_choices(),
+        }
+    }
+
     fn extend(self, region: &IntervalBox, slots: &mut Vec<Interval>, count: usize) {
         match self {
             Prog::Tape(tape) => tape.eval_interval_extend_into(region, slots, count),
             Prog::View(tape, view) => view.eval_interval_extend_into(tape, region, slots, count),
+        }
+    }
+
+    fn extend_recording(
+        self,
+        region: &IntervalBox,
+        slots: &mut Vec<Interval>,
+        count: usize,
+        choices: &mut [Choice],
+    ) {
+        match self {
+            Prog::Tape(tape) => {
+                tape.eval_interval_extend_into_recording(region, slots, count, choices)
+            }
+            Prog::View(tape, view) => {
+                view.eval_interval_extend_into_recording(tape, region, slots, count, choices)
+            }
         }
     }
 }
@@ -280,6 +326,10 @@ pub struct CompiledClause {
     /// including all family-sweep members holding the compiled formula
     /// through the warm-start cache).
     alloc: OnceLock<AllocatedTape>,
+    /// Lazily computed choice-group partition of the tape (one backward
+    /// pass; built on the first view respecialization and shared exactly
+    /// like `alloc`).
+    analysis: OnceLock<ChoiceAnalysis>,
 }
 
 impl CompiledClause {
@@ -296,13 +346,7 @@ impl CompiledClause {
                 source: c.clone(),
             })
             .collect();
-        let has_choices = (0..tape.num_slots()).any(|i| {
-            matches!(
-                tape.instr(i),
-                TapeInstr::Binary(nncps_expr::BinaryOp::Min | nncps_expr::BinaryOp::Max, _, _)
-                    | TapeInstr::Unary(nncps_expr::UnaryOp::Abs, _)
-            )
-        });
+        let has_choices = tape.num_choices() > 0;
         let mut clip_free = Vec::with_capacity(tape.num_slots());
         for i in 0..tape.num_slots() {
             let flag = instr_clip_free(tape.instr(i), &clip_free);
@@ -315,6 +359,7 @@ impl CompiledClause {
             clip_free,
             grad: OnceLock::new(),
             alloc: OnceLock::new(),
+            analysis: OnceLock::new(),
         }
     }
 
@@ -370,6 +415,14 @@ impl CompiledClause {
             .get_or_init(|| AllocatedTape::from_tape(&self.tape, DEFAULT_REGISTERS))
     }
 
+    /// The memoized choice-group partition of the tape (see
+    /// [`ChoiceAnalysis`]), built on first use — one backward pass per
+    /// clause, amortized over every respecialization of every view.
+    pub(crate) fn choice_analysis(&self) -> &ChoiceAnalysis {
+        self.analysis
+            .get_or_init(|| ChoiceAnalysis::analyze(&self.tape))
+    }
+
     fn gradient_bundle(&self) -> &GradientBundle {
         self.grad.get_or_init(|| {
             let num_vars = self.tape.num_vars();
@@ -415,6 +468,7 @@ impl CompiledClause {
         // Standalone entry point: the caller may have changed the region
         // since the last call, so the sweep cache starts cold.
         scratch.valid = 0;
+        scratch.charged = 0;
         self.classify(self.program(view), region, scratch)
     }
 
@@ -465,15 +519,33 @@ impl CompiledClause {
         scratch: &mut ClauseScratch,
         count: usize,
     ) {
-        if scratch.valid >= count {
-            return;
+        if count > scratch.valid {
+            let mut slots = std::mem::take(&mut scratch.slots);
+            slots.truncate(scratch.valid);
+            let num_choices = prog.num_choices();
+            if num_choices > 0 {
+                // Record the choice trace as the sweep grows: the recording
+                // twin is bit-identical and the trace feeds the delta-driven
+                // respecialization after classification.
+                if scratch.choices.len() != num_choices {
+                    scratch.choices.clear();
+                    scratch.choices.resize(num_choices, Choice::Both);
+                }
+                prog.extend_recording(region, &mut slots, count, &mut scratch.choices);
+            } else {
+                prog.extend(region, &mut slots, count);
+            }
+            scratch.slots = slots;
+            scratch.valid = count;
         }
-        let mut slots = std::mem::take(&mut scratch.slots);
-        slots.truncate(scratch.valid);
-        prog.extend(region, &mut slots, count);
-        scratch.slots = slots;
-        scratch.instructions_executed += count - scratch.valid;
-        scratch.valid = count;
+        // Fuel is charged against the *logical* sweep length, independent of
+        // whether the slots came from this call, a cached prefix, or a
+        // batch-recorded prefill — so exhaustion points are identical across
+        // evaluators.
+        if count > scratch.charged {
+            scratch.instructions_executed += count - scratch.charged;
+            scratch.charged = count;
+        }
     }
 
     /// Applies HC4-revise for every constraint repeatedly, up to `rounds`
@@ -507,6 +579,7 @@ impl CompiledClause {
         scratch: &mut ClauseScratch,
     ) -> bool {
         scratch.valid = 0;
+        scratch.charged = 0;
         let clip_free = view.is_none().then_some(self.clip_free.as_slice());
         self.contract_inner(self.program(view), clip_free, region, rounds, scratch)
     }
@@ -550,6 +623,7 @@ impl CompiledClause {
     ) -> ClauseFeasibility {
         let prog = self.program(view);
         scratch.valid = 0;
+        scratch.charged = 0;
         if !self.contract_inner(prog, clip_free, region, rounds, scratch) || region.is_empty() {
             return ClauseFeasibility::Violated;
         }
@@ -622,7 +696,10 @@ impl CompiledClause {
                 match self.revise_backward(prog, root, atom.admissible, region, scratch, clip_free)
                 {
                     Revised::Infeasible => return false,
-                    Revised::Narrowed => scratch.valid = 0,
+                    Revised::Narrowed => {
+                        scratch.valid = 0;
+                        scratch.charged = 0;
+                    }
                     Revised::Unchanged => {}
                 }
             }
@@ -734,12 +811,14 @@ impl CompiledClause {
     }
 
     /// Derives a further-specialized view for the current region, using the
-    /// forward values and per-atom verdicts recorded by the last
-    /// [`CompiledClause::feasibility_with_view`] sweep.
+    /// forward values, choice trace, and per-atom verdicts recorded by the
+    /// last [`CompiledClause::feasibility_with_view`] sweep.
     ///
     /// Returns `true` (and fills `out`) when the derived view is worthwhile
-    /// — strictly shorter than the source program or with newly dropped
-    /// atoms; returns `false` without touching `out`'s contents otherwise.
+    /// — a choice was decided or an atom dropped; returns `false` without
+    /// touching `out`'s contents otherwise.  Descending from an existing
+    /// view consumes the recorded choice *delta*: an unchanged trace costs
+    /// `O(open choices + roots)` and exits without walking the program.
     /// Choice-free clauses skip the scan entirely unless an atom became
     /// droppable.
     pub fn respecialize(
@@ -763,22 +842,32 @@ impl CompiledClause {
         if !newly_droppable && !self.has_choices {
             return false;
         }
-        let shortened = match view {
+        match view {
+            // Delta-driven descent: `respecialize_into` reports whether the
+            // child differs (its delta check already accounts for droppable
+            // roots), so its verdict is the final word.
             Some(view) => view.respecialize_into(
                 &self.tape,
+                self.choice_analysis(),
                 &scratch.slots,
+                &scratch.choices,
                 &scratch.keep_roots,
                 spec_scratch,
                 out,
             ),
-            None => self.tape.specialize_from_slots(
-                &scratch.slots,
-                &scratch.keep_roots,
-                spec_scratch,
-                out,
-            ),
-        };
-        shortened || newly_droppable
+            // Descent root: the full three-pass derivation always fills
+            // `out`; a dropped atom is worthwhile even when no instruction
+            // was pruned.
+            None => {
+                let shortened = self.tape.specialize_from_slots(
+                    &scratch.slots,
+                    &scratch.keep_roots,
+                    spec_scratch,
+                    out,
+                );
+                shortened || newly_droppable
+            }
+        }
     }
 
     /// Derivative-guided contraction of one box: a **monotonicity cut**

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use nncps_expr::{
-    AllocatedTape, BatchScratch, RegAlloc, SpecializeScratch, TapeView, DEFAULT_REGISTERS,
+    AllocatedTape, BatchScratch, Choice, RegAlloc, SpecializeScratch, TapeView, DEFAULT_REGISTERS,
 };
 use nncps_interval::{Interval, IntervalBox};
 use nncps_parallel::{Budget, ExhaustionReason};
@@ -396,6 +396,10 @@ impl DeltaSolver {
     /// charged from the tape instructions executed per box, and an
     /// exhausted limit (or a raised cancellation flag) returns
     /// [`SatResult::Unknown`] with the structured [`ExhaustionReason`].
+    /// Fuel is counted per *logical* box in scalar-equivalent instructions
+    /// — sweeps prerecorded by batched sibling evaluation are charged when
+    /// their box is processed, not when they are recorded — so exhaustion
+    /// points are identical with batching on or off.
     ///
     /// A **fuel limit forces the sequential search path** regardless of
     /// [`DeltaSolver::with_threads`]: fuel is a pure function of the
@@ -833,7 +837,10 @@ impl DeltaSolver {
     /// The trace stays valid while the entry waits on the stack because
     /// the box is immutable there and the view at its depth is untouched
     /// until the entry is popped (the depth-first path invariant that also
-    /// protects `views`).
+    /// protects `views`).  When the clause has `min`/`max`/`abs` choice
+    /// sites, the same batched sweep also records each lane's choice trace,
+    /// which rides along with the interval trace and feeds the delta-driven
+    /// re-specialization when the child splits.
     fn run_sequential(
         &self,
         engine: &ClauseEngine<'_>,
@@ -844,17 +851,20 @@ impl DeltaSolver {
         fuel_charged: &mut usize,
     ) -> SatResult {
         let batching = self.batched && matches!(engine, ClauseEngine::Compiled(_));
-        let mut stack: Vec<(IntervalBox, u32, Option<Vec<Interval>>)> =
-            vec![(domain.clone(), 0, None)];
+        // One DFS entry: the box, its depth, and — when the sibling batch
+        // prerecorded them — its forward sweep and choice traces.
+        type StackEntry = (IntervalBox, u32, Option<Vec<Interval>>, Option<Vec<Choice>>);
+        let mut stack: Vec<StackEntry> = vec![(domain.clone(), 0, None, None)];
         // Pruned boxes are recycled as the upper halves of later splits, so
         // the steady-state loop allocates nothing: popping moves a box out
         // of the stack, contraction narrows it in place, and
-        // `split_widest_into` reuses pooled storage.  Sweep traces recycle
-        // through their own pool the same way.
+        // `split_widest_into` reuses pooled storage.  Sweep traces and
+        // choice traces recycle through their own pools the same way.
         let mut pool: Vec<IntervalBox> = Vec::new();
         let mut trace_pool: Vec<Vec<Interval>> = Vec::new();
+        let mut choice_pool: Vec<Vec<Choice>> = Vec::new();
         let mut batch_scratch: BatchScratch<{ Self::SIBLING_LANES }> = BatchScratch::new();
-        while let Some((mut region, depth, trace)) = stack.pop() {
+        while let Some((mut region, depth, trace, choices)) = stack.pop() {
             nncps_fault::panic_point(nncps_fault::SITE_SOLVER_BOX_POP);
             if nncps_fault::fuel_exhaustion(nncps_fault::SITE_SOLVER_BOX_POP) {
                 self.budget.exhaust_fuel();
@@ -888,6 +898,9 @@ impl DeltaSolver {
             let prefilled = match trace {
                 Some(recorded) => {
                     trace_pool.push(scratch.install_sweep(recorded));
+                    if let Some(recorded_choices) = choices {
+                        choice_pool.push(scratch.install_choices(recorded_choices));
+                    }
                     true
                 }
                 None => false,
@@ -954,36 +967,54 @@ impl DeltaSolver {
                     };
                     let mut right = pool.pop().unwrap_or_default();
                     region.split_widest_into(&mut right);
-                    let (left_trace, right_trace) = if let (true, ClauseEngine::Compiled(clause)) =
-                        (batching, engine)
-                    {
-                        // One two-lane sweep of the child program covers both
-                        // children; each lane's recorded slots are bitwise
-                        // what the child's own forward sweep would compute.
-                        let alloc = if child_depth == 0 {
-                            clause.allocated_tape()
+                    let (left_trace, right_trace, left_choices, right_choices) =
+                        if let (true, ClauseEngine::Compiled(clause)) = (batching, engine) {
+                            // One two-lane sweep of the child program covers
+                            // both children; each lane's recorded slots are
+                            // bitwise what the child's own forward sweep would
+                            // compute.  The sweep is not charged as fuel here:
+                            // `ensure_prefix`'s charged watermark bills each
+                            // child lazily when it is popped and classified,
+                            // so fuel exhaustion points are identical with
+                            // batching on or off (a never-popped child is
+                            // charged in neither mode).
+                            let alloc = if child_depth == 0 {
+                                clause.allocated_tape()
+                            } else {
+                                let state = spec.as_ref().expect("child_depth > 0 implies views");
+                                &state.allocs[child_depth as usize - 1]
+                            };
+                            let mut left = trace_pool.pop().unwrap_or_default();
+                            let mut right_rec = trace_pool.pop().unwrap_or_default();
+                            if clause.tape().num_choices() > 0 {
+                                let mut left_ch = choice_pool.pop().unwrap_or_default();
+                                let mut right_ch = choice_pool.pop().unwrap_or_default();
+                                alloc.eval_interval_batch_recording(
+                                    clause.tape(),
+                                    &[&region, &right],
+                                    &mut batch_scratch,
+                                    &mut [&mut left, &mut right_rec],
+                                    &mut [&mut left_ch, &mut right_ch],
+                                );
+                                (Some(left), Some(right_rec), Some(left_ch), Some(right_ch))
+                            } else {
+                                alloc.eval_interval_batch_recording(
+                                    clause.tape(),
+                                    &[&region, &right],
+                                    &mut batch_scratch,
+                                    &mut [&mut left, &mut right_rec],
+                                    &mut [],
+                                );
+                                (Some(left), Some(right_rec), None, None)
+                            }
                         } else {
-                            let state = spec.as_ref().expect("child_depth > 0 implies views");
-                            &state.allocs[child_depth as usize - 1]
+                            (None, None, None, None)
                         };
-                        let mut left = trace_pool.pop().unwrap_or_default();
-                        let mut right_rec = trace_pool.pop().unwrap_or_default();
-                        alloc.eval_interval_batch_recording(
-                            clause.tape(),
-                            &[&region, &right],
-                            &mut batch_scratch,
-                            &mut [&mut left, &mut right_rec],
-                        );
-                        scratch.instructions_executed += Self::SIBLING_LANES * alloc.source_len();
-                        (Some(left), Some(right_rec))
-                    } else {
-                        (None, None)
-                    };
                     // Depth-first exploration; pushing the halves in this
                     // order keeps the search biased toward the lower corner,
                     // which is as good as any deterministic choice.
-                    stack.push((right, child_depth, right_trace));
-                    stack.push((region, child_depth, left_trace));
+                    stack.push((right, child_depth, right_trace, right_choices));
+                    stack.push((region, child_depth, left_trace, left_choices));
                 }
             }
         }
@@ -1638,6 +1669,89 @@ mod tests {
             assert_eq!(stats.instructions_executed, runs[0].1.instructions_executed);
             assert_eq!(stats.bisections, runs[0].1.bisections);
         }
+    }
+
+    /// A governed query with `min`/`max`/`abs` choice sites, so the batched
+    /// sibling sweeps record choice traces and the prefilled boxes exercise
+    /// the lazily-charged fuel watermark.
+    fn choosy_query() -> (Formula, IntervalBox) {
+        let w = (x() * 3.0)
+            .sin()
+            .abs()
+            .max((y() * 2.0).cos())
+            .min(x() + y());
+        (Formula::atom(Constraint::eq(w, 0.25)), square_domain(3.0))
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_evaluator_invariant() {
+        // Batch-prefilled sweeps are charged lazily, per logical box, by the
+        // `charged` watermark: a child's recorded sweep bills exactly the
+        // instructions the scalar interpreter would have executed when that
+        // child is popped (and bills nothing for children that are never
+        // popped).  The fuel truncation point — verdict, search statistics,
+        // and consumed fuel — is therefore identical with batched sibling
+        // evaluation on or off, at any configured thread count (a fuel limit
+        // forces the sequential path either way).
+        let (formula, domain) = choosy_query();
+        let mut runs = Vec::new();
+        for batched in [true, false] {
+            for threads in [1usize, 2] {
+                let solver = DeltaSolver::new(1e-6)
+                    .with_threads(threads)
+                    .with_batched_evaluation(batched)
+                    .with_budget(Budget::unlimited().with_fuel(700));
+                let (result, stats) = solver.solve_with_stats(&formula, &domain);
+                assert!(
+                    matches!(result, SatResult::Unknown(ExhaustionReason::Fuel(700))),
+                    "batched={batched} threads={threads}: got {result}"
+                );
+                runs.push((batched, threads, stats, solver.budget().fuel_used()));
+            }
+        }
+        let (_, _, first, first_fuel) = runs[0];
+        for (batched, threads, stats, fuel) in &runs {
+            let tag = format!("batched={batched} threads={threads}");
+            assert_eq!(stats.boxes_explored, first.boxes_explored, "{tag}");
+            assert_eq!(stats.bisections, first.bisections, "{tag}");
+            assert_eq!(
+                stats.instructions_executed, first.instructions_executed,
+                "{tag}"
+            );
+            assert_eq!(*fuel, first_fuel, "{tag}");
+        }
+    }
+
+    #[test]
+    fn deep_relu_controller_query_stays_bit_identical_and_cheaper() {
+        // A deep ReLU ladder — the shape of a compiled NN controller — is
+        // the workload choice-trace specialization exists for: every box
+        // decides a few more `max(·, 0)` branches, and the decided prefix
+        // must never be re-derived from scratch.  The solver-visible
+        // contract: specialization is bit-invisible (identical verdict and
+        // search tree) and strictly reduces the work-per-box integral.
+        let mut out = x() * 0.9 + y() * 0.1;
+        for i in 0..24 {
+            // Unit-scale weights keep the signal alive through all layers,
+            // so the search has to descend (and decide ReLUs) to a verdict.
+            let w = 1.0 + 0.01 * (i % 5) as f64;
+            let b = 0.01 * (i % 3) as f64;
+            out = (out * w + b).max(Expr::constant(0.0)) - 0.01;
+        }
+        let formula = Formula::atom(Constraint::ge(out, 0.4));
+        let domain = square_domain(1.5);
+        let spec = DeltaSolver::new(1e-4).with_newton_cuts(false);
+        let plain = spec.clone().with_tape_specialization(false);
+        let (a, sa) = spec.solve_with_stats(&formula, &domain);
+        let (b, sb) = plain.solve_with_stats(&formula, &domain);
+        assert_eq!(a.witness(), b.witness());
+        assert_eq!(sa, sb);
+        assert!(
+            sa.specialized_tape_len_sum < sb.specialized_tape_len_sum,
+            "specialization never shortened the deep ReLU program: {} vs {}",
+            sa.specialized_tape_len_sum,
+            sb.specialized_tape_len_sum
+        );
     }
 
     #[test]

@@ -191,6 +191,9 @@ fn batched_sibling_evaluation_steady_state_does_not_allocate() {
                     &[&region, &right],
                     &mut batch_scratch,
                     &mut [&mut left_trace, &mut right_trace],
+                    // This clause has no `min`/`max`/`abs` sites, so there is
+                    // no choice trace to record.
+                    &mut [],
                 );
                 stack.push((right, Some(right_trace)));
                 stack.push((region, Some(left_trace)));

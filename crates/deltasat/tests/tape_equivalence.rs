@@ -88,6 +88,55 @@ fn decode_expr(tokens: &[usize], consts: &[f64]) -> Expr {
         .unwrap_or_else(|| Expr::var(0))
 }
 
+/// A `min`/`max`/`abs`-heavy decoder: roughly half the emitted nodes are
+/// choice sites (including explicit ReLU clamps), stressing choice-trace
+/// recording and the delta-driven re-specialization much harder than the
+/// uniform operator mix of [`decode_expr`].
+fn decode_choosy_expr(tokens: &[usize], consts: &[f64]) -> Expr {
+    let mut stack: Vec<Expr> = Vec::new();
+    for &t in tokens {
+        let arg = |stack: &mut Vec<Expr>| stack.pop().unwrap_or_else(|| Expr::var(t % 2));
+        let e = match t % 10 {
+            0 => Expr::var(t % 2),
+            1 => Expr::constant(consts[t % consts.len()]),
+            2 | 3 => arg(&mut stack).abs(),
+            4 => {
+                let b = arg(&mut stack);
+                let a = arg(&mut stack);
+                a.min(b)
+            }
+            5 => {
+                let b = arg(&mut stack);
+                let a = arg(&mut stack);
+                a.max(b)
+            }
+            // ReLU: the clamp shape NN controllers compile to.
+            6 => arg(&mut stack).max(Expr::constant(0.0)),
+            7 => {
+                // Re-share a subtree, so choice sites get multiple parents.
+                let top = arg(&mut stack);
+                stack.push(top.clone());
+                top
+            }
+            8 => {
+                let b = arg(&mut stack);
+                let a = arg(&mut stack);
+                a + b
+            }
+            _ => {
+                let b = arg(&mut stack);
+                let a = arg(&mut stack);
+                a * b
+            }
+        };
+        stack.push(e);
+    }
+    stack
+        .into_iter()
+        .reduce(|a, b| a.max(b))
+        .unwrap_or_else(|| Expr::var(0))
+}
+
 fn assert_interval_bits(a: nncps_interval::Interval, b: nncps_interval::Interval, what: &str) {
     assert_eq!(a.lo().to_bits(), b.lo().to_bits(), "{what} lo");
     assert_eq!(a.hi().to_bits(), b.hi().to_bits(), "{what} hi");
@@ -282,18 +331,24 @@ proptest! {
         };
         check(&view, &sub);
 
-        // Re-specialize from the view on the sub-box and check on a nested
-        // sub-sub-box.
+        // Re-specialize from the view on the sub-box (recording the choice
+        // trace the delta pass consumes) and check on a nested sub-sub-box.
+        // A `false` return means the delta pass found nothing new to decide,
+        // in which case the parent view stays the active program.
+        use nncps_expr::{Choice, ChoiceAnalysis};
         let mut slots = Vec::new();
-        view.eval_interval_into(&tape, &sub, &mut slots);
+        let mut choices = vec![Choice::Both; tape.num_choices()];
+        view.eval_interval_extend_into_recording(&tape, &sub, &mut slots, view.len(), &mut choices);
+        let analysis = ChoiceAnalysis::analyze(&tape);
         let mut child = TapeView::default();
         let keep = vec![true; tape.num_roots()];
-        view.respecialize_into(&tape, &slots, &keep, &mut scratch, &mut child);
+        let derived =
+            view.respecialize_into(&tape, &analysis, &slots, &choices, &keep, &mut scratch, &mut child);
         let nested = IntervalBox::from_bounds(&[
             (sub[0].lo() + 0.25 * sub[0].width(), sub[0].lo() + 0.75 * sub[0].width()),
             (sub[1].lo() + 0.25 * sub[1].width(), sub[1].lo() + 0.75 * sub[1].width()),
         ]);
-        check(&child, &nested);
+        check(if derived { &child } else { &view }, &nested);
     }
 
     /// Region specialization must be bit-invisible on whole solver runs:
@@ -319,6 +374,37 @@ proptest! {
         let (plain_result, plain_stats) = plain.solve_with_stats(&formula, &domain);
         prop_assert_eq!(spec_stats, plain_stats);
         match (&spec_result, &plain_result) {
+            (SatResult::DeltaSat(a), SatResult::DeltaSat(b)) => assert_box_bits(a, b, "witness"),
+            (SatResult::Unsat, SatResult::Unsat) => {}
+            (SatResult::Unknown(a), SatResult::Unknown(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "verdicts diverge: {} vs {}", a, b),
+        }
+    }
+
+    /// Choice-heavy random DAGs (about half the nodes are `min`/`max`/`abs`
+    /// sites) solved with the full acceleration stack — compiled tapes,
+    /// choice-trace specialization, batched sibling sweeps — must explore
+    /// the identical box tree and return bitwise-identical witnesses as the
+    /// tree-walking reference evaluator.
+    #[test]
+    fn prop_choice_heavy_solver_runs_match_tree_reference(
+        tokens in collection::vec(0usize..10_000, 1..40),
+        consts in collection::vec(-2.5f64..2.5, 6),
+        bound in -2.0f64..2.0,
+        relation in 0usize..5,
+    ) {
+        let expr = decode_choosy_expr(&tokens, &consts);
+        let relation = [Relation::Le, Relation::Lt, Relation::Ge, Relation::Gt, Relation::Eq][relation];
+        let formula = Formula::atom(Constraint::new(expr, relation, bound));
+        let domain = IntervalBox::from_bounds(&[(-2.0, 2.0), (-2.0, 2.0)]);
+        let fast = DeltaSolver::new(1e-3)
+            .with_max_boxes(20_000)
+            .with_newton_cuts(false);
+        let reference = fast.clone().with_tree_evaluator();
+        let (fast_result, fast_stats) = fast.solve_with_stats(&formula, &domain);
+        let (ref_result, ref_stats) = reference.solve_with_stats(&formula, &domain);
+        prop_assert_eq!(fast_stats, ref_stats);
+        match (&fast_result, &ref_result) {
             (SatResult::DeltaSat(a), SatResult::DeltaSat(b)) => assert_box_bits(a, b, "witness"),
             (SatResult::Unsat, SatResult::Unsat) => {}
             (SatResult::Unknown(a), SatResult::Unknown(b)) => prop_assert_eq!(a, b),

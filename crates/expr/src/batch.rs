@@ -51,6 +51,7 @@ use nncps_interval::{Interval, IntervalBox};
 
 use crate::ops::{BinaryOp, UnaryOp};
 use crate::regalloc::{AllocatedTape, RegInstr, RootLoc};
+use crate::tape::{Choice, NO_CHOICE};
 use crate::Tape;
 
 /// Branchless twin of the interval crate's *lower*-endpoint outward
@@ -317,7 +318,7 @@ impl AllocatedTape {
         scratch: &mut BatchScratch<L>,
         roots: &mut Vec<Interval>,
     ) {
-        self.eval_batch_inner::<L, false>(tape, regions, scratch, &mut []);
+        self.eval_batch_inner::<L, false>(tape, regions, scratch, &mut [], &mut []);
         let active = regions.len();
         roots.clear();
         roots.reserve(self.num_roots() * active);
@@ -344,23 +345,40 @@ impl AllocatedTape {
     /// would fill its slot buffer for lane `k`'s box — bit-identical, so a
     /// recorded lane can seed an HC4 backward walk directly.
     ///
+    /// `choices` selects choice-trace recording: pass one `Vec<Choice>` per
+    /// lane to have it cleared, resized to the parent tape's
+    /// [`Tape::num_choices`], and filled with that lane's observed
+    /// `min`/`max`/`abs` resolutions (sites absent from a specialized view
+    /// stay [`Choice::Both`]); pass `&mut []` to skip choice recording
+    /// entirely.  The recorded bytes match what
+    /// [`Tape::eval_interval_extend_into_recording`] records for the same
+    /// box — the lane predicates compare the very bounds the interval
+    /// kernels produced, so recording costs a few flag comparisons per
+    /// choice site and cannot perturb the evaluation.
+    ///
     /// # Panics
     ///
     /// Panics as [`AllocatedTape::eval_interval_batch`] does, or if
-    /// `traces.len() != regions.len()`.
+    /// `traces.len() != regions.len()`, or if `choices` is non-empty with
+    /// `choices.len() != regions.len()`.
     pub fn eval_interval_batch_recording<const L: usize>(
         &self,
         tape: &Tape,
         regions: &[&IntervalBox],
         scratch: &mut BatchScratch<L>,
         traces: &mut [&mut Vec<Interval>],
+        choices: &mut [&mut Vec<Choice>],
     ) {
         assert_eq!(
             traces.len(),
             regions.len(),
             "one output trace per batched box"
         );
-        self.eval_batch_inner::<L, true>(tape, regions, scratch, traces);
+        assert!(
+            choices.is_empty() || choices.len() == regions.len(),
+            "one choice trace per batched box (or none at all)"
+        );
+        self.eval_batch_inner::<L, true>(tape, regions, scratch, traces, choices);
     }
 
     /// Shared batched interpreter; `RECORD` selects the recording variant.
@@ -370,6 +388,7 @@ impl AllocatedTape {
         regions: &[&IntervalBox],
         scratch: &mut BatchScratch<L>,
         traces: &mut [&mut Vec<Interval>],
+        choices: &mut [&mut Vec<Choice>],
     ) {
         let active = regions.len();
         assert!(active >= 1, "batched evaluation needs at least one box");
@@ -389,15 +408,19 @@ impl AllocatedTape {
                 trace.clear();
                 trace.resize(self.source_len(), Interval::EMPTY);
             }
+            for lane_choices in choices.iter_mut() {
+                lane_choices.clear();
+                lane_choices.resize(tape.num_choices(), Choice::Both);
+            }
         }
         // Monomorphize the full-batch case: with the lane loops bounded by
         // the compile-time `L` the compiler unrolls them, which is where the
         // dispatch amortization actually pays.  Ragged batches take the
         // dynamically-bounded copy of the same code.
         if active == L {
-            self.run_lanes::<L, RECORD, true>(tape, regions, scratch, traces);
+            self.run_lanes::<L, RECORD, true>(tape, regions, scratch, traces, choices);
         } else {
-            self.run_lanes::<L, RECORD, false>(tape, regions, scratch, traces);
+            self.run_lanes::<L, RECORD, false>(tape, regions, scratch, traces, choices);
         }
     }
 
@@ -409,8 +432,10 @@ impl AllocatedTape {
         regions: &[&IntervalBox],
         scratch: &mut BatchScratch<L>,
         traces: &mut [&mut Vec<Interval>],
+        choices: &mut [&mut Vec<Choice>],
     ) {
         let active = if FULL { L } else { regions.len() };
+        let record_choices = RECORD && !choices.is_empty();
         let regs = &mut scratch.regs;
         let spill = &mut scratch.spill;
         for (pc, instr) in self.instructions().iter().enumerate() {
@@ -448,6 +473,17 @@ impl AllocatedTape {
                             }
                         }
                     }
+                    // Choice recording reads the operand lanes, so it must
+                    // happen before `dst` is written — `dst` may reuse the
+                    // operand's register.
+                    if record_choices {
+                        let site = self.choice_of[self.defined_slot(pc).expect("unary defines")];
+                        if site != NO_CHOICE {
+                            for (k, lane) in choices.iter_mut().enumerate().take(active) {
+                                lane[site as usize] = Choice::of_abs(va.get(k));
+                            }
+                        }
+                    }
                     regs[dst as usize] = out;
                 }
                 RegInstr::Binary { op, dst, a, b } => {
@@ -463,6 +499,18 @@ impl AllocatedTape {
                         BinaryOp::Div => {
                             for k in 0..active {
                                 out.set(k, op.apply_interval(va.get(k), vb.get(k)));
+                            }
+                        }
+                    }
+                    if record_choices {
+                        let site = self.choice_of[self.defined_slot(pc).expect("binary defines")];
+                        if site != NO_CHOICE {
+                            for (k, lane) in choices.iter_mut().enumerate().take(active) {
+                                lane[site as usize] = match op {
+                                    BinaryOp::Min => Choice::of_min(va.get(k), vb.get(k)),
+                                    BinaryOp::Max => Choice::of_max(va.get(k), vb.get(k)),
+                                    _ => unreachable!("only min/max sites carry choice ids"),
+                                };
                             }
                         }
                     }

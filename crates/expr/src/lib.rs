@@ -56,6 +56,6 @@ pub use expr::{Expr, ExprView};
 pub use fingerprint::{Fingerprint, StructuralHasher};
 pub use ops::{BinaryOp, UnaryOp};
 pub use regalloc::{AllocatedTape, RegAlloc, RegInstr, RegScratch, RootLoc, DEFAULT_REGISTERS};
-pub use specialize::{SpecializeScratch, TapeView};
-pub use tape::{Tape, TapeInstr};
+pub use specialize::{ChoiceAnalysis, SpecializeScratch, TapeView};
+pub use tape::{Choice, Tape, TapeInstr};
 pub use vars::VarSet;

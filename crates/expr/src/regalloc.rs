@@ -193,6 +193,11 @@ pub struct AllocatedTape {
     /// Per source root: where its value lives after the program has run
     /// (`None` for roots dropped by specialization).
     root_loc: Vec<Option<RootLoc>>,
+    /// Per source slot: the choice-site id of that slot
+    /// ([`crate::tape::NO_CHOICE`] for non-sites).  Copied from the source
+    /// program so recording batch sweeps can emit choice traces without
+    /// consulting it.
+    pub(crate) choice_of: Vec<u16>,
     /// Register-file size the program was allocated for.
     num_registers: usize,
     /// Spill-arena size the program requires.
@@ -449,7 +454,15 @@ impl RegAlloc {
     /// Panics if `registers < 2` (a binary operator needs two simultaneous
     /// operand registers) or `registers > u16::MAX + 1`.
     pub fn allocate_tape_into(&mut self, tape: &Tape, registers: usize, out: &mut AllocatedTape) {
-        self.allocate(&tape.ops, &tape.lhs, &tape.rhs, &tape.roots, registers, out);
+        self.allocate(
+            &tape.ops,
+            &tape.lhs,
+            &tape.rhs,
+            &tape.roots,
+            &tape.choice_index,
+            registers,
+            out,
+        );
     }
 
     /// Register-allocates a specialized view into `out`, reusing both
@@ -469,16 +482,26 @@ impl RegAlloc {
         out: &mut AllocatedTape,
     ) {
         let (ops, lhs, rhs, roots) = view.raw_parts();
-        self.allocate(ops, lhs, rhs, roots, registers, out);
+        self.allocate(
+            ops,
+            lhs,
+            rhs,
+            roots,
+            view.choice_id_column(),
+            registers,
+            out,
+        );
     }
 
     /// The linear scan over raw program columns (shared by tape and view).
+    #[allow(clippy::too_many_arguments)]
     fn allocate(
         &mut self,
         ops: &[OpCode],
         lhs: &[u32],
         rhs: &[u32],
         roots: &[u32],
+        choice_of: &[u16],
         registers: usize,
         out: &mut AllocatedTape,
     ) {
@@ -522,6 +545,8 @@ impl RegAlloc {
         out.instrs.clear();
         out.ssa.clear();
         out.root_loc.clear();
+        out.choice_of.clear();
+        out.choice_of.extend_from_slice(choice_of);
         out.num_registers = registers;
         out.num_spill_slots = 0;
         out.source_len = n;

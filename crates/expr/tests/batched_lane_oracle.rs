@@ -8,8 +8,8 @@
 //! path: batching is an acceleration, so it must be invisible.
 
 use nncps_expr::{
-    AllocatedTape, BatchScratch, Expr, RegAlloc, SpecializeScratch, Tape, TapeView,
-    DEFAULT_REGISTERS,
+    AllocatedTape, BatchScratch, Choice, ChoiceAnalysis, Expr, RegAlloc, SpecializeScratch, Tape,
+    TapeView, DEFAULT_REGISTERS,
 };
 use nncps_interval::{Interval, IntervalBox};
 use proptest::collection::vec;
@@ -91,18 +91,40 @@ fn check_batch_against_oracles<const L: usize>(exprs: &[Expr], tape: &Tape, boxe
     }
 
     // Recording batch: every lane's trace must equal the tape's full slot
-    // buffer for that lane's box.
+    // buffer for that lane's box, and every lane's choice trace must equal
+    // what the scalar recording sweep observes for that box.
     let mut trace_storage: Vec<Vec<Interval>> = (0..active).map(|_| Vec::new()).collect();
+    let mut choice_storage: Vec<Vec<Choice>> = (0..active).map(|_| Vec::new()).collect();
     {
         let mut traces: Vec<&mut Vec<Interval>> = trace_storage.iter_mut().collect();
-        alloc.eval_interval_batch_recording(tape, &lanes, &mut scratch, &mut traces);
+        let mut lane_choices: Vec<&mut Vec<Choice>> = choice_storage.iter_mut().collect();
+        alloc.eval_interval_batch_recording(
+            tape,
+            &lanes,
+            &mut scratch,
+            &mut traces,
+            &mut lane_choices,
+        );
     }
+    let mut rec_slots = Vec::new();
     for (k, region) in boxes.iter().enumerate() {
         tape.eval_interval_into(region, &mut slots);
         assert_eq!(trace_storage[k].len(), slots.len());
         for (slot, (&got, &want)) in trace_storage[k].iter().zip(slots.iter()).enumerate() {
             assert_interval_bits(got, want, &format!("L={L} lane {k} trace slot {slot}"));
         }
+        let mut want_choices = vec![Choice::Both; tape.num_choices()];
+        rec_slots.clear();
+        tape.eval_interval_extend_into_recording(
+            region,
+            &mut rec_slots,
+            tape.num_slots(),
+            &mut want_choices,
+        );
+        assert_eq!(
+            choice_storage[k], want_choices,
+            "L={L} lane {k}: batched choice trace diverged from the scalar sweep"
+        );
     }
 }
 
@@ -111,12 +133,22 @@ fn check_batch_against_oracles<const L: usize>(exprs: &[Expr], tape: &Tape, boxe
 /// the view's own scalar interpreter.
 fn check_specialized_batch<const L: usize>(tape: &Tape, hull: &IntervalBox, boxes: &[IntervalBox]) {
     let full = TapeView::full(tape);
+    let analysis = ChoiceAnalysis::analyze(tape);
     let mut slots = Vec::new();
-    full.eval_interval_into(tape, hull, &mut slots);
+    let mut choices = vec![Choice::Both; tape.num_choices()];
+    full.eval_interval_extend_into_recording(tape, hull, &mut slots, full.len(), &mut choices);
     let keep_root = vec![true; tape.num_roots()];
     let mut scratch = SpecializeScratch::default();
     let mut view = TapeView::default();
-    if !full.respecialize_into(tape, &slots, &keep_root, &mut scratch, &mut view) {
+    if !full.respecialize_into(
+        tape,
+        &analysis,
+        &slots,
+        &choices,
+        &keep_root,
+        &mut scratch,
+        &mut view,
+    ) {
         // Nothing simplified over this hull; the full view *is* the view.
         view = full;
     }
@@ -127,13 +159,29 @@ fn check_specialized_batch<const L: usize>(tape: &Tape, hull: &IntervalBox, boxe
     let lanes: Vec<&IntervalBox> = boxes.iter().collect();
     let mut batch_scratch = BatchScratch::<L>::default();
     let mut trace_storage: Vec<Vec<Interval>> = (0..boxes.len()).map(|_| Vec::new()).collect();
+    let mut choice_storage: Vec<Vec<Choice>> = (0..boxes.len()).map(|_| Vec::new()).collect();
     {
         let mut traces: Vec<&mut Vec<Interval>> = trace_storage.iter_mut().collect();
-        alloc.eval_interval_batch_recording(tape, &lanes, &mut batch_scratch, &mut traces);
+        let mut lane_choices: Vec<&mut Vec<Choice>> = choice_storage.iter_mut().collect();
+        alloc.eval_interval_batch_recording(
+            tape,
+            &lanes,
+            &mut batch_scratch,
+            &mut traces,
+            &mut lane_choices,
+        );
     }
     let mut view_slots = Vec::new();
     for (k, region) in boxes.iter().enumerate() {
-        view.eval_interval_into(tape, region, &mut view_slots);
+        let mut want_choices = vec![Choice::Both; tape.num_choices()];
+        view_slots.clear();
+        view.eval_interval_extend_into_recording(
+            tape,
+            region,
+            &mut view_slots,
+            view.len(),
+            &mut want_choices,
+        );
         for (slot, (&got, &want)) in trace_storage[k].iter().zip(view_slots.iter()).enumerate() {
             assert_interval_bits(
                 got,
@@ -141,6 +189,10 @@ fn check_specialized_batch<const L: usize>(tape: &Tape, hull: &IntervalBox, boxe
                 &format!("L={L} specialized lane {k} view slot {slot}"),
             );
         }
+        assert_eq!(
+            choice_storage[k], want_choices,
+            "L={L} specialized lane {k}: batched choice trace diverged"
+        );
     }
 }
 

@@ -18,6 +18,11 @@ pub enum Activation {
     Sigmoid,
     /// Rectified linear unit `max(x, 0)`.
     Relu,
+    /// Symmetric saturating linear `min(max(x, -1), 1)`, MATLAB's `satlins`.
+    /// Like ReLU it lowers to pure `min`/`max` tape instructions, so it is
+    /// fully decidable by region specialization (both clamps resolve once a
+    /// box leaves the [-1, 1] band).
+    HardTanh,
     /// Identity (MATLAB's `purelin`), typically used on output layers.
     Linear,
 }
@@ -29,6 +34,7 @@ impl Activation {
             Activation::Tanh => x.tanh(),
             Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
             Activation::Relu => x.max(0.0),
+            Activation::HardTanh => x.clamp(-1.0, 1.0),
             Activation::Linear => x,
         }
     }
@@ -48,6 +54,13 @@ impl Activation {
                     0.0
                 }
             }
+            Activation::HardTanh => {
+                if (-1.0..=1.0).contains(&x) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
             Activation::Linear => 1.0,
         }
     }
@@ -61,6 +74,7 @@ impl Activation {
             Activation::Tanh => x.tanh(),
             Activation::Sigmoid => x.sigmoid(),
             Activation::Relu => x.max(Expr::constant(0.0)),
+            Activation::HardTanh => x.max(Expr::constant(-1.0)).min(Expr::constant(1.0)),
             Activation::Linear => x,
         }
     }
@@ -72,6 +86,7 @@ impl Activation {
             Activation::Tanh => (-1.0, 1.0),
             Activation::Sigmoid => (0.0, 1.0),
             Activation::Relu => (0.0, f64::INFINITY),
+            Activation::HardTanh => (-1.0, 1.0),
             Activation::Linear => (f64::NEG_INFINITY, f64::INFINITY),
         }
     }
@@ -82,6 +97,7 @@ impl Activation {
             Activation::Tanh => "tansig",
             Activation::Sigmoid => "logsig",
             Activation::Relu => "poslin",
+            Activation::HardTanh => "satlins",
             Activation::Linear => "purelin",
         }
     }
@@ -102,7 +118,7 @@ impl fmt::Display for ParseActivationError {
         write!(
             f,
             "unknown activation `{}` (expected tanh/tansig, sigmoid/logsig, relu/poslin, \
-             or linear/purelin)",
+             hardtanh/satlins, or linear/purelin)",
             self.0
         )
     }
@@ -130,6 +146,7 @@ impl std::str::FromStr for Activation {
             "tanh" | "tansig" => Ok(Activation::Tanh),
             "sigmoid" | "logsig" => Ok(Activation::Sigmoid),
             "relu" | "poslin" => Ok(Activation::Relu),
+            "hardtanh" | "satlins" => Ok(Activation::HardTanh),
             "linear" | "purelin" | "identity" => Ok(Activation::Linear),
             other => Err(ParseActivationError(other.to_string())),
         }
@@ -147,6 +164,9 @@ mod tests {
         assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-15);
         assert_eq!(Activation::Relu.apply(-2.0), 0.0);
         assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::HardTanh.apply(-2.0), -1.0);
+        assert_eq!(Activation::HardTanh.apply(0.25), 0.25);
+        assert_eq!(Activation::HardTanh.apply(3.0), 1.0);
         assert_eq!(Activation::Linear.apply(1.25), 1.25);
         assert_eq!(Activation::default(), Activation::Tanh);
     }
@@ -166,6 +186,9 @@ mod tests {
         }
         assert_eq!(Activation::Relu.derivative(1.0), 1.0);
         assert_eq!(Activation::Relu.derivative(-1.0), 0.0);
+        assert_eq!(Activation::HardTanh.derivative(0.5), 1.0);
+        assert_eq!(Activation::HardTanh.derivative(2.0), 0.0);
+        assert_eq!(Activation::HardTanh.derivative(-2.0), 0.0);
     }
 
     #[test]
@@ -176,6 +199,7 @@ mod tests {
             Activation::Tanh,
             Activation::Sigmoid,
             Activation::Relu,
+            Activation::HardTanh,
             Activation::Linear,
         ] {
             let e = act.apply_expr(x.clone());
@@ -193,14 +217,31 @@ mod tests {
         assert_eq!(Activation::Tanh.range(), (-1.0, 1.0));
         assert_eq!(Activation::Sigmoid.range(), (0.0, 1.0));
         assert_eq!(Activation::Relu.range().0, 0.0);
+        assert_eq!(Activation::HardTanh.range(), (-1.0, 1.0));
         assert_eq!(Activation::Tanh.matlab_name(), "tansig");
+        assert_eq!(Activation::HardTanh.matlab_name(), "satlins");
         assert_eq!(format!("{}", Activation::Linear), "purelin");
+        assert_eq!(
+            "satlins".parse::<Activation>().unwrap(),
+            Activation::HardTanh
+        );
+        assert_eq!(
+            "HardTanh".parse::<Activation>().unwrap(),
+            Activation::HardTanh
+        );
+        let err = "softsign".parse::<Activation>().unwrap_err();
+        assert!(err.to_string().contains("hardtanh/satlins"), "{err}");
     }
 
     proptest! {
         #[test]
         fn prop_outputs_stay_in_declared_range(x in -50.0f64..50.0) {
-            for act in [Activation::Tanh, Activation::Sigmoid, Activation::Relu] {
+            for act in [
+                Activation::Tanh,
+                Activation::Sigmoid,
+                Activation::Relu,
+                Activation::HardTanh,
+            ] {
                 let (lo, hi) = act.range();
                 let y = act.apply(x);
                 prop_assert!(y >= lo - 1e-12 && y <= hi + 1e-12);

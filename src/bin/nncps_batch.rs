@@ -200,6 +200,15 @@ fn run_client(args: &Args) -> Result<u8, String> {
                 "server at {addr} closed the connection mid-request"
             ));
         }
+        // The protocol is one event per '\n'-terminated line.  `read_line`
+        // also returns a *partial* line when the connection dies mid-write;
+        // parsing that prefix could silently accept a truncated event, so a
+        // missing terminator is a hard protocol error.
+        if !line.ends_with('\n') {
+            return Err(format!(
+                "torn protocol line from {addr} (connection lost after {n} bytes of an unterminated event)"
+            ));
+        }
         Json::parse(line.trim()).map_err(|e| format!("malformed server response: {e}"))
     };
 
@@ -670,6 +679,60 @@ mod tests {
             .unwrap();
         let err = run(&args).unwrap_err();
         assert!(err.contains("--check applies to registry runs"), "{err}");
+    }
+
+    /// A fake `nncps-serve`: accepts one connection, reads the request line,
+    /// plays back the given raw bytes, and drops the connection.
+    fn fake_server(script: &'static [u8]) -> (String, std::thread::JoinHandle<()>) {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut request = String::new();
+            BufReader::new(stream.try_clone().expect("clone"))
+                .read_line(&mut request)
+                .expect("read request");
+            stream.write_all(script).expect("write script");
+            stream.flush().expect("flush");
+            // Dropping the stream sends FIN: the connection dies here.
+        });
+        (addr, handle)
+    }
+
+    fn connect_args(addr: &str) -> Args {
+        parse(&["--connect", addr, "--family", "all", "--quiet"])
+            .unwrap()
+            .unwrap()
+    }
+
+    #[test]
+    fn client_rejects_a_torn_protocol_line() {
+        // One complete member event, then a line cut mid-JSON with no
+        // terminating newline — the shape of a daemon killed mid-write.
+        let (addr, server) = fake_server(
+            b"{\"event\":\"member\",\"name\":\"m0\",\"verdict\":\"certified\",\"wall_time_s\":0}\n\
+              {\"event\":\"member\",\"na",
+        );
+        let err = run_client(&connect_args(&addr)).unwrap_err();
+        assert!(err.contains("torn protocol line"), "{err}");
+        assert!(!err.contains('\n'), "diagnostic must be one line: {err:?}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn client_reports_a_mid_stream_disconnect() {
+        // Complete member events but no `done`: the daemon disconnects
+        // mid-stream on a clean line boundary.
+        let (addr, server) = fake_server(
+            b"{\"event\":\"member\",\"name\":\"m0\",\"verdict\":\"certified\",\"wall_time_s\":0}\n\
+              {\"event\":\"member\",\"name\":\"m1\",\"verdict\":\"inconclusive\",\"wall_time_s\":0}\n",
+        );
+        let err = run_client(&connect_args(&addr)).unwrap_err();
+        assert!(err.contains("closed the connection mid-request"), "{err}");
+        assert!(!err.contains('\n'), "diagnostic must be one line: {err:?}");
+        server.join().unwrap();
     }
 
     #[test]
